@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! The action log `L(User, Action, Time)` — the paper's central data model.
+//!
+//! A tuple `(u, a, t)` records that user `u` performed action `a` at time
+//! `t` (§4 "Data Model"). The log, combined with the social graph, induces
+//! one *propagation graph* `G(a)` per action: a DAG whose edge `(v, u)`
+//! means `v` and `u` are socially linked and `v` performed `a` strictly
+//! before `u`.
+//!
+//! Modules:
+//! * [`log`] — the columnar, action-partitioned [`ActionLog`] store;
+//! * [`propagation`] — per-action propagation DAGs and initiators;
+//! * [`split`] — the paper's 80/20 size-stratified train/test split;
+//! * [`stats`] — the action-log half of Table 1;
+//! * [`storage`] — buffered TSV persistence.
+
+pub mod log;
+pub mod propagation;
+pub mod split;
+pub mod stats;
+pub mod storage;
+
+pub use log::{ActionId, ActionLog, ActionLogBuilder, ActionTuple, Timestamp, UserId};
+pub use propagation::PropagationDag;
+pub use split::{train_test_split, TrainTestSplit};

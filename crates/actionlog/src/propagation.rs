@@ -1,0 +1,270 @@
+//! Per-action propagation graphs G(a).
+//!
+//! "We say that a propagates from node u to v iff u and v are socially
+//! linked, and u performs a before v" (§4). The resulting graph is a DAG
+//! because edges always point forward in time; ties in time produce *no*
+//! edge (the strict inequality of the paper).
+
+use crate::log::{ActionId, ActionLog, Timestamp, UserId};
+use cdim_graph::DirectedGraph;
+use cdim_util::FxHashMap;
+
+/// The propagation DAG of one action.
+///
+/// Performers are stored in chronological order; `parents_of(i)` returns
+/// *local* indices (all strictly smaller than `i`), so any forward pass over
+/// `0..len` is automatically a topological traversal.
+#[derive(Clone, Debug)]
+pub struct PropagationDag {
+    /// Dense action id this DAG belongs to.
+    pub action: ActionId,
+    users: Vec<UserId>,
+    times: Vec<Timestamp>,
+    parent_offsets: Vec<usize>,
+    parents: Vec<u32>,
+}
+
+impl PropagationDag {
+    /// Builds G(a) for action `a` from the log and the social graph.
+    pub fn build(log: &ActionLog, graph: &DirectedGraph, a: ActionId) -> Self {
+        let users = log.users_of(a);
+        let times = log.times_of(a);
+        // user -> (local index) for performers seen so far.
+        let mut seen: FxHashMap<UserId, u32> = FxHashMap::default();
+        seen.reserve(users.len());
+
+        let mut parent_offsets = Vec::with_capacity(users.len() + 1);
+        parent_offsets.push(0usize);
+        let mut parents: Vec<u32> = Vec::new();
+
+        for (i, (&u, &t)) in users.iter().zip(times.iter()).enumerate() {
+            // Social in-neighbors of u who performed a strictly earlier.
+            for &v in graph.in_neighbors(u) {
+                if let Some(&j) = seen.get(&v) {
+                    if times[j as usize] < t {
+                        parents.push(j);
+                    }
+                }
+            }
+            parent_offsets.push(parents.len());
+            seen.insert(u, i as u32);
+        }
+
+        PropagationDag {
+            action: a,
+            users: users.to_vec(),
+            times: times.to_vec(),
+            parent_offsets,
+            parents,
+        }
+    }
+
+    /// Number of performers `|V(a)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether nobody performed the action.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The performers in chronological order.
+    #[inline]
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Timestamps parallel to [`Self::users`].
+    #[inline]
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// User at local index `i`.
+    #[inline]
+    pub fn user(&self, i: usize) -> UserId {
+        self.users[i]
+    }
+
+    /// Time at local index `i`.
+    #[inline]
+    pub fn time(&self, i: usize) -> Timestamp {
+        self.times[i]
+    }
+
+    /// Local indices of `i`'s potential influencers `N_in(u, a)`.
+    #[inline]
+    pub fn parents_of(&self, i: usize) -> &[u32] {
+        &self.parents[self.parent_offsets[i]..self.parent_offsets[i + 1]]
+    }
+
+    /// `d_in(u, a)`: number of potential influencers of the performer at
+    /// local index `i`.
+    #[inline]
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.parent_offsets[i + 1] - self.parent_offsets[i]
+    }
+
+    /// Local indices of the action's *initiators* (performers with no
+    /// potential influencer).
+    pub fn initiator_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.in_degree(i) == 0).collect()
+    }
+
+    /// User ids of the action's initiators.
+    pub fn initiators(&self) -> Vec<UserId> {
+        self.initiator_indices().into_iter().map(|i| self.users[i]).collect()
+    }
+
+    /// Total number of propagation edges `|E(a)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.parents.len()
+    }
+}
+
+/// Builds the propagation DAG of every action in the log.
+pub fn all_dags(log: &ActionLog, graph: &DirectedGraph) -> Vec<PropagationDag> {
+    log.actions().map(|a| PropagationDag::build(log, graph, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+
+    /// Figure-1-like setup: v -> t, v -> u, t -> u, w -> u, z -> u, t -> z.
+    /// Users: v=0, t=1, w=2, z=3, u=4.
+    fn figure1() -> (DirectedGraph, ActionLog) {
+        let graph = GraphBuilder::new(5)
+            .edges([(0, 1), (0, 4), (1, 4), (2, 4), (3, 4), (1, 3)])
+            .build();
+        let mut b = ActionLogBuilder::new(5);
+        // Chronology: v, w, t, z, u.
+        b.push(0, 0, 1.0);
+        b.push(2, 0, 2.0);
+        b.push(1, 0, 3.0);
+        b.push(3, 0, 4.0);
+        b.push(4, 0, 5.0);
+        (graph, b.build())
+    }
+
+    #[test]
+    fn parents_follow_social_links_and_time() {
+        let (graph, log) = figure1();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        assert_eq!(dag.len(), 5);
+        // Local order: v(0), w(1), t(2), z(3), u(4).
+        assert_eq!(dag.user(0), 0);
+        assert_eq!(dag.parents_of(0), &[] as &[u32]);
+        assert_eq!(dag.parents_of(1), &[] as &[u32]); // w has no in-edge from v
+        assert_eq!(dag.parents_of(2), &[0]); // t <- v
+        assert_eq!(dag.parents_of(3), &[2]); // z <- t
+        // u's potential influencers: v, t, w, z (all four).
+        let mut parents: Vec<u32> = dag.parents_of(4).to_vec();
+        parents.sort_unstable();
+        assert_eq!(parents, vec![0, 1, 2, 3]);
+        assert_eq!(dag.in_degree(4), 4);
+    }
+
+    #[test]
+    fn initiators_have_no_parents() {
+        let (graph, log) = figure1();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        let mut inits = dag.initiators();
+        inits.sort_unstable();
+        assert_eq!(inits, vec![0, 2]); // v and w
+    }
+
+    #[test]
+    fn simultaneous_actions_do_not_propagate() {
+        let graph = GraphBuilder::new(2).edges([(0, 1), (1, 0)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 1.0);
+        let log = b.build();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        assert_eq!(dag.num_edges(), 0);
+        assert_eq!(dag.initiators().len(), 2);
+    }
+
+    #[test]
+    fn non_friends_do_not_propagate() {
+        let graph = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(3);
+        b.push(2, 0, 1.0); // stranger first
+        b.push(1, 0, 2.0);
+        let log = b.build();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        assert_eq!(dag.num_edges(), 0);
+    }
+
+    #[test]
+    fn edges_always_point_forward_in_time() {
+        let (graph, log) = figure1();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        for i in 0..dag.len() {
+            for &p in dag.parents_of(i) {
+                assert!((p as usize) < i);
+                assert!(dag.time(p as usize) < dag.time(i));
+            }
+        }
+    }
+
+    #[test]
+    fn all_dags_covers_every_action() {
+        let (graph, log) = figure1();
+        let dags = all_dags(&log, &graph);
+        assert_eq!(dags.len(), log.num_actions());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::log::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For random graphs and logs: an edge (v, u) exists in G(a) iff
+        /// (v, u) ∈ E and t(v, a) < t(u, a) — the paper's definition —
+        /// and the result is acyclic by local-index ordering.
+        #[test]
+        fn dag_matches_definition(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..60),
+            events in proptest::collection::vec((0u32..10, 0u64..20), 1..40),
+        ) {
+            let graph = GraphBuilder::new(10).edges(edges).build();
+            let mut b = ActionLogBuilder::new(10);
+            for &(u, t) in &events {
+                b.push(u, 0, t as f64);
+            }
+            let log = b.build();
+            let dag = PropagationDag::build(&log, &graph, 0);
+
+            // Oracle edge set.
+            let mut expected = std::collections::BTreeSet::new();
+            for i in 0..dag.len() {
+                for j in 0..dag.len() {
+                    let (v, u) = (dag.user(j), dag.user(i));
+                    if graph.has_edge(v, u) && dag.time(j) < dag.time(i) {
+                        expected.insert((j as u32, i));
+                    }
+                }
+            }
+            let mut actual = std::collections::BTreeSet::new();
+            for i in 0..dag.len() {
+                for &p in dag.parents_of(i) {
+                    prop_assert!((p as usize) < i, "acyclicity violated");
+                    actual.insert((p, i));
+                }
+            }
+            prop_assert_eq!(actual, expected);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Train/test splitting of propagation traces.
+//!
+//! §3: "we sorted the propagation traces based on their size and put every
+//! fifth propagation in this ranking in the test set", yielding an 80/20
+//! split in which both sets keep similar size distributions, and each trace
+//! falls *entirely* into one side.
+
+use crate::log::{ActionId, ActionLog};
+
+/// The two halves of a split, plus the dense-action-id provenance.
+#[derive(Clone, Debug)]
+pub struct TrainTestSplit {
+    /// Training log (≈80% of traces).
+    pub train: ActionLog,
+    /// Test log (≈20% of traces).
+    pub test: ActionLog,
+    /// Dense ids (in the source log) that went into `train`.
+    pub train_actions: Vec<ActionId>,
+    /// Dense ids (in the source log) that went into `test`.
+    pub test_actions: Vec<ActionId>,
+}
+
+/// Splits `log` by the paper's every-`stride`-th-by-size rule.
+///
+/// With `stride = 5` this is the paper's 80/20 split. Traces are ranked by
+/// descending size (ties broken by action id for determinism); ranks
+/// `stride-1, 2*stride-1, …` go to the test set.
+pub fn train_test_split(log: &ActionLog, stride: usize) -> TrainTestSplit {
+    assert!(stride >= 2, "stride must be at least 2");
+    let mut ranked: Vec<ActionId> = log.actions().collect();
+    ranked.sort_by(|&a, &b| {
+        log.action_size(b)
+            .cmp(&log.action_size(a))
+            .then(a.cmp(&b))
+    });
+
+    let mut train_actions = Vec::new();
+    let mut test_actions = Vec::new();
+    for (rank, &a) in ranked.iter().enumerate() {
+        if (rank + 1) % stride == 0 {
+            test_actions.push(a);
+        } else {
+            train_actions.push(a);
+        }
+    }
+    // Keep source ordering inside each side so projected logs stay stable.
+    train_actions.sort_unstable();
+    test_actions.sort_unstable();
+
+    TrainTestSplit {
+        train: log.project_actions(&train_actions),
+        test: log.project_actions(&test_actions),
+        train_actions,
+        test_actions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ActionLogBuilder;
+
+    /// Builds a log with 10 actions of sizes 10, 9, …, 1.
+    fn graded_log() -> ActionLog {
+        let mut b = ActionLogBuilder::new(16);
+        for a in 0..10u32 {
+            let size = 10 - a as usize;
+            for i in 0..size {
+                b.push(i as u32, a, i as f64);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn eighty_twenty_partition() {
+        let log = graded_log();
+        let split = train_test_split(&log, 5);
+        assert_eq!(split.train.num_actions(), 8);
+        assert_eq!(split.test.num_actions(), 2);
+        assert_eq!(
+            split.train.num_tuples() + split.test.num_tuples(),
+            log.num_tuples()
+        );
+    }
+
+    #[test]
+    fn every_fifth_by_size_goes_to_test() {
+        let log = graded_log();
+        let split = train_test_split(&log, 5);
+        // Sizes descending are 10..1 for actions 0..9; ranks 5 and 10 are
+        // sizes 6 (action 4) and 1 (action 9).
+        assert_eq!(split.test_actions, vec![4, 9]);
+    }
+
+    #[test]
+    fn traces_stay_whole() {
+        let log = graded_log();
+        let split = train_test_split(&log, 5);
+        for (side, actions) in [(&split.train, &split.train_actions), (&split.test, &split.test_actions)] {
+            for (new_id, &old_id) in actions.iter().enumerate() {
+                assert_eq!(
+                    side.users_of(new_id as u32),
+                    log.users_of(old_id),
+                    "trace must survive unchanged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size_distributions_are_similar() {
+        let log = graded_log();
+        let split = train_test_split(&log, 5);
+        let avg = |l: &ActionLog| l.num_tuples() as f64 / l.num_actions() as f64;
+        // Mean sizes should not diverge wildly (stratified split).
+        assert!((avg(&split.train) - avg(&split.test)).abs() < 3.0);
+    }
+
+    #[test]
+    fn stride_two_is_half_half() {
+        let log = graded_log();
+        let split = train_test_split(&log, 2);
+        assert_eq!(split.train.num_actions(), 5);
+        assert_eq!(split.test.num_actions(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn rejects_stride_one() {
+        let log = graded_log();
+        let _ = train_test_split(&log, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::log::ActionLogBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The split is a partition: every action lands on exactly one
+        /// side, whole, and tuple counts are conserved — for arbitrary
+        /// logs and strides.
+        #[test]
+        fn split_is_a_partition(
+            events in proptest::collection::vec((0u32..10, 0u32..12, 0u64..50), 1..120),
+            stride in 2usize..7,
+        ) {
+            let mut b = ActionLogBuilder::new(10);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let split = train_test_split(&log, stride);
+
+            prop_assert_eq!(
+                split.train.num_actions() + split.test.num_actions(),
+                log.num_actions()
+            );
+            prop_assert_eq!(
+                split.train.num_tuples() + split.test.num_tuples(),
+                log.num_tuples()
+            );
+            // Disjoint action assignment, traces preserved verbatim.
+            let mut seen: std::collections::HashSet<u32> = Default::default();
+            for (&old, side, new) in split
+                .train_actions
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (a, &split.train, i as u32))
+                .chain(
+                    split
+                        .test_actions
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| (a, &split.test, i as u32)),
+                )
+            {
+                prop_assert!(seen.insert(old), "action {old} on both sides");
+                prop_assert_eq!(side.users_of(new), log.users_of(old));
+                prop_assert_eq!(side.times_of(new), log.times_of(old));
+            }
+            // Test side holds floor(n / stride) traces by construction.
+            prop_assert_eq!(split.test.num_actions(), log.num_actions() / stride);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion bench: synthetic-workload generation (every experiment's
+//! setup cost).
+
+use cdim_datagen::cascades::{generate_cascades, CascadeConfig};
+use cdim_datagen::graphgen::{preferential_attachment, GraphGenConfig};
+use cdim_datagen::groundtruth::{GroundTruth, GroundTruthConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_datagen(c: &mut Criterion) {
+    let gcfg = GraphGenConfig { nodes: 10_000, attach: 8, reciprocity: 0.3, seed: 1 };
+
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("graph_10k_nodes", |b| {
+        b.iter(|| preferential_attachment(gcfg));
+    });
+
+    let graph = preferential_attachment(gcfg);
+    group.bench_function("ground_truth_10k", |b| {
+        b.iter(|| GroundTruth::generate(&graph, GroundTruthConfig::default()));
+    });
+
+    let truth = GroundTruth::generate(&graph, GroundTruthConfig::default());
+    let ccfg = CascadeConfig { actions: 500, ..Default::default() };
+    group.bench_function("cascades_500_actions", |b| {
+        b.iter(|| generate_cascades(&graph, &truth, ccfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: graph substrate — CSR build, BFS, PageRank (the
+//! structural baselines of Fig 6).
+
+use cdim_datagen::graphgen::{preferential_attachment, GraphGenConfig};
+use cdim_graph::pagerank::{pagerank, PageRankConfig};
+use cdim_graph::traversal::{reachable_count, BfsScratch};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_graph(c: &mut Criterion) {
+    let cfg = GraphGenConfig { nodes: 20_000, attach: 8, reciprocity: 0.3, seed: 5 };
+    let graph = preferential_attachment(cfg);
+    let edges: Vec<(u32, u32)> = graph.edges().collect();
+
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.bench_function("csr_build_20k", |b| {
+        b.iter(|| {
+            let mut builder = cdim_graph::GraphBuilder::new(20_000);
+            for &(u, v) in &edges {
+                builder.push_edge(u, v);
+            }
+            builder.build()
+        });
+    });
+    group.bench_function("bfs_full_20k", |b| {
+        let mut scratch = BfsScratch::new(graph.num_nodes());
+        b.iter(|| reachable_count(&graph, &[0], &mut scratch, |_| true));
+    });
+    group.bench_function("pagerank_20k", |b| {
+        b.iter(|| pagerank(&graph, PageRankConfig::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

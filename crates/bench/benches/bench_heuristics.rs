@@ -1,0 +1,37 @@
+//! Criterion bench: MIA/LDAG heuristic construction and selection (the
+//! dense-dataset path of Table 2 / Figs 5–6).
+
+use cdim_datagen::presets;
+use cdim_learning::{em::EmConfig, em::EmLearner, learn_lt_weights};
+use cdim_maxim::ldag::LdagConfig;
+use cdim_maxim::mia::MiaConfig;
+use cdim_maxim::{celf_select, LdagOracle, MiaOracle};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_heuristics(c: &mut Criterion) {
+    let ds = presets::flickr_small().scaled_down(4).generate();
+    let em = EmLearner::new(&ds.graph, &ds.log).learn(EmConfig::default()).0;
+    let lt = learn_lt_weights(&ds.graph, &ds.log);
+
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(10);
+    group.bench_function("mia_build", |b| {
+        b.iter(|| MiaOracle::build(&ds.graph, &em, MiaConfig::default()));
+    });
+    group.bench_function("ldag_build", |b| {
+        b.iter(|| LdagOracle::build(&ds.graph, &lt, LdagConfig::default()));
+    });
+
+    let mia = MiaOracle::build(&ds.graph, &em, MiaConfig::default());
+    let ldag = LdagOracle::build(&ds.graph, &lt, LdagConfig::default());
+    group.bench_function("mia_celf_k10", |b| {
+        b.iter(|| celf_select(&mia, 10));
+    });
+    group.bench_function("ldag_celf_k10", |b| {
+        b.iter(|| celf_select(&ldag, 10));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: parameter learning — EM iterations, LT weights and
+//! temporal parameters (the preprocessing behind Table 2 / Figs 2–3).
+
+use cdim_datagen::presets;
+use cdim_learning::{em::EmConfig, em::EmLearner, learn_lt_weights, TemporalModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_learning(c: &mut Criterion) {
+    let ds = presets::flixster_small().scaled_down(4).generate();
+
+    let mut group = c.benchmark_group("learning");
+    group.sample_size(10);
+    group.bench_function("em_scan", |b| {
+        b.iter(|| EmLearner::new(&ds.graph, &ds.log));
+    });
+    let learner = EmLearner::new(&ds.graph, &ds.log);
+    group.bench_function("em_30_iterations", |b| {
+        b.iter(|| learner.learn(EmConfig::default()));
+    });
+    group.bench_function("lt_weights", |b| {
+        b.iter(|| learn_lt_weights(&ds.graph, &ds.log));
+    });
+    group.bench_function("temporal_tau_infl", |b| {
+        b.iter(|| TemporalModel::learn(&ds.graph, &ds.log));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

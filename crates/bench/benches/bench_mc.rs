@@ -1,0 +1,36 @@
+//! Criterion bench: Monte-Carlo IC/LT spread estimation — the cost per
+//! oracle call of the standard approach (the IC/LT curves of Fig 7).
+
+use cdim_datagen::presets;
+use cdim_diffusion::{IcModel, LtModel, McConfig, MonteCarloEstimator};
+use cdim_learning::{em::EmConfig, em::EmLearner, learn_lt_weights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mc(c: &mut Criterion) {
+    let ds = presets::flixster_small().scaled_down(4).generate();
+    let em = EmLearner::new(&ds.graph, &ds.log).learn(EmConfig::default()).0;
+    let lt = learn_lt_weights(&ds.graph, &ds.log);
+    let seeds: Vec<u32> = (0..10).collect();
+
+    let mut group = c.benchmark_group("mc_spread");
+    group.sample_size(10);
+    for sims in [100usize, 1000] {
+        let cfg = McConfig { simulations: sims, threads: 1, base_seed: 9 };
+        let ic = MonteCarloEstimator::new(IcModel::new(&ds.graph, &em), cfg);
+        group.bench_with_input(BenchmarkId::new("ic_sims", sims), &ic, |b, ic| {
+            b.iter(|| ic.spread(&seeds));
+        });
+        let lt_est = MonteCarloEstimator::new(LtModel::new(&ds.graph, &lt), cfg);
+        group.bench_with_input(BenchmarkId::new("lt_sims", sims), &lt_est, |b, lt| {
+            b.iter(|| lt.spread(&seeds));
+        });
+    }
+    // Parallel speedup.
+    let cfg = McConfig { simulations: 2000, threads: 0, base_seed: 9 };
+    let ic = MonteCarloEstimator::new(IcModel::new(&ds.graph, &em), cfg);
+    group.bench_function("ic_2000sims_parallel", |b| b.iter(|| ic.spread(&seeds)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: Algorithm 2 scan throughput (underpins Fig 8 left and
+//! Table 4's runtime column).
+
+use cdim_core::{scan, CreditPolicy};
+use cdim_datagen::presets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scan(c: &mut Criterion) {
+    let ds = presets::flixster_small().scaled_down(4).generate();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.log.num_tuples() as u64));
+    for lambda in [0.01, 0.001, 0.0] {
+        group.bench_with_input(
+            BenchmarkId::new("lambda", format!("{lambda}")),
+            &lambda,
+            |b, &lambda| {
+                b.iter(|| scan(&ds.graph, &ds.log, &policy, lambda));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scan_policy");
+    group.sample_size(10);
+    group.bench_function("uniform", |b| {
+        b.iter(|| scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.001));
+    });
+    group.bench_function("time_aware", |b| {
+        b.iter(|| scan(&ds.graph, &ds.log, &policy, 0.001));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: CD seed selection (Algorithm 3) — the CD curve of
+//! Fig 7.
+
+use cdim_core::{scan, CdSelector, CreditPolicy};
+use cdim_datagen::presets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_select(c: &mut Criterion) {
+    let ds = presets::flixster_small().scaled_down(4).generate();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let store = scan(&ds.graph, &ds.log, &policy, 0.001);
+
+    let mut group = c.benchmark_group("cd_select");
+    group.sample_size(10);
+    for k in [1usize, 10, 25] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| CdSelector::new(store.clone()).select(k));
+        });
+    }
+    group.finish();
+
+    // The cost of the incremental update alone (Alg 5).
+    let mut group = c.benchmark_group("cd_update");
+    group.sample_size(10);
+    let first_seed = CdSelector::new(store.clone()).select(1).seeds[0];
+    group.bench_function("one_seed", |b| {
+        b.iter_batched(
+            || CdSelector::new(store.clone()),
+            |mut sel| sel.update(first_seed),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: exact σ_cd evaluation — the inner loop of the
+//! prediction experiments (Figs 3, 4, 6).
+
+use cdim_core::{CdSpreadEvaluator, CreditPolicy};
+use cdim_datagen::presets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_spread_eval(c: &mut Criterion) {
+    let ds = presets::flixster_small().scaled_down(4).generate();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let eval = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy);
+
+    let mut group = c.benchmark_group("sigma_cd");
+    group.sample_size(20);
+    for k in [1usize, 10, 50] {
+        let seeds: Vec<u32> = (0..k as u32).collect();
+        group.bench_with_input(BenchmarkId::new("seeds", k), &seeds, |b, seeds| {
+            b.iter(|| eval.spread(seeds));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("evaluator_build");
+    group.sample_size(10);
+    group.bench_function("build", |b| {
+        b.iter(|| CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spread_eval);
+criterion_main!(benches);

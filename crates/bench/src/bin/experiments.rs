@@ -1,0 +1,75 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments <id> [--quick] [--k N] [--sims N] [--scale N] [--traces N]
+//! experiments all
+//! experiments list
+//! ```
+
+use cdim_bench::experiments;
+use cdim_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let id = args[0].as_str();
+    if id == "list" {
+        println!("available experiments:");
+        for id in experiments::ALL_IDS {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let mut scale = ExperimentScale::full();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = ExperimentScale::quick(),
+            "--k" => {
+                scale.k = parse(&args, &mut i, "k");
+            }
+            "--sims" => {
+                scale.mc_simulations = parse(&args, &mut i, "sims");
+            }
+            "--scale" => {
+                scale.dataset_divisor = parse(&args, &mut i, "scale");
+            }
+            "--traces" => {
+                scale.max_test_traces = parse(&args, &mut i, "traces");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if !experiments::run(id, scale) {
+        eprintln!("unknown experiment id: {id}");
+        usage();
+        std::process::exit(2);
+    }
+}
+
+fn parse(args: &[String], i: &mut usize, what: &str) -> usize {
+    *i += 1;
+    args.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("--{what} requires an integer argument");
+            std::process::exit(2);
+        })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments <id>|all|list [--quick] [--k N] [--sims N] [--scale N] [--traces N]"
+    );
+    eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
+}

@@ -1,0 +1,79 @@
+//! Scaling knobs shared by all experiments.
+
+/// How hard to push each experiment.
+///
+/// `full` matches the DESIGN.md preset sizes; `quick` shrinks everything
+/// for smoke runs (used by `cargo test` integration tests and CI).
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentScale {
+    /// Divide preset node/action counts by this factor.
+    pub dataset_divisor: usize,
+    /// Monte-Carlo simulations per spread estimate (paper: 10,000).
+    pub mc_simulations: usize,
+    /// Seed-set size for selection experiments (paper: 50).
+    pub k: usize,
+    /// Number of test propagations to evaluate in prediction experiments
+    /// (0 = all).
+    pub max_test_traces: usize,
+    /// Monte-Carlo worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl ExperimentScale {
+    /// The default evaluation scale (minutes per experiment).
+    pub fn full() -> Self {
+        ExperimentScale {
+            dataset_divisor: 1,
+            mc_simulations: 300,
+            k: 50,
+            max_test_traces: 400,
+            threads: 0,
+        }
+    }
+
+    /// Smoke-test scale (seconds per experiment).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            dataset_divisor: 8,
+            mc_simulations: 60,
+            k: 10,
+            max_test_traces: 60,
+            threads: 0,
+        }
+    }
+
+    /// Describes the scale in the experiment output.
+    pub fn describe(&self) -> String {
+        format!(
+            "scale: dataset 1/{}, {} MC sims (paper: 10k), k = {}, ≤{} test traces",
+            self.dataset_divisor, self.mc_simulations, self.k, self.max_test_traces
+        )
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = ExperimentScale::quick();
+        let f = ExperimentScale::full();
+        assert!(q.dataset_divisor > f.dataset_divisor);
+        assert!(q.mc_simulations < f.mc_simulations);
+        assert!(q.k < f.k);
+    }
+
+    #[test]
+    fn describe_mentions_the_knobs() {
+        let d = ExperimentScale::full().describe();
+        assert!(d.contains("MC sims"));
+        assert!(d.contains("k = 50"));
+    }
+}

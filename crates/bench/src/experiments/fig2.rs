@@ -1,0 +1,113 @@
+//! Fig 2 — spread-prediction error of ad-hoc vs learned IC probabilities.
+//!
+//! (a)/(c): RMSE between predicted and actual spread, binned by actual
+//! spread, on the two small datasets. (b): predicted-vs-actual summary.
+//! Paper shape: UN is tolerable only for small traces; TV and WC
+//! systematically overpredict (they only "work" for the few huge traces);
+//! EM/PT dominate everywhere and are nearly indistinguishable.
+
+use crate::config::ExperimentScale;
+use crate::methods::Workbench;
+use crate::prediction::{prediction_pairs, Method};
+use cdim_datagen::presets;
+use cdim_metrics::{binned_rmse, rmse, Table};
+
+/// Prints the binned-RMSE tables and the scatter summary.
+pub fn run(scale: ExperimentScale) {
+    super::banner(
+        "Fig 2 — RMSE vs actual spread: UN/TV/WC vs EM/PT (IC model)",
+        "Fig 2(a) Flixster_Small, 2(b) scatter, 2(c) Flickr_Small",
+        scale,
+    );
+    for spec in [presets::flixster_small(), presets::flickr_small()] {
+        let wb = Workbench::prepare(spec, scale);
+        print_dataset(&wb);
+    }
+}
+
+fn print_dataset(wb: &Workbench) {
+    let methods = Method::fig2_set();
+    let pairs: Vec<(Method, Vec<(f64, f64)>)> = methods
+        .iter()
+        .map(|&m| (m, prediction_pairs(wb, m)))
+        .collect();
+    let max_actual = pairs[0]
+        .1
+        .iter()
+        .map(|&(a, _)| a)
+        .fold(0.0f64, f64::max);
+    let bin_width = super::auto_bin_width(max_actual, 8);
+
+    println!(
+        "--- {} ({} test traces, bins of {bin_width}) ---",
+        wb.dataset.name,
+        pairs[0].1.len()
+    );
+
+    // RMSE per actual-spread bin (panels a/c).
+    let mut table = Table::new(
+        std::iter::once("actual-spread bin".to_string())
+            .chain(methods.iter().map(|m| m.name().to_string())),
+    );
+    let reference_bins = binned_rmse(&pairs[0].1, bin_width);
+    for bin in &reference_bins {
+        let mut row = vec![format!("[{}, {})", bin.bin_start, bin.bin_start + bin_width)];
+        for (_, p) in &pairs {
+            let b = binned_rmse(p, bin_width);
+            let r = b
+                .iter()
+                .find(|x| x.bin_start == bin.bin_start)
+                .map(|x| x.rmse)
+                .unwrap_or(0.0);
+            row.push(format!("{r:.1}"));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    // Overall RMSE + mean prediction (panel b summary).
+    let mut summary = Table::new(["method", "overall RMSE", "mean actual", "mean predicted"]);
+    for (m, p) in &pairs {
+        let mean_a = p.iter().map(|&(a, _)| a).sum::<f64>() / p.len() as f64;
+        let mean_p = p.iter().map(|&(_, q)| q).sum::<f64>() / p.len() as f64;
+        summary.row([
+            m.name().to_string(),
+            format!("{:.1}", rmse(p)),
+            format!("{mean_a:.1}"),
+            format!("{mean_p:.1}"),
+        ]);
+    }
+    println!("{summary}");
+
+    // The paper's Fig 2 claims are per-bin: UN is competitive only for the
+    // smallest propagations, TV/WC only for the largest (outliers), while
+    // EM/PT win everywhere in between and track each other closely.
+    let mut em_wins = 0usize;
+    let mut upper_bins = 0usize;
+    for bin in binned_rmse(&pairs[0].1, bin_width).iter().skip(1) {
+        upper_bins += 1;
+        let scores: Vec<f64> = pairs
+            .iter()
+            .map(|(_, p)| {
+                binned_rmse(p, bin_width)
+                    .iter()
+                    .find(|x| x.bin_start == bin.bin_start)
+                    .map(|x| x.rmse)
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect();
+        let best = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Methods order: UN TV WC EM PT — indices 3 and 4 are learned.
+        if scores[3] <= best + 1e-9 || scores[4] <= best + 1e-9 {
+            em_wins += 1;
+        }
+    }
+    let em = rmse(&pairs.iter().find(|(m, _)| *m == Method::Em).unwrap().1);
+    let pt = rmse(&pairs.iter().find(|(m, _)| *m == Method::Pt).unwrap().1);
+    println!(
+        "shape check: EM/PT have the lowest RMSE in {em_wins}/{upper_bins} bins above the\n\
+         smallest (paper: learned probabilities win everywhere except tiny traces,\n\
+         where predicting ≈nothing is unbeatable); EM rmse {em:.1} ≈ PT rmse {pt:.1}\n\
+         (selection robust to ±20% noise)\n"
+    );
+}

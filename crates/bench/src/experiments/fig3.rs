@@ -1,0 +1,71 @@
+//! Fig 3 — RMSE of IC (EM-learned) vs LT (learned weights) vs CD.
+//!
+//! Paper shape: CD wins on both datasets; IC beats LT on Flixster but
+//! loses on Flickr (model fit is dataset-dependent), while CD is robust.
+
+use crate::config::ExperimentScale;
+use crate::methods::Workbench;
+use crate::prediction::{prediction_pairs, Method};
+use cdim_datagen::presets;
+use cdim_metrics::{binned_rmse, rmse, Table};
+
+/// Prints the binned-RMSE comparison of the three models.
+pub fn run(scale: ExperimentScale) {
+    super::banner(
+        "Fig 3 — RMSE vs propagation size: IC vs LT vs CD",
+        "Fig 3 (paper: CD lowest everywhere; IC/LT order flips between datasets)",
+        scale,
+    );
+    for spec in [presets::flixster_small(), presets::flickr_small()] {
+        let wb = Workbench::prepare(spec, scale);
+        print_dataset(&wb);
+    }
+}
+
+fn print_dataset(wb: &Workbench) {
+    let methods = Method::fig3_set();
+    let pairs: Vec<(Method, Vec<(f64, f64)>)> = methods
+        .iter()
+        .map(|&m| (m, prediction_pairs(wb, m)))
+        .collect();
+    let max_actual = pairs[0].1.iter().map(|&(a, _)| a).fold(0.0f64, f64::max);
+    let bin_width = super::auto_bin_width(max_actual, 8);
+
+    println!("--- {} (bins of {bin_width}) ---", wb.dataset.name);
+    let mut table = Table::new(
+        std::iter::once("actual-spread bin".to_string()).chain(
+            methods
+                .iter()
+                .map(|m| if *m == Method::Em { "IC".to_string() } else { m.name().to_string() }),
+        ),
+    );
+    for bin in binned_rmse(&pairs[0].1, bin_width) {
+        let mut row = vec![format!("[{}, {})", bin.bin_start, bin.bin_start + bin_width)];
+        for (_, p) in &pairs {
+            let r = binned_rmse(p, bin_width)
+                .iter()
+                .find(|x| x.bin_start == bin.bin_start)
+                .map(|x| x.rmse)
+                .unwrap_or(0.0);
+            row.push(format!("{r:.1}"));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    let overall: Vec<(Method, f64)> = pairs.iter().map(|(m, p)| (*m, rmse(p))).collect();
+    for (m, r) in &overall {
+        let label = if *m == Method::Em { "IC" } else { m.name() };
+        println!("overall RMSE {label}: {r:.1}");
+    }
+    let cd = overall.iter().find(|(m, _)| *m == Method::Cd).unwrap().1;
+    let best_other = overall
+        .iter()
+        .filter(|(m, _)| *m != Method::Cd)
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "shape check: CD {} the best propagation model ({cd:.1} vs {best_other:.1})\n",
+        if cd <= best_other { "beats" } else { "does NOT beat (investigate)" }
+    );
+}

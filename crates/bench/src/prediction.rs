@@ -1,0 +1,119 @@
+//! Spread prediction over test traces (the data behind Figs 2, 3 and 4).
+//!
+//! For each test propagation, each method predicts the spread of the
+//! trace's initiator set; the actual spread is the trace's size.
+
+use crate::methods::Workbench;
+
+/// A spread-prediction method under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// IC with uniform p = 0.01.
+    Un,
+    /// IC with trivalency probabilities.
+    Tv,
+    /// IC with weighted-cascade probabilities.
+    Wc,
+    /// IC with EM-learned probabilities.
+    Em,
+    /// IC with perturbed EM probabilities.
+    Pt,
+    /// LT with learned weights.
+    Lt,
+    /// The credit-distribution model.
+    Cd,
+}
+
+impl Method {
+    /// Display name used in tables (matches the paper's legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Un => "UN",
+            Method::Tv => "TV",
+            Method::Wc => "WC",
+            Method::Em => "EM",
+            Method::Pt => "PT",
+            Method::Lt => "LT",
+            Method::Cd => "CD",
+        }
+    }
+
+    /// The methods compared in Fig 2 (ad-hoc vs learned IC).
+    pub fn fig2_set() -> [Method; 5] {
+        [Method::Un, Method::Tv, Method::Wc, Method::Em, Method::Pt]
+    }
+
+    /// The models compared in Figs 3–4 (IC vs LT vs CD).
+    pub fn fig3_set() -> [Method; 3] {
+        [Method::Em, Method::Lt, Method::Cd]
+    }
+}
+
+/// `(actual, predicted)` pairs for `method` over the workbench's test
+/// traces.
+pub fn prediction_pairs(wb: &Workbench, method: Method) -> Vec<(f64, f64)> {
+    let traces = wb.test_traces();
+    match method {
+        Method::Un => ic_pairs(wb, &wb.un, &traces),
+        Method::Tv => ic_pairs(wb, &wb.tv, &traces),
+        Method::Wc => ic_pairs(wb, &wb.wc, &traces),
+        Method::Em => ic_pairs(wb, &wb.em, &traces),
+        Method::Pt => ic_pairs(wb, &wb.pt, &traces),
+        Method::Lt => {
+            let est = wb.lt_estimator();
+            traces
+                .iter()
+                .map(|t| (t.actual, est.spread(&t.initiators)))
+                .collect()
+        }
+        Method::Cd => traces
+            .iter()
+            .map(|t| (t.actual, wb.cd.spread(&t.initiators)))
+            .collect(),
+    }
+}
+
+fn ic_pairs(
+    wb: &Workbench,
+    probs: &cdim_diffusion::EdgeProbabilities,
+    traces: &[crate::methods::TestTrace],
+) -> Vec<(f64, f64)> {
+    let est = wb.ic_estimator(probs);
+    traces
+        .iter()
+        .map(|t| (t.actual, est.spread(&t.initiators)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use cdim_datagen::presets;
+    use cdim_metrics::rmse;
+
+    #[test]
+    fn produces_pairs_for_every_method() {
+        let wb = Workbench::prepare(presets::tiny(), ExperimentScale::quick());
+        let n = wb.test_traces().len();
+        for m in [Method::Un, Method::Wc, Method::Em, Method::Lt, Method::Cd] {
+            let pairs = prediction_pairs(&wb, m);
+            assert_eq!(pairs.len(), n, "{}", m.name());
+            assert!(pairs.iter().all(|&(a, p)| a > 0.0 && p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn cd_beats_structural_assignments_on_tiny() {
+        // A miniature echo of the paper's central claim: CD's prediction
+        // error is below the degree-driven WC assignment's. (TV/UN are not
+        // asserted here — on micro-traces a constant tiny probability
+        // degenerates to predicting "initiators only", which is
+        // accidentally competitive; the full-scale fig2/fig3 experiments
+        // carry the real comparison.)
+        let wb = Workbench::prepare(presets::tiny(), ExperimentScale::quick());
+        let cd_err = rmse(&prediction_pairs(&wb, Method::Cd));
+        let wc_err = rmse(&prediction_pairs(&wb, Method::Wc));
+        assert!(cd_err < wc_err, "cd {cd_err} vs wc {wc_err}");
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! The credit-distribution (CD) model — the paper's primary contribution.
+//!
+//! Instead of learning edge probabilities and Monte-Carlo-simulating a
+//! propagation model, CD mines the action log directly (§4): when user `u`
+//! performs action `a`, each potential influencer `v ∈ N_in(u, a)` receives
+//! *direct credit* `γ_{v,u}(a)`, and credit flows transitively backward
+//! through the propagation DAG (Eq 5). Aggregated over the log,
+//!
+//! ```text
+//! κ_{S,u} = (1/A_u) Σ_a Γ_{S,u}(a)        (Eq 7)
+//! σ_cd(S) = Σ_u κ_{S,u}                   (Eq 8)
+//! ```
+//!
+//! plays the role of `Σ_u Pr[path(S, u) = 1]` (Eq 4). Influence
+//! maximization under σ_cd is NP-hard (Theorem 1) but σ_cd is monotone and
+//! submodular (Theorem 2), so CELF-style greedy gives the usual
+//! (1 − 1/e)-approximation — with marginal gains computed *directly from
+//! the log* via Theorem 3 in place of simulations.
+//!
+//! Modules:
+//! * [`policy`] — direct-credit assignment: uniform `1/d_in(u,a)` and the
+//!   time-aware Eq 9 (`infl(u)`, `τ_{v,u}`, exponential decay);
+//! * [`store`] — the UC/SC credit structures of §5.3;
+//! * [`mod@scan`] — Algorithm 2 (one pass over the sorted log, truncation λ);
+//! * [`celf`] — Algorithms 3–5 (CELF selection, Theorem-3 marginal gains,
+//!   Lemma 2/3 incremental updates);
+//! * [`spread`] — exact σ_cd(S) evaluation for arbitrary seed sets (the
+//!   spread-prediction experiments) and a [`cdim_maxim::SpreadOracle`]
+//!   implementation;
+//! * [`mod@reference`] — an intentionally naive reference implementation used
+//!   to verify every optimized path;
+//! * [`model`] — a convenience facade bundling train → select → evaluate.
+
+pub mod celf;
+pub mod model;
+pub mod policy;
+pub mod reference;
+pub mod scan;
+pub mod spread;
+pub mod store;
+
+pub use celf::{select_seeds, CdSelector, MgMode};
+pub use model::{CdModel, CdModelConfig};
+pub use policy::CreditPolicy;
+pub use scan::scan;
+pub use spread::CdSpreadEvaluator;
+pub use store::CreditStore;

@@ -1,0 +1,182 @@
+//! Convenience facade: train once, then select seeds and predict spread.
+//!
+//! [`CdModel`] is what a downstream application uses: it bundles the
+//! learned credit policy, the scanned (λ-truncated) credit store for seed
+//! selection, and the exact evaluator for spread prediction.
+
+use crate::celf::CdSelector;
+use crate::policy::CreditPolicy;
+use crate::scan::scan;
+use crate::spread::CdSpreadEvaluator;
+use crate::store::CreditStore;
+use cdim_actionlog::{ActionLog, UserId};
+use cdim_graph::DirectedGraph;
+use cdim_maxim::Selection;
+use cdim_util::HeapSize;
+
+/// Which direct-credit policy to train.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// `γ = 1/d_in(u, a)`.
+    Uniform,
+    /// Eq 9 with learned `τ` and `infl` (the paper's default in §6).
+    TimeAware,
+}
+
+/// Training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CdModelConfig {
+    /// Direct-credit policy.
+    pub policy: PolicyKind,
+    /// Truncation threshold λ for the selection store (§5.3; the paper
+    /// uses `0.001` in all experiments).
+    pub lambda: f64,
+}
+
+impl Default for CdModelConfig {
+    fn default() -> Self {
+        CdModelConfig { policy: PolicyKind::TimeAware, lambda: 0.001 }
+    }
+}
+
+/// A trained credit-distribution model.
+///
+/// ```
+/// use cdim_core::{CdModel, CdModelConfig};
+///
+/// let dataset = cdim_datagen::presets::tiny().generate();
+/// let model = CdModel::train(&dataset.graph, &dataset.log, CdModelConfig::default());
+///
+/// let selection = model.select(3);
+/// assert_eq!(selection.seeds.len(), 3);
+/// // The telescoped gains never exceed the exact spread (λ truncation
+/// // can only lose credit mass).
+/// assert!(selection.total_gain() <= model.spread(&selection.seeds) + 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CdModel {
+    policy: CreditPolicy,
+    store: CreditStore,
+    evaluator: CdSpreadEvaluator,
+}
+
+impl CdModel {
+    /// Trains the model: learns temporal parameters (if requested), scans
+    /// the log into the credit store, and precompiles the evaluator.
+    pub fn train(graph: &DirectedGraph, train_log: &ActionLog, config: CdModelConfig) -> Self {
+        let policy = match config.policy {
+            PolicyKind::Uniform => CreditPolicy::Uniform,
+            PolicyKind::TimeAware => CreditPolicy::time_aware(graph, train_log),
+        };
+        let store = scan(graph, train_log, &policy, config.lambda);
+        let evaluator = CdSpreadEvaluator::build(graph, train_log, &policy);
+        CdModel { policy, store, evaluator }
+    }
+
+    /// The trained credit policy.
+    pub fn policy(&self) -> &CreditPolicy {
+        &self.policy
+    }
+
+    /// The λ-truncated credit store (pre-selection state).
+    pub fn store(&self) -> &CreditStore {
+        &self.store
+    }
+
+    /// The exact spread evaluator.
+    pub fn evaluator(&self) -> &CdSpreadEvaluator {
+        &self.evaluator
+    }
+
+    /// Influence maximization: runs Algorithm 3 for `k` seeds.
+    ///
+    /// Clones the credit store (selection mutates it); call
+    /// [`Self::into_selector`] to avoid the copy when the model is no
+    /// longer needed.
+    pub fn select(&self, k: usize) -> Selection {
+        CdSelector::new(self.store.clone()).select(k)
+    }
+
+    /// Consumes the model into a stateful selector (no store copy).
+    pub fn into_selector(self) -> CdSelector {
+        CdSelector::new(self.store)
+    }
+
+    /// Exact σ_cd(S) — the model's spread prediction for any seed set.
+    pub fn spread(&self, seeds: &[UserId]) -> f64 {
+        self.evaluator.spread(seeds)
+    }
+
+    /// Approximate heap memory of the selection store, in bytes (the
+    /// quantity Fig 8 right / Table 4 track).
+    pub fn store_memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+    }
+}
+
+impl HeapSize for CdModel {
+    fn heap_bytes(&self) -> usize {
+        self.store.heap_bytes() + self.evaluator.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+
+    fn instance() -> (DirectedGraph, ActionLog) {
+        let graph = GraphBuilder::new(5)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+            .build();
+        let mut b = ActionLogBuilder::new(5);
+        for a in 0..4u32 {
+            let mut t = 0.0;
+            for u in 0..=(a.min(4)) {
+                b.push(u, a, t);
+                t += 1.0;
+            }
+        }
+        (graph, b.build())
+    }
+
+    #[test]
+    fn train_select_spread_round_trip() {
+        let (graph, log) = instance();
+        let model = CdModel::train(&graph, &log, CdModelConfig::default());
+        let sel = model.select(2);
+        assert_eq!(sel.seeds.len(), 2);
+        let s = model.spread(&sel.seeds);
+        assert!(s > 0.0);
+        // Selection gains approximate the exact spread (λ truncation may
+        // lose a little mass, never gain).
+        assert!(sel.total_gain() <= s + 1e-9);
+    }
+
+    #[test]
+    fn uniform_policy_lambda_zero_is_exact() {
+        let (graph, log) = instance();
+        let config = CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.0 };
+        let model = CdModel::train(&graph, &log, config);
+        let sel = model.select(2);
+        assert!((model.spread(&sel.seeds) - sel.total_gain()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_reporting_is_positive_after_training() {
+        let (graph, log) = instance();
+        let model = CdModel::train(&graph, &log, CdModelConfig::default());
+        assert!(model.store_memory_bytes() > 0);
+        assert!(model.heap_bytes() >= model.store_memory_bytes());
+    }
+
+    #[test]
+    fn select_does_not_consume_model() {
+        let (graph, log) = instance();
+        let model = CdModel::train(&graph, &log, CdModelConfig::default());
+        let a = model.select(1);
+        let b = model.select(1);
+        assert_eq!(a.seeds, b.seeds);
+    }
+}

@@ -1,0 +1,159 @@
+//! Direct-credit assignment policies.
+//!
+//! When `u` performs `a`, each potential influencer `v ∈ N_in(u, a)` is
+//! given direct credit `γ_{v,u}(a)`, with `Σ_v γ_{v,u}(a) ≤ 1` (§4).
+//!
+//! Two policies from the paper:
+//!
+//! * [`CreditPolicy::Uniform`] — `γ = 1/d_in(u, a)`, the expository
+//!   default used in all worked examples;
+//! * [`CreditPolicy::TimeAware`] — Eq 9:
+//!   `γ_{v,u}(a) = infl(u)/d_in(u,a) · exp(−(t(u,a) − t(v,a))/τ_{v,u})`,
+//!   where `infl(u)` is learned influenceability and `τ_{v,u}` the learned
+//!   mean propagation delay; influence decays exponentially with elapsed
+//!   time, and less influenceable users hand out less credit.
+
+use cdim_actionlog::PropagationDag;
+use cdim_graph::DirectedGraph;
+use cdim_learning::TemporalModel;
+
+/// How direct influence credit is assigned.
+#[derive(Clone, Debug)]
+pub enum CreditPolicy {
+    /// Equal credit to every potential influencer: `γ = 1/d_in(u, a)`.
+    Uniform,
+    /// The time-aware credit of Eq 9, parameterized by learned temporal
+    /// parameters.
+    TimeAware(TemporalModel),
+}
+
+impl CreditPolicy {
+    /// Learns a time-aware policy from the training log.
+    pub fn time_aware(graph: &DirectedGraph, train: &cdim_actionlog::ActionLog) -> Self {
+        CreditPolicy::TimeAware(TemporalModel::learn(graph, train))
+    }
+
+    /// Computes `γ` for every propagation edge of `dag`, parallel to the
+    /// DAG's flattened parent array (i.e. `parents_of(i)` maps to the same
+    /// slice of the returned vector).
+    pub fn edge_credits(&self, graph: &DirectedGraph, dag: &PropagationDag) -> Vec<f64> {
+        let mut gammas = Vec::with_capacity(dag.num_edges());
+        for i in 0..dag.len() {
+            let parents = dag.parents_of(i);
+            if parents.is_empty() {
+                continue;
+            }
+            let d_in = parents.len() as f64;
+            match self {
+                CreditPolicy::Uniform => {
+                    for _ in parents {
+                        gammas.push(1.0 / d_in);
+                    }
+                }
+                CreditPolicy::TimeAware(temporal) => {
+                    let u = dag.user(i);
+                    let t_u = dag.time(i);
+                    let base = temporal.infl(u) / d_in;
+                    for &pj in parents {
+                        let v = dag.user(pj as usize);
+                        let t_v = dag.time(pj as usize);
+                        let e = graph
+                            .in_edge_position(v, u)
+                            .expect("propagation edge must be a social edge");
+                        let tau = temporal.tau_at(e);
+                        gammas.push(base * (-(t_u - t_v) / tau).exp());
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(gammas.len(), dag.num_edges());
+        gammas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+
+    fn setup() -> (DirectedGraph, cdim_actionlog::ActionLog) {
+        // 0 -> 2, 1 -> 2; both 0 and 1 precede 2.
+        let graph = GraphBuilder::new(3).edges([(0, 2), (1, 2)]).build();
+        let mut b = ActionLogBuilder::new(3);
+        b.push(0, 0, 0.0);
+        b.push(1, 0, 1.0);
+        b.push(2, 0, 2.0);
+        let log = b.build();
+        (graph, log)
+    }
+
+    #[test]
+    fn uniform_credit_splits_equally() {
+        let (graph, log) = setup();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        let gammas = CreditPolicy::Uniform.edge_credits(&graph, &dag);
+        assert_eq!(gammas.len(), 2);
+        assert!(gammas.iter().all(|&g| (g - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn uniform_credit_sums_to_one_per_activation() {
+        let (graph, log) = setup();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        let gammas = CreditPolicy::Uniform.edge_credits(&graph, &dag);
+        let total: f64 = gammas.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_aware_decays_with_delay() {
+        // Edge (0, 1) observed with delays 4 and 2 → τ = 3. The action with
+        // the shorter delay must earn more credit: exp(-2/3) > exp(-4/3).
+        // (With a single observation per edge, Δ = τ always, so a
+        // multi-observation setup is required to see the decay.)
+        let graph = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        b.push(0, 0, 0.0);
+        b.push(1, 0, 4.0);
+        b.push(0, 1, 0.0);
+        b.push(1, 1, 2.0);
+        let log = b.build();
+        let policy = CreditPolicy::time_aware(&graph, &log);
+
+        let slow = PropagationDag::build(&log, &graph, 0);
+        let fast = PropagationDag::build(&log, &graph, 1);
+        let g_slow = policy.edge_credits(&graph, &slow)[0];
+        let g_fast = policy.edge_credits(&graph, &fast)[0];
+        assert!(
+            g_fast > g_slow,
+            "shorter delay should earn more credit: {g_fast} vs {g_slow}"
+        );
+        // infl(1) = 1/2: only the delay-2 action is within τ = 3.
+        let expected_fast = 0.5 * (-2.0f64 / 3.0).exp();
+        let expected_slow = 0.5 * (-4.0f64 / 3.0).exp();
+        assert!((g_fast - expected_fast).abs() < 1e-12);
+        assert!((g_slow - expected_slow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_aware_credit_bounded_by_one() {
+        let (graph, log) = setup();
+        let policy = CreditPolicy::time_aware(&graph, &log);
+        let dag = PropagationDag::build(&log, &graph, 0);
+        let gammas = policy.edge_credits(&graph, &dag);
+        let total: f64 = gammas.iter().sum();
+        assert!(total <= 1.0 + 1e-12, "sum = {total}");
+        assert!(gammas.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn initiators_produce_no_credits() {
+        let graph = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        b.push(0, 0, 0.0);
+        let log = b.build();
+        let dag = PropagationDag::build(&log, &graph, 0);
+        assert!(CreditPolicy::Uniform.edge_credits(&graph, &dag).is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! Algorithm 2 — the one-pass scan of the action log.
+//!
+//! The log is processed action by action, chronologically within each
+//! action (the [`cdim_actionlog::ActionLog`] invariant). For each
+//! activation `(u, a, t_u)` the scan assigns direct credit `γ_{v,u}` to
+//! each potential influencer and propagates total credit transitively:
+//!
+//! ```text
+//! UC[v][u][a] += γ_{v,u}                        (direct,      if γ ≥ λ)
+//! UC[w][u][a] += γ_{v,u} · UC[w][v][a]          (transitive,  if term ≥ λ)
+//! ```
+//!
+//! Credits into `v` are final before any later user activates, because a
+//! node only receives credit at its own activation — so a single pass
+//! computes the full recursive total credit of Eq 5 exactly (up to the λ
+//! truncation, whose accuracy/memory trade-off Table 4 quantifies).
+
+use crate::policy::CreditPolicy;
+use crate::store::CreditStore;
+use cdim_actionlog::{ActionLog, PropagationDag};
+use cdim_graph::DirectedGraph;
+
+/// Scans `log` and builds the [`CreditStore`].
+///
+/// `lambda` is the truncation threshold (§5.3): credit increments below it
+/// are discarded, bounding memory at a quantified cost in accuracy. Pass
+/// `0.0` for the exact store.
+pub fn scan(
+    graph: &DirectedGraph,
+    log: &ActionLog,
+    policy: &CreditPolicy,
+    lambda: f64,
+) -> CreditStore {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    assert_eq!(
+        graph.num_nodes(),
+        log.num_users(),
+        "graph and log must share a user universe"
+    );
+    let mut store = CreditStore::new(log.num_users(), log.num_actions(), lambda);
+
+    // Per-user action membership and 1/A_u.
+    for a in log.actions() {
+        for &u in log.users_of(a) {
+            store.user_actions[u as usize].push(a);
+        }
+    }
+    for u in 0..log.num_users() {
+        let au = log.actions_performed_by(u as u32);
+        store.inv_au[u] = if au > 0 { 1.0 / f64::from(au) } else { 0.0 };
+    }
+
+    // Scratch reused across actions: credit sources of each in-action user.
+    let mut sources_scratch: Vec<(u32, f64)> = Vec::new();
+
+    for a in log.actions() {
+        let dag = PropagationDag::build(log, graph, a);
+        let gammas = policy.edge_credits(graph, &dag);
+        let credits = store.action_mut(a);
+        let mut edge_idx = 0usize;
+        for i in 0..dag.len() {
+            let u = dag.user(i);
+            for &pj in dag.parents_of(i) {
+                let v = dag.user(pj as usize);
+                let gamma = gammas[edge_idx];
+                edge_idx += 1;
+                if gamma <= 0.0 {
+                    continue;
+                }
+                if gamma >= lambda {
+                    credits.add(v, u, gamma);
+                }
+                // Transitive credit: everyone upstream of v relays through
+                // this activation. Collect first — we cannot mutate while
+                // iterating the same action's map.
+                sources_scratch.clear();
+                sources_scratch.extend(
+                    credits
+                        .sources_of(v)
+                        .filter(|&(w, c)| w != u && c * gamma >= lambda),
+                );
+                for &(w, c) in &sources_scratch {
+                    credits.add(w, u, c * gamma);
+                }
+            }
+        }
+    }
+
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+
+    /// The running example of §4 (Figure 1), reconstructed so that the
+    /// paper's hand-computed credits hold:
+    ///
+    /// users: v=0, q=1, t=2, w=3, z=4, u=5
+    /// edges: v→t, q→t, v→w, t→z, w→z is absent…
+    ///
+    /// We need: d_in(t)=2 with parents {v, q}; d_in(w)=1 parent {v};
+    /// d_in(z)=1 parent {t}; d_in(u)=4 parents {v, t, w, z}.
+    /// Then Γ_{v,t} = 0.5, Γ_{v,w} = 1, Γ_{v,z} = 0.5, and
+    /// Γ_{v,u} = 1·0.25 + 0.5·0.25 + 1·0.25 + 0.5·0.25 = 0.75 — the
+    /// paper's worked value.
+    fn figure1() -> (DirectedGraph, ActionLog) {
+        let graph = GraphBuilder::new(6)
+            .edges([
+                (0, 2), // v -> t
+                (1, 2), // q -> t
+                (0, 3), // v -> w
+                (2, 4), // t -> z
+                (0, 5), // v -> u
+                (2, 5), // t -> u
+                (3, 5), // w -> u
+                (4, 5), // z -> u
+            ])
+            .build();
+        let mut b = ActionLogBuilder::new(6);
+        b.push(0, 0, 0.0); // v
+        b.push(1, 0, 0.5); // q
+        b.push(2, 0, 1.0); // t
+        b.push(3, 0, 1.5); // w
+        b.push(4, 0, 2.0); // z
+        b.push(5, 0, 2.5); // u
+        (graph, b.build())
+    }
+
+    #[test]
+    fn reproduces_paper_worked_example() {
+        let (graph, log) = figure1();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let ac = store.action(0);
+        assert!((ac.get(0, 2) - 0.5).abs() < 1e-12, "Γ_v,t");
+        assert!((ac.get(0, 3) - 1.0).abs() < 1e-12, "Γ_v,w");
+        assert!((ac.get(0, 4) - 0.5).abs() < 1e-12, "Γ_v,z");
+        assert!((ac.get(0, 5) - 0.75).abs() < 1e-12, "Γ_v,u = 0.75");
+        // And the other influencers of u each hold their direct share.
+        assert!((ac.get(3, 5) - 0.25).abs() < 1e-12, "Γ_w,u");
+        assert!((ac.get(4, 5) - 0.25).abs() < 1e-12, "Γ_z,u");
+        // t relays credit to z and u: Γ_t,u = γ_t,u + Γ_t,z·γ_z,u.
+        assert!((ac.get(2, 5) - 0.5).abs() < 1e-12, "Γ_t,u");
+    }
+
+    #[test]
+    fn initiators_receive_all_flow() {
+        let (graph, log) = figure1();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let ac = store.action(0);
+        // Initiators have no in-edges, so no path passes through one:
+        // Γ_{Initiators,u} = Σ_{v ∈ Initiators} Γ_{v,u}, and under the
+        // uniform policy every unit of credit flows back to initiators.
+        let total: f64 = [0u32, 1].iter().map(|&v| ac.get(v, 5)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+    }
+
+    #[test]
+    fn truncation_drops_small_credits() {
+        let (graph, log) = figure1();
+        let exact = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let truncated = scan(&graph, &log, &CreditPolicy::Uniform, 0.3);
+        assert!(truncated.total_entries() < exact.total_entries());
+        // γ = 0.25 edges into u are below λ = 0.3 and must be gone.
+        assert_eq!(truncated.action(0).get(3, 5), 0.0);
+        // γ = 0.5 direct credit survives.
+        assert!(truncated.action(0).get(0, 2) > 0.0);
+    }
+
+    #[test]
+    fn au_bookkeeping() {
+        let (graph, log) = figure1();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        assert_eq!(store.actions_of_user(0), &[0]);
+        assert!((store.inv_au(0) - 1.0).abs() < 1e-12);
+        assert_eq!(store.inv_au(5), 1.0);
+    }
+
+    #[test]
+    fn empty_log_produces_empty_store() {
+        let graph = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let log = ActionLogBuilder::new(3).build();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        assert_eq!(store.total_entries(), 0);
+        assert_eq!(store.num_actions(), 0);
+        assert_eq!(store.inv_au(0), 0.0);
+    }
+
+    #[test]
+    fn multiple_actions_are_independent() {
+        let graph = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        b.push(0, 0, 0.0);
+        b.push(1, 0, 1.0);
+        b.push(0, 1, 0.0);
+        b.push(1, 1, 1.0);
+        let log = b.build();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        assert!((store.action(0).get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((store.action(1).get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((store.inv_au(1) - 0.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::reference;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On random instances, the λ=0 scan must equal the naive DP
+        /// evaluation of Eq 5 for every stored (v, u) pair, under both
+        /// credit policies.
+        #[test]
+        fn scan_matches_reference_dp(
+            edges in proptest::collection::vec((0u32..8, 0u32..8), 0..40),
+            events in proptest::collection::vec((0u32..8, 0u32..3, 0u64..16), 1..40),
+            time_aware in proptest::bool::ANY,
+        ) {
+            let graph = GraphBuilder::new(8).edges(edges).build();
+            let mut b = ActionLogBuilder::new(8);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let policy = if time_aware {
+                CreditPolicy::time_aware(&graph, &log)
+            } else {
+                CreditPolicy::Uniform
+            };
+            let store = scan(&graph, &log, &policy, 0.0);
+
+            for a in log.actions() {
+                let expected = reference::pairwise_credit(&graph, &log, &policy, a);
+                let ac = store.action(a);
+                let mut stored = 0usize;
+                for (&(v, u), &c) in &expected {
+                    prop_assert!(
+                        (ac.get(v, u) - c).abs() < 1e-9,
+                        "action {a} credit ({v},{u}): scan {} vs dp {c}",
+                        ac.get(v, u)
+                    );
+                    if c > 0.0 { stored += 1; }
+                }
+                // No phantom credits beyond the expected support.
+                prop_assert!(ac.len() <= stored + expected.len());
+            }
+        }
+
+        /// Flow conservation under the uniform policy: since every
+        /// activation hands out exactly one unit of direct credit and all
+        /// relayed credit terminates at initiators (which no path can
+        /// cross), each performer's total credit from the initiator set is
+        /// exactly 1.
+        #[test]
+        fn uniform_credit_flow_conserves(
+            edges in proptest::collection::vec((0u32..8, 0u32..8), 0..40),
+            events in proptest::collection::vec((0u32..8, 0u32..2, 0u64..16), 1..40),
+        ) {
+            let graph = GraphBuilder::new(8).edges(edges).build();
+            let mut b = ActionLogBuilder::new(8);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+            for a in log.actions() {
+                let dag = cdim_actionlog::PropagationDag::build(&log, &graph, a);
+                let initiators = dag.initiators();
+                let ac = store.action(a);
+                for (i, &u) in dag.users().iter().enumerate() {
+                    let incoming: f64 =
+                        initiators.iter().map(|&v| ac.get(v, u)).sum();
+                    let expected = if dag.in_degree(i) == 0 { 0.0 } else { 1.0 };
+                    prop_assert!(
+                        (incoming - expected).abs() < 1e-9,
+                        "action {a} user {u}: initiator credit {incoming}"
+                    );
+                }
+            }
+        }
+
+        /// λ-truncated credits never exceed the exact ones and the entry
+        /// count shrinks monotonically with λ.
+        #[test]
+        fn truncation_is_conservative(
+            events in proptest::collection::vec((0u32..6, 0u32..2, 0u64..12), 1..30),
+        ) {
+            let graph = GraphBuilder::new(6)
+                .edges((0..6u32).flat_map(|u| (0..6u32).map(move |v| (u, v))))
+                .build();
+            let mut b = ActionLogBuilder::new(6);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let exact = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+            let mut prev_entries = exact.total_entries();
+            for lambda in [0.01, 0.1, 0.5] {
+                let trunc = scan(&graph, &log, &CreditPolicy::Uniform, lambda);
+                prop_assert!(trunc.total_entries() <= prev_entries);
+                prev_entries = trunc.total_entries();
+                for a in log.actions() {
+                    for &u in log.users_of(a) {
+                        for &v in log.users_of(a) {
+                            if v != u {
+                                prop_assert!(
+                                    trunc.action(a).get(v, u)
+                                        <= exact.action(a).get(v, u) + 1e-9
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

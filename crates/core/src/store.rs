@@ -1,0 +1,292 @@
+//! The UC/SC credit structures of §5.3.
+//!
+//! `UC[v][u][a]` holds `Γ^{V−S}_{v,u}(a)` — the total credit given to `v`
+//! for influencing `u` on action `a`, over paths inside the subgraph
+//! induced by non-seeds. `SC[x][a]` holds `Γ_{S,x}(a)` — the credit the
+//! *current seed set* earns from `x`. Together they let Theorem 3 compute
+//! marginal gains, and Lemmas 2–3 update both stores incrementally when a
+//! seed is added.
+//!
+//! Layout notes. Per action we keep a hash map keyed by the packed `(v,u)`
+//! pair plus two adjacency indexes (`v → targets`, `u → sources`).
+//! Adjacency entries are *lazily deleted*: seed updates remove keys from
+//! the credit map but leave the adjacency vectors untouched (they are
+//! re-validated against the map on traversal). Seeds are added only `k`
+//! times, so this trades a tiny scan overhead for O(1) updates.
+
+use cdim_util::{FxHashMap, HeapSize};
+
+/// Packs an ordered user pair into a map key.
+#[inline]
+pub(crate) fn pair_key(v: u32, u: u32) -> u64 {
+    (u64::from(v) << 32) | u64::from(u)
+}
+
+/// `(counterparty, credit)` pairs removed by [`ActionCredits::retire`].
+pub type RemovedCredits = Vec<(u32, f64)>;
+
+/// Credits of a single action.
+#[derive(Clone, Debug, Default)]
+pub struct ActionCredits {
+    /// `(v, u) → Γ_{v,u}(a)` for stored (≥ λ at insertion time) credits.
+    credit: FxHashMap<u64, f64>,
+    /// `v → users u` that ever received credit from `v` (lazy-deleted).
+    out: FxHashMap<u32, Vec<u32>>,
+    /// `u → users v` that ever gave credit to `u` (lazy-deleted).
+    inc: FxHashMap<u32, Vec<u32>>,
+}
+
+impl ActionCredits {
+    /// Adds `amount` to `Γ_{v,u}`, creating the entry if absent.
+    pub fn add(&mut self, v: u32, u: u32, amount: f64) {
+        debug_assert_ne!(v, u, "self-credit is implicit and never stored");
+        let key = pair_key(v, u);
+        match self.credit.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += amount;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(amount);
+                self.out.entry(v).or_default().push(u);
+                self.inc.entry(u).or_default().push(v);
+            }
+        }
+    }
+
+    /// `Γ_{v,u}(a)`, or 0 when not stored.
+    #[inline]
+    pub fn get(&self, v: u32, u: u32) -> f64 {
+        self.credit.get(&pair_key(v, u)).copied().unwrap_or(0.0)
+    }
+
+    /// Whether `v` currently holds credit over anyone.
+    pub fn has_influencer(&self, v: u32) -> bool {
+        self.out
+            .get(&v)
+            .is_some_and(|ts| ts.iter().any(|&u| self.credit.contains_key(&pair_key(v, u))))
+    }
+
+    /// Live `(u, Γ_{v,u})` pairs for influencer `v`.
+    pub fn targets_of(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.out.get(&v).into_iter().flatten().filter_map(move |&u| {
+            self.credit.get(&pair_key(v, u)).map(|&c| (u, c))
+        })
+    }
+
+    /// Live `(v, Γ_{v,u})` pairs for target `u`.
+    pub fn sources_of(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.inc.get(&u).into_iter().flatten().filter_map(move |&v| {
+            self.credit.get(&pair_key(v, u)).map(|&c| (v, c))
+        })
+    }
+
+    /// Iterates every live credit entry as `(v, u, Γ_{v,u})`, in arbitrary
+    /// order. This is the cache-friendly bulk view the first CELF pass
+    /// uses (one sweep instead of one hash probe per entry).
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.credit
+            .iter()
+            .map(|(&key, &c)| ((key >> 32) as u32, key as u32, c))
+    }
+
+    /// Subtracts `amount` from `Γ_{v,u}` (Lemma 2), clamping at zero and
+    /// dropping entries that become negligible.
+    pub fn subtract(&mut self, v: u32, u: u32, amount: f64) {
+        let key = pair_key(v, u);
+        if let Some(c) = self.credit.get_mut(&key) {
+            *c -= amount;
+            if *c <= 1e-15 {
+                self.credit.remove(&key);
+            }
+        }
+    }
+
+    /// Retires user `x` from this action: removes every credit into or out
+    /// of `x` and returns the removed `(targets, sources)` lists, each as
+    /// [`RemovedCredits`].
+    ///
+    /// The paper's Algorithm 5 leaves these rows in place; retiring them is
+    /// required for correctness of later `computeMG`/`update` calls (see
+    /// DESIGN.md §2.2) because `x` no longer belongs to the induced
+    /// subgraph `V − S`.
+    pub fn retire(&mut self, x: u32) -> (RemovedCredits, RemovedCredits) {
+        let gout: RemovedCredits = self
+            .out
+            .remove(&x)
+            .into_iter()
+            .flatten()
+            .filter_map(|u| self.credit.remove(&pair_key(x, u)).map(|c| (u, c)))
+            .collect();
+        let gin: RemovedCredits = self
+            .inc
+            .remove(&x)
+            .into_iter()
+            .flatten()
+            .filter_map(|v| self.credit.remove(&pair_key(v, x)).map(|c| (v, c)))
+            .collect();
+        (gout, gin)
+    }
+
+    /// Number of live credit entries.
+    pub fn len(&self) -> usize {
+        self.credit.len()
+    }
+
+    /// Whether the action holds no credits.
+    pub fn is_empty(&self) -> bool {
+        self.credit.is_empty()
+    }
+}
+
+impl HeapSize for ActionCredits {
+    fn heap_bytes(&self) -> usize {
+        self.credit.heap_bytes() + self.out.heap_bytes() + self.inc.heap_bytes()
+    }
+}
+
+/// The full UC structure plus the per-user indexes Algorithm 3 needs.
+#[derive(Clone, Debug)]
+pub struct CreditStore {
+    /// Per-action credits (`UC[..][..][a]`).
+    pub(crate) actions: Vec<ActionCredits>,
+    /// Dense action ids each user performed, per user.
+    pub(crate) user_actions: Vec<Vec<u32>>,
+    /// `1 / A_u` per user (0 when the user performed no action).
+    pub(crate) inv_au: Vec<f64>,
+    /// Truncation threshold the store was built with.
+    pub(crate) lambda: f64,
+}
+
+impl CreditStore {
+    pub(crate) fn new(num_users: usize, num_actions: usize, lambda: f64) -> Self {
+        CreditStore {
+            actions: vec![ActionCredits::default(); num_actions],
+            user_actions: vec![Vec::new(); num_users],
+            inv_au: vec![0.0; num_users],
+            lambda,
+        }
+    }
+
+    /// Number of users in the id space.
+    pub fn num_users(&self) -> usize {
+        self.user_actions.len()
+    }
+
+    /// Number of actions scanned.
+    pub fn num_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The truncation threshold λ used during the scan.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Total live credit entries across all actions — the memory driver
+    /// reported in Fig 8 (right) and Table 4.
+    pub fn total_entries(&self) -> usize {
+        self.actions.iter().map(ActionCredits::len).sum()
+    }
+
+    /// Credits of one action.
+    pub fn action(&self, a: u32) -> &ActionCredits {
+        &self.actions[a as usize]
+    }
+
+    /// Mutable credits of one action.
+    pub(crate) fn action_mut(&mut self, a: u32) -> &mut ActionCredits {
+        &mut self.actions[a as usize]
+    }
+
+    /// Dense action ids user `u` performed.
+    pub fn actions_of_user(&self, u: u32) -> &[u32] {
+        &self.user_actions[u as usize]
+    }
+
+    /// `1 / A_u` (0 for users with no actions).
+    #[inline]
+    pub fn inv_au(&self, u: u32) -> f64 {
+        self.inv_au[u as usize]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
+}
+
+impl HeapSize for CreditStore {
+    fn heap_bytes(&self) -> usize {
+        self.actions.heap_bytes() + self.user_actions.heap_bytes() + self.inv_au.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_and_get_reads() {
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.25);
+        ac.add(1, 2, 0.25);
+        assert!((ac.get(1, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(ac.get(2, 1), 0.0);
+        assert_eq!(ac.len(), 1);
+    }
+
+    #[test]
+    fn adjacency_iterators_report_live_entries() {
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.add(1, 3, 0.25);
+        ac.add(4, 2, 0.125);
+        let mut ts: Vec<_> = ac.targets_of(1).collect();
+        ts.sort_by_key(|&(u, _)| u);
+        assert_eq!(ts, vec![(2, 0.5), (3, 0.25)]);
+        let mut ss: Vec<_> = ac.sources_of(2).collect();
+        ss.sort_by_key(|&(v, _)| v);
+        assert_eq!(ss, vec![(1, 0.5), (4, 0.125)]);
+    }
+
+    #[test]
+    fn subtract_clamps_and_removes() {
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.subtract(1, 2, 0.2);
+        assert!((ac.get(1, 2) - 0.3).abs() < 1e-12);
+        ac.subtract(1, 2, 0.3);
+        assert_eq!(ac.get(1, 2), 0.0);
+        assert!(ac.is_empty());
+        // Subtracting a missing entry is a no-op.
+        ac.subtract(9, 9, 1.0);
+    }
+
+    #[test]
+    fn retire_removes_row_and_column() {
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.add(0, 1, 0.25);
+        ac.add(3, 4, 0.75);
+        let (gout, gin) = ac.retire(1);
+        assert_eq!(gout, vec![(2, 0.5)]);
+        assert_eq!(gin, vec![(0, 0.25)]);
+        assert_eq!(ac.get(1, 2), 0.0);
+        assert_eq!(ac.get(0, 1), 0.0);
+        assert!((ac.get(3, 4) - 0.75).abs() < 1e-12);
+        assert!(!ac.has_influencer(1));
+        // Lazy-deleted adjacency must not resurrect entries.
+        assert_eq!(ac.targets_of(1).count(), 0);
+        assert_eq!(ac.sources_of(1).count(), 0);
+    }
+
+    #[test]
+    fn store_entry_counting() {
+        let mut store = CreditStore::new(4, 2, 0.0);
+        store.action_mut(0).add(0, 1, 0.5);
+        store.action_mut(1).add(2, 3, 0.25);
+        store.action_mut(1).add(0, 3, 0.25);
+        assert_eq!(store.total_entries(), 3);
+        assert!(store.memory_bytes() > 0);
+    }
+}

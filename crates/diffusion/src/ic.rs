@@ -1,0 +1,116 @@
+//! Independent Cascade model.
+//!
+//! Each newly active node `v` gets one shot at activating each inactive
+//! out-neighbor `u`, succeeding with probability `p_{v,u}` (§2). One
+//! simulation is a BFS in which every out-edge is examined exactly once —
+//! precisely when its source first activates — so lazily flipping the coin
+//! at examination time samples the same possible-world distribution as
+//! pre-flipping all edges.
+
+use crate::probs::EdgeProbabilities;
+use cdim_graph::traversal::{reachable_count, BfsScratch};
+use cdim_graph::{DirectedGraph, NodeId};
+use cdim_util::Rng;
+
+/// Independent Cascade simulator over a weighted graph.
+#[derive(Clone, Copy, Debug)]
+pub struct IcModel<'a> {
+    graph: &'a DirectedGraph,
+    probs: &'a EdgeProbabilities,
+}
+
+impl<'a> IcModel<'a> {
+    /// Binds the model to a graph and its edge probabilities.
+    pub fn new(graph: &'a DirectedGraph, probs: &'a EdgeProbabilities) -> Self {
+        IcModel { graph, probs }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a DirectedGraph {
+        self.graph
+    }
+
+    /// The edge probabilities.
+    pub fn probs(&self) -> &'a EdgeProbabilities {
+        self.probs
+    }
+
+    /// Runs one cascade from `seeds`; returns the number of active nodes
+    /// at quiescence (including seeds).
+    pub fn simulate(&self, seeds: &[NodeId], rng: &mut Rng, scratch: &mut BfsScratch) -> usize {
+        let probs = self.probs;
+        reachable_count(self.graph, seeds, scratch, |pos| rng.bool(probs.out(pos)))
+    }
+
+    /// Allocates scratch space sized for this model's graph.
+    pub fn make_scratch(&self) -> BfsScratch {
+        BfsScratch::new(self.graph.num_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_graph::GraphBuilder;
+
+    #[test]
+    fn deterministic_edges_propagate_fully() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let p = EdgeProbabilities::uniform(&g, 1.0);
+        let model = IcModel::new(&g, &p);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut scratch = model.make_scratch();
+        assert_eq!(model.simulate(&[0], &mut rng, &mut scratch), 4);
+    }
+
+    #[test]
+    fn zero_probability_blocks_everything() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let p = EdgeProbabilities::uniform(&g, 0.0);
+        let model = IcModel::new(&g, &p);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut scratch = model.make_scratch();
+        assert_eq!(model.simulate(&[0], &mut rng, &mut scratch), 1);
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_nothing() {
+        let g = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let p = EdgeProbabilities::uniform(&g, 1.0);
+        let model = IcModel::new(&g, &p);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut scratch = model.make_scratch();
+        assert_eq!(model.simulate(&[], &mut rng, &mut scratch), 0);
+    }
+
+    #[test]
+    fn single_edge_activation_rate_matches_probability() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let p = EdgeProbabilities::uniform(&g, 0.3);
+        let model = IcModel::new(&g, &p);
+        let mut rng = Rng::seed_from_u64(42);
+        let mut scratch = model.make_scratch();
+        let n = 20_000;
+        let mut total = 0usize;
+        for _ in 0..n {
+            total += model.simulate(&[0], &mut rng, &mut scratch);
+        }
+        // E[spread] = 1 + 0.3.
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.3).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn two_hop_chain_rate() {
+        // 0 -> 1 -> 2 with p = 0.5: E = 1 + 0.5 + 0.25.
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        let p = EdgeProbabilities::uniform(&g, 0.5);
+        let model = IcModel::new(&g, &p);
+        let mut rng = Rng::seed_from_u64(7);
+        let mut scratch = model.make_scratch();
+        let n = 40_000;
+        let total: usize = (0..n).map(|_| model.simulate(&[0], &mut rng, &mut scratch)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.75).abs() < 0.02, "mean = {mean}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Edge probability overlays.
+//!
+//! Probabilities are stored twice, aligned to both CSR directions of the
+//! graph: forward simulation (IC) reads out-aligned values contiguously,
+//! while in-degree-based models (LT weight sums, weighted cascade) read
+//! in-aligned values contiguously. The two views always describe the same
+//! assignment.
+
+use cdim_graph::{DirectedGraph, NodeId};
+use cdim_util::HeapSize;
+
+/// Per-edge probabilities (IC) or weights (LT) for a fixed graph.
+///
+/// ```
+/// use cdim_diffusion::EdgeProbabilities;
+/// use cdim_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3).edges([(0, 2), (1, 2)]).build();
+/// let p = EdgeProbabilities::from_fn(&g, |v, _u| if v == 0 { 0.8 } else { 0.4 });
+/// assert_eq!(p.get(&g, 0, 2), Some(0.8));
+/// assert_eq!(p.get(&g, 2, 0), None);           // absent edge
+/// assert!((p.in_weight_sum(&g, 2) - 1.2).abs() < 1e-12);
+///
+/// // Rescale so the graph is a valid LT instance (in-sums ≤ 1).
+/// let mut lt = p.clone();
+/// lt.normalize_in_weights(&g);
+/// assert!(lt.max_in_weight_sum(&g) <= 1.0 + 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeProbabilities {
+    out_aligned: Vec<f64>,
+    in_aligned: Vec<f64>,
+}
+
+impl EdgeProbabilities {
+    /// Builds an overlay by evaluating `prob(u, v)` for every edge.
+    ///
+    /// Values are clamped into `[0, 1]`.
+    pub fn from_fn(graph: &DirectedGraph, mut prob: impl FnMut(NodeId, NodeId) -> f64) -> Self {
+        let m = graph.num_edges();
+        let mut out_aligned = vec![0.0; m];
+        for u in graph.nodes() {
+            let range = graph.out_range(u);
+            let targets = graph.out_targets();
+            for pos in range {
+                out_aligned[pos] = prob(u, targets[pos]).clamp(0.0, 1.0);
+            }
+        }
+        Self::from_out_aligned(graph, out_aligned)
+    }
+
+    /// Builds an overlay from values already aligned with
+    /// [`DirectedGraph::out_targets`].
+    ///
+    /// # Panics
+    /// Panics if the length differs from the edge count.
+    pub fn from_out_aligned(graph: &DirectedGraph, out_aligned: Vec<f64>) -> Self {
+        assert_eq!(out_aligned.len(), graph.num_edges(), "overlay length mismatch");
+        let mut in_aligned = vec![0.0; out_aligned.len()];
+        for (out_pos, &p) in out_aligned.iter().enumerate() {
+            in_aligned[graph.out_pos_to_in_pos(out_pos)] = p;
+        }
+        EdgeProbabilities { out_aligned, in_aligned }
+    }
+
+    /// Constant probability on every edge (the UN method uses `0.01`).
+    pub fn uniform(graph: &DirectedGraph, p: f64) -> Self {
+        Self::from_out_aligned(graph, vec![p.clamp(0.0, 1.0); graph.num_edges()])
+    }
+
+    /// Probability of the edge at an out-aligned position.
+    #[inline]
+    pub fn out(&self, out_pos: usize) -> f64 {
+        self.out_aligned[out_pos]
+    }
+
+    /// Probability of the edge at an in-aligned position.
+    #[inline]
+    pub fn in_(&self, in_pos: usize) -> f64 {
+        self.in_aligned[in_pos]
+    }
+
+    /// Out-aligned view (parallel to `graph.out_targets()`).
+    #[inline]
+    pub fn out_view(&self) -> &[f64] {
+        &self.out_aligned
+    }
+
+    /// In-aligned view (parallel to `graph.in_sources()`).
+    #[inline]
+    pub fn in_view(&self) -> &[f64] {
+        &self.in_aligned
+    }
+
+    /// Probability of edge `(u, v)`, or `None` if the edge is absent.
+    pub fn get(&self, graph: &DirectedGraph, u: NodeId, v: NodeId) -> Option<f64> {
+        graph.out_edge_position(u, v).map(|pos| self.out_aligned[pos])
+    }
+
+    /// Sum of incoming weights of `u` (must be ≤ 1 for a valid LT instance).
+    pub fn in_weight_sum(&self, graph: &DirectedGraph, u: NodeId) -> f64 {
+        graph.in_range(u).map(|pos| self.in_aligned[pos]).sum()
+    }
+
+    /// Largest incoming weight sum over all nodes.
+    pub fn max_in_weight_sum(&self, graph: &DirectedGraph) -> f64 {
+        graph
+            .nodes()
+            .map(|u| self.in_weight_sum(graph, u))
+            .fold(0.0, f64::max)
+    }
+
+    /// Rescales each node's incoming weights so they sum to at most 1
+    /// (nodes already at or below 1 are untouched). Returns the number of
+    /// nodes that needed rescaling.
+    pub fn normalize_in_weights(&mut self, graph: &DirectedGraph) -> usize {
+        let mut rescaled = 0;
+        for u in graph.nodes() {
+            let sum = self.in_weight_sum(graph, u);
+            if sum > 1.0 {
+                rescaled += 1;
+                for pos in graph.in_range(u) {
+                    self.in_aligned[pos] /= sum;
+                }
+            }
+        }
+        // Rebuild the out view from the adjusted in view.
+        for u in graph.nodes() {
+            for out_pos in graph.out_range(u) {
+                let in_pos = graph.out_pos_to_in_pos(out_pos);
+                self.out_aligned[out_pos] = self.in_aligned[in_pos];
+            }
+        }
+        rescaled
+    }
+}
+
+impl HeapSize for EdgeProbabilities {
+    fn heap_bytes(&self) -> usize {
+        self.out_aligned.heap_bytes() + self.in_aligned.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_graph::GraphBuilder;
+
+    fn diamond() -> DirectedGraph {
+        GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build()
+    }
+
+    #[test]
+    fn from_fn_assigns_by_endpoint() {
+        let g = diamond();
+        let p = EdgeProbabilities::from_fn(&g, |u, v| (u as f64 + v as f64) / 10.0);
+        assert_eq!(p.get(&g, 0, 1), Some(0.1));
+        assert_eq!(p.get(&g, 2, 3), Some(0.5));
+        assert_eq!(p.get(&g, 3, 0), None);
+    }
+
+    #[test]
+    fn views_agree() {
+        let g = diamond();
+        let p = EdgeProbabilities::from_fn(&g, |u, v| (u * 4 + v) as f64 / 16.0);
+        for u in g.nodes() {
+            for (k, &v) in g.out_neighbors(u).iter().enumerate() {
+                let out_pos = g.out_range(u).start + k;
+                let in_pos = g.out_pos_to_in_pos(out_pos);
+                assert_eq!(p.out(out_pos), p.in_(in_pos), "edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_probabilities() {
+        let g = diamond();
+        let p = EdgeProbabilities::from_fn(&g, |_, _| 7.0);
+        assert!(p.out_view().iter().all(|&x| x == 1.0));
+        let q = EdgeProbabilities::from_fn(&g, |_, _| -3.0);
+        assert!(q.out_view().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn in_weight_sums() {
+        let g = diamond();
+        let p = EdgeProbabilities::uniform(&g, 0.6);
+        assert!((p.in_weight_sum(&g, 3) - 1.2).abs() < 1e-12);
+        assert!((p.max_in_weight_sum(&g) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_caps_at_one() {
+        let g = diamond();
+        let mut p = EdgeProbabilities::uniform(&g, 0.8);
+        let rescaled = p.normalize_in_weights(&g);
+        assert_eq!(rescaled, 1); // only node 3 exceeded 1
+        assert!((p.in_weight_sum(&g, 3) - 1.0).abs() < 1e-12);
+        // Node 1 was fine and untouched.
+        assert!((p.in_weight_sum(&g, 1) - 0.8).abs() < 1e-12);
+        // Views still agree after normalization.
+        assert_eq!(p.get(&g, 1, 3), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        let g = diamond();
+        let _ = EdgeProbabilities::from_out_aligned(&g, vec![0.5; 3]);
+    }
+}

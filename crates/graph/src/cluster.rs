@@ -1,0 +1,192 @@
+//! Label-propagation clustering.
+//!
+//! The paper carves its *Small* datasets out of the full crawls by taking
+//! "a unique community, obtained by means of graph clustering performed
+//! using Graclus" (§3). Graclus itself is a closed research code; label
+//! propagation is a standard lightweight alternative that likewise finds
+//! dense communities. We make it deterministic (fixed sweep order, smallest
+//! label wins ties) so dataset presets are reproducible.
+
+use crate::csr::{DirectedGraph, NodeId};
+use cdim_util::FxHashMap;
+
+/// Configuration for label propagation.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelPropagationConfig {
+    /// Maximum sweeps over all nodes.
+    pub max_sweeps: usize,
+}
+
+impl Default for LabelPropagationConfig {
+    fn default() -> Self {
+        LabelPropagationConfig { max_sweeps: 20 }
+    }
+}
+
+/// Runs label propagation over the undirected view of `graph`.
+///
+/// Returns dense cluster labels (`0..num_clusters`) and the cluster count.
+pub fn label_propagation(
+    graph: &DirectedGraph,
+    config: LabelPropagationConfig,
+) -> (Vec<u32>, usize) {
+    let n = graph.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+
+    for _ in 0..config.max_sweeps {
+        let mut changed = false;
+        for u in 0..n as NodeId {
+            counts.clear();
+            for &v in graph.out_neighbors(u) {
+                *counts.entry(labels[v as usize]).or_insert(0) += 1;
+            }
+            for &v in graph.in_neighbors(u) {
+                *counts.entry(labels[v as usize]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                continue;
+            }
+            // Most frequent label; ties go to the smallest label so the
+            // result is independent of hash iteration order.
+            let mut best = (0usize, u32::MAX);
+            for (&label, &c) in counts.iter() {
+                if c > best.0 || (c == best.0 && label < best.1) {
+                    best = (c, label);
+                }
+            }
+            if best.1 != labels[u as usize] {
+                labels[u as usize] = best.1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Densify labels.
+    let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut next = 0u32;
+    for l in labels.iter_mut() {
+        let dense = *remap.entry(*l).or_insert_with(|| {
+            let d = next;
+            next += 1;
+            d
+        });
+        *l = dense;
+    }
+    (labels, next as usize)
+}
+
+/// Returns the member nodes of every cluster, largest first.
+pub fn clusters_by_size(labels: &[u32], num_clusters: usize) -> Vec<Vec<NodeId>> {
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_clusters];
+    for (node, &label) in labels.iter().enumerate() {
+        members[label as usize].push(node as NodeId);
+    }
+    members.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    members
+}
+
+/// Picks the community whose size is closest to `target_size`.
+///
+/// This mimics the paper's sampling of one Graclus community of the desired
+/// scale for the *Small* datasets.
+pub fn community_near_size(
+    graph: &DirectedGraph,
+    target_size: usize,
+    config: LabelPropagationConfig,
+) -> Vec<NodeId> {
+    let (labels, count) = label_propagation(graph, config);
+    if count == 0 {
+        return Vec::new();
+    }
+    clusters_by_size(&labels, count)
+        .into_iter()
+        .min_by_key(|c| c.len().abs_diff(target_size))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two dense cliques joined by a single bridge edge.
+    fn two_cliques() -> DirectedGraph {
+        let mut b = GraphBuilder::new(10);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                if u != v {
+                    b.push_edge(u, v);
+                }
+            }
+        }
+        for u in 5..10u32 {
+            for v in 5..10u32 {
+                if u != v {
+                    b.push_edge(u, v);
+                }
+            }
+        }
+        b.push_edge(0, 5);
+        b.build()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques();
+        let (labels, count) = label_propagation(&g, LabelPropagationConfig::default());
+        assert!(count >= 2, "count = {count}");
+        // All of clique A share a label; all of clique B share a label.
+        for u in 1..5 {
+            assert_eq!(labels[0], labels[u]);
+        }
+        for u in 6..10 {
+            assert_eq!(labels[5], labels[u]);
+        }
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let g = two_cliques();
+        let (labels, count) = label_propagation(&g, LabelPropagationConfig::default());
+        let max = *labels.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, count);
+    }
+
+    #[test]
+    fn clusters_sorted_by_size() {
+        let labels = vec![0, 0, 0, 1, 1, 2];
+        let groups = clusters_by_size(&labels, 3);
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 2);
+        assert_eq!(groups[2].len(), 1);
+    }
+
+    #[test]
+    fn community_near_size_picks_reasonably() {
+        let g = two_cliques();
+        let community = community_near_size(&g, 5, LabelPropagationConfig::default());
+        assert_eq!(community.len(), 5);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_cluster() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 0)]).build();
+        let (labels, count) = label_propagation(&g, LabelPropagationConfig::default());
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_cliques();
+        let (a, _) = label_propagation(&g, LabelPropagationConfig::default());
+        let (b, _) = label_propagation(&g, LabelPropagationConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Weakly-connected components via union–find.
+//!
+//! The dataset generator and the community sampler need component structure:
+//! synthetic "Small" datasets are carved from a single community, mirroring
+//! the paper's Graclus-based sampling of one connected cluster.
+
+use crate::csr::{DirectedGraph, NodeId};
+
+/// Union–find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Finds the representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Labels every node with a dense component id; returns `(labels, count)`.
+pub fn weakly_connected_components(graph: &DirectedGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in graph.edges() {
+        uf.union(u, v);
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n as NodeId {
+        let root = uf.find(u);
+        if labels[root as usize] == u32::MAX {
+            labels[root as usize] = next;
+            next += 1;
+        }
+        labels[u as usize] = labels[root as usize];
+    }
+    (labels, next as usize)
+}
+
+/// Returns the nodes of the largest weakly-connected component.
+pub fn largest_component(graph: &DirectedGraph) -> Vec<NodeId> {
+    let (labels, count) = weakly_connected_components(graph);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == best)
+        .map(|(i, _)| i as NodeId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn separates_disconnected_pieces() {
+        let g = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let g = GraphBuilder::new(3).edges([(2, 0), (1, 0)]).build();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn largest_component_is_found() {
+        let g = GraphBuilder::new(7)
+            .edges([(0, 1), (1, 2), (2, 3), (4, 5)])
+            .build();
+        let mut comp = largest_component(&g);
+        comp.sort_unstable();
+        assert_eq!(comp, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn union_find_sizes() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.set_size(1), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let (labels, count) = weakly_connected_components(&g);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Compressed-sparse-row directed graph.
+//!
+//! Both adjacency directions are materialized: forward propagation (IC/LT
+//! simulation) walks out-neighbors, while credit assignment and the
+//! weighted-cascade model walk in-neighbors. Node ids are dense `u32`
+//! indices; edge positions within each direction's arrays are stable, so
+//! overlays (influence probabilities, delays) can be stored as parallel
+//! `Vec<f64>`s aligned to [`DirectedGraph::out_targets`] /
+//! [`DirectedGraph::in_sources`].
+
+use cdim_util::HeapSize;
+
+/// Dense node identifier (`0..n`).
+pub type NodeId = u32;
+
+/// Immutable CSR digraph with both adjacency directions.
+///
+/// ```
+/// use cdim_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+///     .build();
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// assert_eq!(g.in_neighbors(3), &[1, 2]);
+/// assert!(g.has_edge(1, 3) && !g.has_edge(3, 1));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectedGraph {
+    out_offsets: Box<[usize]>,
+    out_targets: Box<[NodeId]>,
+    in_offsets: Box<[usize]>,
+    in_sources: Box<[NodeId]>,
+    /// For each out-edge position, the position of the same edge in the
+    /// in-direction arrays. Lets overlays convert between alignments.
+    out_to_in: Box<[u32]>,
+}
+
+impl DirectedGraph {
+    /// Builds a graph from a deduplicated, self-loop-free edge list.
+    ///
+    /// Prefer [`crate::GraphBuilder`], which sanitizes arbitrary input.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_nodes` (builder guarantees this).
+    pub(crate) fn from_clean_edges(num_nodes: usize, mut edges: Vec<(NodeId, NodeId)>) -> Self {
+        let n = num_nodes;
+        let m = edges.len();
+
+        // Out direction: sort by (src, dst).
+        edges.sort_unstable();
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+
+        // In direction: counting sort by dst, then order sources within each
+        // bucket. Also record the out-position of each edge to build the
+        // alignment permutation.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_to_out = vec![0u32; m];
+        for (pos, &(u, v)) in edges.iter().enumerate() {
+            let slot = cursor[v as usize];
+            in_sources[slot] = u;
+            in_to_out[slot] = pos as u32;
+            cursor[v as usize] += 1;
+        }
+        // Sources within a bucket arrive in (src, dst) order, i.e. already
+        // sorted by src because the edge list is globally sorted.
+        let mut out_to_in = vec![0u32; m];
+        for (in_pos, &out_pos) in in_to_out.iter().enumerate() {
+            out_to_in[out_pos as usize] = in_pos as u32;
+        }
+
+        DirectedGraph {
+            out_offsets: out_offsets.into_boxed_slice(),
+            out_targets: out_targets.into_boxed_slice(),
+            in_offsets: in_offsets.into_boxed_slice(),
+            in_sources: in_sources.into_boxed_slice(),
+            out_to_in: out_to_in.into_boxed_slice(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Out-neighbors of `u` (sorted ascending).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_range(u)]
+    }
+
+    /// In-neighbors of `u` (sorted ascending).
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_range(u)]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_range(u).len()
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_range(u).len()
+    }
+
+    /// Positions of `u`'s out-edges within the out-aligned arrays.
+    #[inline]
+    pub fn out_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]
+    }
+
+    /// Positions of `u`'s in-edges within the in-aligned arrays.
+    #[inline]
+    pub fn in_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.in_offsets[u as usize]..self.in_offsets[u as usize + 1]
+    }
+
+    /// Raw out-aligned target array (parallel to any out-edge overlay).
+    #[inline]
+    pub fn out_targets(&self) -> &[NodeId] {
+        &self.out_targets
+    }
+
+    /// Raw in-aligned source array (parallel to any in-edge overlay).
+    #[inline]
+    pub fn in_sources(&self) -> &[NodeId] {
+        &self.in_sources
+    }
+
+    /// Maps an out-edge position to the same edge's in-edge position.
+    #[inline]
+    pub fn out_pos_to_in_pos(&self, out_pos: usize) -> usize {
+        self.out_to_in[out_pos] as usize
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_edge_position(u, v).is_some()
+    }
+
+    /// Position of edge `(u, v)` in the out-aligned arrays, if present.
+    #[inline]
+    pub fn out_edge_position(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let range = self.out_range(u);
+        let nbrs = &self.out_targets[range.clone()];
+        nbrs.binary_search(&v).ok().map(|i| range.start + i)
+    }
+
+    /// Position of edge `(u, v)` in the in-aligned arrays, if present.
+    #[inline]
+    pub fn in_edge_position(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let range = self.in_range(v);
+        let srcs = &self.in_sources[range.clone()];
+        srcs.binary_search(&u).ok().map(|i| range.start + i)
+    }
+
+    /// Iterator over all edges as `(src, dst)` in (src, dst) order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.out_neighbors(u).iter().map(move |&v| (u, v))
+        })
+    }
+}
+
+impl HeapSize for DirectedGraph {
+    fn heap_bytes(&self) -> usize {
+        self.out_offsets.heap_bytes()
+            + self.out_targets.heap_bytes()
+            + self.in_offsets.heap_bytes()
+            + self.in_sources.heap_bytes()
+            + self.out_to_in.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> super::DirectedGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[u32]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(g.out_edge_position(2, 3).is_some());
+        assert!(g.in_edge_position(2, 3).is_some());
+        assert_eq!(g.out_edge_position(0, 3), None);
+    }
+
+    #[test]
+    fn out_in_alignment_is_consistent() {
+        let g = diamond();
+        for u in g.nodes() {
+            for (k, &v) in g.out_neighbors(u).iter().enumerate() {
+                let out_pos = g.out_range(u).start + k;
+                let in_pos = g.out_pos_to_in_pos(out_pos);
+                assert_eq!(g.in_sources()[in_pos], u);
+                // in_pos must be inside v's in-range.
+                let r = g.in_range(v);
+                assert!(r.contains(&in_pos));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let g = GraphBuilder::new(5).edges([(0, 1)]).build();
+        for u in 2..5 {
+            assert_eq!(g.out_degree(u), 0);
+            assert_eq!(g.in_degree(u), 0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Degree statistics (the graph half of Table 1).
+
+use crate::csr::DirectedGraph;
+
+/// Summary statistics of a directed graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Average out-degree (= average in-degree = edges / nodes).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Fraction of edges whose reverse edge also exists.
+    pub reciprocity: f64,
+}
+
+/// Computes [`GraphStats`] for `graph`.
+pub fn graph_stats(graph: &DirectedGraph) -> GraphStats {
+    let nodes = graph.num_nodes();
+    let edges = graph.num_edges();
+    let mut max_out = 0;
+    let mut max_in = 0;
+    let mut reciprocal = 0usize;
+    for u in graph.nodes() {
+        max_out = max_out.max(graph.out_degree(u));
+        max_in = max_in.max(graph.in_degree(u));
+        for &v in graph.out_neighbors(u) {
+            if graph.has_edge(v, u) {
+                reciprocal += 1;
+            }
+        }
+    }
+    GraphStats {
+        nodes,
+        edges,
+        avg_degree: if nodes == 0 { 0.0 } else { edges as f64 / nodes as f64 },
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        reciprocity: if edges == 0 { 0.0 } else { reciprocal as f64 / edges as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn counts_are_correct() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 0), (1, 2), (1, 3)])
+            .build();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.reciprocity - 0.5).abs() < 1e-12); // 0<->1 reciprocal
+    }
+
+    #[test]
+    fn empty_graph_has_zero_stats() {
+        let s = graph_stats(&GraphBuilder::new(0).build());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn full_reciprocity() {
+        let mut b = GraphBuilder::new(3);
+        b.push_undirected(0, 1);
+        b.push_undirected(1, 2);
+        let s = graph_stats(&b.build());
+        assert!((s.reciprocity - 1.0).abs() < 1e-12);
+    }
+}

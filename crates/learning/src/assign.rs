@@ -1,0 +1,119 @@
+//! Ad-hoc edge-probability assignment methods (UN, TV, WC, PT).
+//!
+//! These are the assignment conventions used throughout the pre-2011
+//! influence-maximization literature, which §3 shows to be poor predictors
+//! of real spread compared to learned probabilities.
+
+use cdim_diffusion::EdgeProbabilities;
+use cdim_graph::DirectedGraph;
+use cdim_util::Rng;
+
+/// **UN**: constant probability on every edge (the paper uses `0.01`).
+pub fn uniform(graph: &DirectedGraph, p: f64) -> EdgeProbabilities {
+    EdgeProbabilities::uniform(graph, p)
+}
+
+/// **TV** (trivalency): each edge draws uniformly from
+/// `{0.1, 0.01, 0.001}`.
+pub fn trivalency(graph: &DirectedGraph, seed: u64) -> EdgeProbabilities {
+    const LEVELS: [f64; 3] = [0.1, 0.01, 0.001];
+    let mut rng = Rng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..graph.num_edges())
+        .map(|_| LEVELS[rng.index(LEVELS.len())])
+        .collect();
+    EdgeProbabilities::from_out_aligned(graph, values)
+}
+
+/// **WC** (weighted cascade): `p(v, u) = 1 / in_degree(u)`.
+pub fn weighted_cascade(graph: &DirectedGraph) -> EdgeProbabilities {
+    EdgeProbabilities::from_fn(graph, |_, u| 1.0 / graph.in_degree(u) as f64)
+}
+
+/// **PT**: multiplies each probability by a factor drawn uniformly from
+/// `[1 - noise, 1 + noise]`, clamping into `[0, 1]` (§3 uses
+/// `noise = 0.2`).
+pub fn perturb(
+    graph: &DirectedGraph,
+    probs: &EdgeProbabilities,
+    noise: f64,
+    seed: u64,
+) -> EdgeProbabilities {
+    assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+    let mut rng = Rng::seed_from_u64(seed);
+    let values: Vec<f64> = probs
+        .out_view()
+        .iter()
+        .map(|&p| {
+            let factor = 1.0 + rng.range_f64(-noise, noise);
+            (p * factor).clamp(0.0, 1.0)
+        })
+        .collect();
+    EdgeProbabilities::from_out_aligned(graph, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_graph::GraphBuilder;
+
+    fn diamond() -> DirectedGraph {
+        GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build()
+    }
+
+    #[test]
+    fn uniform_assigns_constant() {
+        let g = diamond();
+        let p = uniform(&g, 0.01);
+        assert!(p.out_view().iter().all(|&x| x == 0.01));
+    }
+
+    #[test]
+    fn trivalency_uses_only_three_levels() {
+        let g = diamond();
+        let p = trivalency(&g, 7);
+        for &x in p.out_view() {
+            assert!(
+                [0.1, 0.01, 0.001].contains(&x),
+                "unexpected probability {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivalency_is_seed_deterministic() {
+        let g = diamond();
+        assert_eq!(trivalency(&g, 5), trivalency(&g, 5));
+    }
+
+    #[test]
+    fn weighted_cascade_is_reciprocal_in_degree() {
+        let g = diamond();
+        let p = weighted_cascade(&g);
+        assert_eq!(p.get(&g, 0, 1), Some(1.0)); // in_degree(1) = 1
+        assert_eq!(p.get(&g, 1, 3), Some(0.5)); // in_degree(3) = 2
+        // In-weights sum to exactly 1 per node with in-edges: valid LT too.
+        assert!((p.in_weight_sum(&g, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturb_stays_within_factor_and_bounds() {
+        let g = diamond();
+        let base = uniform(&g, 0.5);
+        let p = perturb(&g, &base, 0.2, 3);
+        for &x in p.out_view() {
+            assert!((0.4..=0.6).contains(&x), "{x} outside ±20% of 0.5");
+        }
+        // Perturbation near 1.0 clamps rather than exceeding 1.
+        let high = uniform(&g, 0.99);
+        let q = perturb(&g, &high, 0.2, 3);
+        assert!(q.out_view().iter().all(|&x| x <= 1.0));
+    }
+
+    #[test]
+    fn perturb_zero_noise_is_identity() {
+        let g = diamond();
+        let base = weighted_cascade(&g);
+        let p = perturb(&g, &base, 0.0, 9);
+        assert_eq!(p, base);
+    }
+}

@@ -1,0 +1,223 @@
+//! Temporal influence parameters for the time-aware direct credit (Eq 9).
+//!
+//! From Goyal et al. (WSDM 2010), as adopted by §4 "Assigning Direct
+//! Credit":
+//!
+//! * `τ_{v,u}` — the average time actions take to propagate from `v` to
+//!   `u`, estimated over all training actions with `v ∈ N_in(u, a)`;
+//! * `infl(u)` — user influenceability: the fraction of `u`'s actions
+//!   performed "under the influence" of some neighbor, i.e. with
+//!   `t(u,a) − t(v,a) ≤ τ_{v,u}` for at least one potential influencer.
+
+use cdim_actionlog::{ActionLog, PropagationDag};
+use cdim_graph::DirectedGraph;
+use cdim_util::HeapSize;
+
+/// Learned temporal parameters.
+#[derive(Clone, Debug)]
+pub struct TemporalModel {
+    /// `τ` per in-aligned edge position; `f64::INFINITY` when the edge was
+    /// never observed propagating (so `exp(-Δ/τ) = 1` degenerates safely
+    /// only if never used; lookups fall back to [`Self::default_tau`]).
+    tau: Vec<f64>,
+    /// Influenceability per user, in `[0, 1]`.
+    infl: Vec<f64>,
+    /// Global mean propagation delay — fallback for unobserved edges.
+    default_tau: f64,
+}
+
+impl TemporalModel {
+    /// Learns `τ` and `infl` from the training log in two passes.
+    pub fn learn(graph: &DirectedGraph, train: &ActionLog) -> Self {
+        let m = graph.num_edges();
+        let mut delay_sum = vec![0.0f64; m];
+        let mut delay_count = vec![0u32; m];
+
+        let dags: Vec<PropagationDag> =
+            train.actions().map(|a| PropagationDag::build(train, graph, a)).collect();
+
+        // Pass 1: per-edge mean delays.
+        for dag in &dags {
+            for i in 0..dag.len() {
+                let u = dag.user(i);
+                let tu = dag.time(i);
+                for &pj in dag.parents_of(i) {
+                    let v = dag.user(pj as usize);
+                    let tv = dag.time(pj as usize);
+                    let e = graph.in_edge_position(v, u).expect("social edge");
+                    delay_sum[e] += tu - tv;
+                    delay_count[e] += 1;
+                }
+            }
+        }
+        let total_sum: f64 = delay_sum.iter().sum();
+        let total_count: u64 = delay_count.iter().map(|&c| c as u64).sum();
+        let default_tau = if total_count > 0 { (total_sum / total_count as f64).max(f64::MIN_POSITIVE) } else { 1.0 };
+        let tau: Vec<f64> = (0..m)
+            .map(|e| {
+                if delay_count[e] > 0 {
+                    // Guard against zero mean delay (all propagations
+                    // instantaneous) — exp(-Δ/0) would be NaN for Δ = 0.
+                    (delay_sum[e] / delay_count[e] as f64).max(f64::MIN_POSITIVE)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+
+        // Pass 2: influenceability.
+        let mut influenced_actions = vec![0u32; graph.num_nodes()];
+        for dag in &dags {
+            for i in 0..dag.len() {
+                let u = dag.user(i);
+                let tu = dag.time(i);
+                let within_tau = dag.parents_of(i).iter().any(|&pj| {
+                    let v = dag.user(pj as usize);
+                    let tv = dag.time(pj as usize);
+                    let e = graph.in_edge_position(v, u).expect("social edge");
+                    tu - tv <= tau[e]
+                });
+                if within_tau {
+                    influenced_actions[u as usize] += 1;
+                }
+            }
+        }
+        let infl: Vec<f64> = (0..graph.num_nodes())
+            .map(|u| {
+                let au = train.actions_performed_by(u as u32);
+                if au == 0 {
+                    0.0
+                } else {
+                    influenced_actions[u] as f64 / au as f64
+                }
+            })
+            .collect();
+
+        TemporalModel { tau, infl, default_tau }
+    }
+
+    /// `τ` for the in-aligned edge position, falling back to the global
+    /// mean when the edge was never observed propagating.
+    #[inline]
+    pub fn tau_at(&self, in_pos: usize) -> f64 {
+        let t = self.tau[in_pos];
+        if t.is_finite() {
+            t
+        } else {
+            self.default_tau
+        }
+    }
+
+    /// `τ_{v,u}` by endpoints, if the social edge exists.
+    pub fn tau(&self, graph: &DirectedGraph, v: u32, u: u32) -> Option<f64> {
+        graph.in_edge_position(v, u).map(|e| self.tau_at(e))
+    }
+
+    /// Influenceability of `u`.
+    #[inline]
+    pub fn infl(&self, u: u32) -> f64 {
+        self.infl[u as usize]
+    }
+
+    /// Global mean propagation delay.
+    #[inline]
+    pub fn default_tau(&self) -> f64 {
+        self.default_tau
+    }
+}
+
+impl HeapSize for TemporalModel {
+    fn heap_bytes(&self) -> usize {
+        self.tau.heap_bytes() + self.infl.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+
+    #[test]
+    fn tau_is_mean_delay() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        b.push(0, 0, 0.0);
+        b.push(1, 0, 2.0); // delay 2
+        b.push(0, 1, 0.0);
+        b.push(1, 1, 4.0); // delay 4
+        let log = b.build();
+        let t = TemporalModel::learn(&g, &log);
+        assert!((t.tau(&g, 0, 1).unwrap() - 3.0).abs() < 1e-12);
+        assert!((t.default_tau() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_edge_falls_back_to_global_mean() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (2, 1)]).build();
+        let mut b = ActionLogBuilder::new(3);
+        b.push(0, 0, 0.0);
+        b.push(1, 0, 2.0);
+        let log = b.build();
+        let t = TemporalModel::learn(&g, &log);
+        assert!((t.tau(&g, 2, 1).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infl_counts_influenced_fraction() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        // Action 0: 1 follows 0 after delay 1.
+        b.push(0, 0, 0.0);
+        b.push(1, 0, 1.0);
+        // Action 1: 1 follows 0 after a huge delay (mean tau becomes
+        // (1 + 99) / 2 = 50, so both delays are within tau... to build a
+        // *not*-influenced case we need an action with no parents at all).
+        b.push(1, 1, 5.0); // initiator, no influence
+        let log = b.build();
+        let t = TemporalModel::learn(&g, &log);
+        // User 1 performed 2 actions, 1 under influence.
+        assert!((t.infl(1) - 0.5).abs() < 1e-12);
+        // User 0's actions were never influenced.
+        assert_eq!(t.infl(0), 0.0);
+    }
+
+    #[test]
+    fn infl_respects_tau_cutoff() {
+        let g = GraphBuilder::new(3).edges([(0, 2), (1, 2)]).build();
+        let mut b = ActionLogBuilder::new(3);
+        // Edge (0,2): delays 1 and 9 -> tau = 5. The 9-delay action is NOT
+        // within tau... but the delay-1 action is.
+        b.push(0, 0, 0.0);
+        b.push(2, 0, 1.0);
+        b.push(0, 1, 0.0);
+        b.push(2, 1, 9.0);
+        let log = b.build();
+        let t = TemporalModel::learn(&g, &log);
+        // tau(0,2) = 5; action 0 within, action 1 not -> infl = 1/2.
+        assert!((t.infl(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_user_has_zero_infl() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let log = ActionLogBuilder::new(2).build();
+        let t = TemporalModel::learn(&g, &log);
+        assert_eq!(t.infl(0), 0.0);
+        assert_eq!(t.infl(1), 0.0);
+        assert_eq!(t.default_tau(), 1.0);
+    }
+
+    #[test]
+    fn zero_delay_is_guarded() {
+        // Simultaneity is excluded by the DAG, but near-zero deltas are
+        // possible; tau must stay strictly positive.
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut b = ActionLogBuilder::new(2);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 1.0 + 1e-300);
+        let log = b.build();
+        let t = TemporalModel::learn(&g, &log);
+        assert!(t.tau(&g, 0, 1).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Algorithm 1: the plain greedy (1 − 1/e)-approximation.
+//!
+//! Each round evaluates σ(S + w) for every remaining candidate and keeps
+//! the best. With an MC-backed oracle this is the quadratically expensive
+//! baseline whose running time Fig 7 reports in tens of hours; CELF
+//! ([`crate::celf`]) produces identical selections far faster.
+
+use crate::oracle::{Selection, SpreadOracle};
+use cdim_graph::NodeId;
+
+/// Runs plain greedy for `k` seeds over all nodes of the oracle's universe.
+pub fn greedy_select<O: SpreadOracle>(oracle: &O, k: usize) -> Selection {
+    let candidates: Vec<NodeId> = (0..oracle.universe() as NodeId).collect();
+    greedy_select_from(oracle, k, &candidates)
+}
+
+/// Runs plain greedy restricted to `candidates`.
+///
+/// Ties are broken toward the smaller node id, so results are
+/// deterministic for deterministic oracles.
+pub fn greedy_select_from<O: SpreadOracle>(
+    oracle: &O,
+    k: usize,
+    candidates: &[NodeId],
+) -> Selection {
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    let mut gains: Vec<f64> = Vec::with_capacity(k);
+    let mut remaining: Vec<NodeId> = candidates.to_vec();
+    remaining.sort_unstable();
+    remaining.dedup();
+    let mut evaluations = 0usize;
+    let mut current_spread = 0.0;
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(k + 1);
+
+    while seeds.len() < k && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &w) in remaining.iter().enumerate() {
+            scratch.clear();
+            scratch.extend_from_slice(&seeds);
+            scratch.push(w);
+            let s = oracle.spread(&scratch);
+            evaluations += 1;
+            let gain = s - current_spread;
+            // Strict improvement keeps the smaller id on ties.
+            if best.map(|(_, g)| gain > g).unwrap_or(true) {
+                best = Some((idx, gain));
+            }
+        }
+        let (idx, gain) = best.expect("remaining is nonempty");
+        // `remove` (not `swap_remove`) keeps `remaining` sorted, so the
+        // strict-improvement rule above keeps breaking ties toward the
+        // smallest id in later rounds too.
+        let w = remaining.remove(idx);
+        seeds.push(w);
+        gains.push(gain);
+        current_spread += gain;
+    }
+
+    Selection { seeds, marginal_gains: gains, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::AdditiveOracle;
+
+    #[test]
+    fn picks_top_values_in_order() {
+        let o = AdditiveOracle { values: vec![1.0, 5.0, 3.0, 4.0] };
+        let sel = greedy_select(&o, 2);
+        assert_eq!(sel.seeds, vec![1, 3]);
+        assert_eq!(sel.marginal_gains, vec![5.0, 4.0]);
+    }
+
+    #[test]
+    fn evaluation_count_is_quadraticish() {
+        let o = AdditiveOracle { values: vec![1.0; 10] };
+        let sel = greedy_select(&o, 3);
+        // Round sizes: 10 + 9 + 8.
+        assert_eq!(sel.evaluations, 27);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_id() {
+        let o = AdditiveOracle { values: vec![2.0, 2.0, 2.0] };
+        let sel = greedy_select(&o, 2);
+        assert_eq!(sel.seeds, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_universe() {
+        let o = AdditiveOracle { values: vec![1.0, 2.0] };
+        let sel = greedy_select(&o, 5);
+        assert_eq!(sel.seeds.len(), 2);
+    }
+
+    #[test]
+    fn candidate_restriction() {
+        let o = AdditiveOracle { values: vec![9.0, 1.0, 5.0] };
+        let sel = greedy_select_from(&o, 1, &[1, 2]);
+        assert_eq!(sel.seeds, vec![2]);
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        let o = AdditiveOracle { values: vec![1.0] };
+        let sel = greedy_select(&o, 0);
+        assert!(sel.is_empty());
+        assert_eq!(sel.evaluations, 0);
+    }
+}

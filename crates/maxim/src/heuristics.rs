@@ -1,0 +1,76 @@
+//! Structural baseline selectors (Fig 6): HighDegree, PageRank, Random.
+//!
+//! These ignore the action log entirely — they are the "graph structure
+//! only" straw men the paper compares all models against.
+
+use cdim_graph::pagerank::{pagerank, PageRankConfig};
+use cdim_graph::{DirectedGraph, NodeId};
+use cdim_util::{topk::top_k_indices, Rng};
+
+/// Top-`k` nodes by out-degree (ties toward smaller id).
+pub fn high_degree_seeds(graph: &DirectedGraph, k: usize) -> Vec<NodeId> {
+    let scores: Vec<f64> = graph.nodes().map(|u| graph.out_degree(u) as f64).collect();
+    top_k_indices(&scores, k).into_iter().map(|i| i as NodeId).collect()
+}
+
+/// Top-`k` nodes by PageRank score.
+pub fn pagerank_seeds(graph: &DirectedGraph, k: usize) -> Vec<NodeId> {
+    let (scores, _) = pagerank(graph, PageRankConfig::default());
+    top_k_indices(&scores, k).into_iter().map(|i| i as NodeId).collect()
+}
+
+/// `k` distinct uniformly random nodes.
+pub fn random_seeds(graph: &DirectedGraph, k: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.sample_indices(graph.num_nodes(), k)
+        .into_iter()
+        .map(|i| i as NodeId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_graph::GraphBuilder;
+
+    fn star_plus_chain() -> DirectedGraph {
+        // 0 has out-degree 3; chain 4 -> 5 -> 6.
+        GraphBuilder::new(7)
+            .edges([(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)])
+            .build()
+    }
+
+    #[test]
+    fn high_degree_prefers_hubs() {
+        let g = star_plus_chain();
+        let seeds = high_degree_seeds(&g, 2);
+        assert_eq!(seeds[0], 0);
+        // 4 and 5 both have out-degree 1; smaller id wins second place.
+        assert_eq!(seeds[1], 4);
+    }
+
+    #[test]
+    fn pagerank_prefers_sinks_of_mass() {
+        // All point at node 2.
+        let g = GraphBuilder::new(4).edges([(0, 2), (1, 2), (3, 2)]).build();
+        let seeds = pagerank_seeds(&g, 1);
+        assert_eq!(seeds, vec![2]);
+    }
+
+    #[test]
+    fn random_seeds_are_distinct_and_deterministic() {
+        let g = star_plus_chain();
+        let a = random_seeds(&g, 5, 3);
+        let b = random_seeds(&g, 5, 3);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn k_exceeding_n_is_clamped() {
+        let g = star_plus_chain();
+        assert_eq!(high_degree_seeds(&g, 100).len(), 7);
+        assert_eq!(random_seeds(&g, 100, 1).len(), 7);
+    }
+}

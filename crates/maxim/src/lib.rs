@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Influence-maximization algorithms.
+//!
+//! Problem 1 of the paper: given a weighted social graph and a propagation
+//! model `m`, find `S` with `|S| = k` maximizing σ_m(S). The problem is
+//! NP-hard, but σ_m is monotone and submodular, so the greedy algorithm is
+//! a (1 − 1/e)-approximation (Nemhauser et al.).
+//!
+//! * [`oracle`] — the [`SpreadOracle`] abstraction every selector runs
+//!   against (Monte-Carlo IC/LT, MIA, LDAG, and — in `cdim-core` — the
+//!   credit-distribution model all implement it);
+//! * [`greedy`] — Algorithm 1 (plain greedy);
+//! * [`celf`] — the CELF lazy-forward optimization of Leskovec et al.,
+//!   which exploits submodularity to skip re-evaluations (§5.3);
+//! * [`heuristics`] — HighDegree, PageRank and Random baselines (Fig 6);
+//! * [`mia`] — the maximum-influence-arborescence spread heuristic behind
+//!   PMIA (Chen et al., KDD 2010), used where MC-greedy is infeasible;
+//! * [`ldag`] — the local-DAG spread heuristic for LT (Chen et al.,
+//!   ICDM 2010).
+
+pub mod celf;
+pub mod greedy;
+pub mod heuristics;
+pub mod ldag;
+pub mod mia;
+pub mod oracle;
+
+pub use celf::celf_select;
+pub use greedy::greedy_select;
+pub use heuristics::{high_degree_seeds, pagerank_seeds, random_seeds};
+pub use ldag::LdagOracle;
+pub use mia::MiaOracle;
+pub use oracle::{Selection, SpreadOracle};

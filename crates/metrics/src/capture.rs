@@ -1,0 +1,52 @@
+//! Capture curves (Fig 4): fraction of test propagations whose prediction
+//! error is within a given absolute tolerance.
+
+/// Fraction of pairs with `|actual − predicted| ≤ tolerance`.
+pub fn capture_ratio_at(pairs: &[(f64, f64)], tolerance: f64) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let captured = pairs
+        .iter()
+        .filter(|&&(a, p)| (a - p).abs() <= tolerance)
+        .count();
+    captured as f64 / pairs.len() as f64
+}
+
+/// The full curve at the given tolerances, as `(tolerance, ratio)` points.
+/// A point `(x, y)` reads: "a fraction `y` of propagations is predicted
+/// within absolute error `x`" (Fig 4's axes).
+pub fn capture_curve(pairs: &[(f64, f64)], tolerances: &[f64]) -> Vec<(f64, f64)> {
+    tolerances
+        .iter()
+        .map(|&t| (t, capture_ratio_at(pairs, t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAIRS: [(f64, f64); 4] = [(10.0, 10.0), (10.0, 15.0), (10.0, 30.0), (10.0, 9.0)];
+
+    #[test]
+    fn ratio_counts_within_tolerance() {
+        assert!((capture_ratio_at(&PAIRS, 0.0) - 0.25).abs() < 1e-12);
+        assert!((capture_ratio_at(&PAIRS, 1.0) - 0.5).abs() < 1e-12);
+        assert!((capture_ratio_at(&PAIRS, 5.0) - 0.75).abs() < 1e-12);
+        assert!((capture_ratio_at(&PAIRS, 20.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let curve = capture_curve(&PAIRS, &[0.0, 1.0, 2.0, 5.0, 10.0, 20.0]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(capture_ratio_at(&[], 10.0), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Seed-set intersection (Table 2, Fig 5, Fig 9's "true seeds").
+
+/// `|a ∩ b|`, treating the slices as sets.
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = a.iter().copied().collect();
+    b.iter()
+        .copied()
+        .collect::<std::collections::HashSet<u32>>()
+        .iter()
+        .filter(|x| set.contains(x))
+        .count()
+}
+
+/// Pairwise intersection matrix over named seed sets;
+/// `matrix[i][j] = |sets[i] ∩ sets[j]|`.
+pub fn intersection_matrix(sets: &[(&str, Vec<u32>)]) -> Vec<Vec<usize>> {
+    sets.iter()
+        .map(|(_, a)| sets.iter().map(|(_, b)| intersection_size(a, b)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_intersection() {
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[1, 1, 2], &[1]), 1);
+    }
+
+    #[test]
+    fn matrix_diagonal_is_set_size() {
+        let sets = vec![
+            ("a", vec![1, 2, 3]),
+            ("b", vec![3, 4]),
+            ("c", vec![9]),
+        ];
+        let m = intersection_matrix(&sets);
+        assert_eq!(m[0][0], 3);
+        assert_eq!(m[1][1], 2);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[2][0], 0);
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Evaluation metrics and reporting helpers for the experiments.
+//!
+//! * [`mod@rmse`] — root-mean-squared error, optionally stratified by actual
+//!   spread (Figs 2–3 bin "propagations … with respect to their size");
+//! * [`capture`] — the fraction-captured-within-absolute-error curves of
+//!   Fig 4;
+//! * [`intersect`] — seed-set intersection matrices (Tables 2, Fig 5);
+//! * [`table`] — plain-text table rendering for the experiment harness.
+
+pub mod capture;
+pub mod intersect;
+pub mod rmse;
+pub mod table;
+
+pub use capture::{capture_curve, capture_ratio_at};
+pub use intersect::{intersection_matrix, intersection_size};
+pub use rmse::{binned_rmse, rmse, BinnedError};
+pub use table::Table;

@@ -1,0 +1,86 @@
+//! RMSE, plain and stratified by actual spread.
+
+/// RMSE over `(actual, predicted)` pairs. Returns 0 for empty input.
+pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = pairs
+        .iter()
+        .map(|&(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / pairs.len() as f64;
+    mse.sqrt()
+}
+
+/// One stratum of the size-binned RMSE plots (Figs 2a/2c/3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinnedError {
+    /// Inclusive lower edge of the bin (a multiple of the bin width).
+    pub bin_start: usize,
+    /// Number of propagations in the bin.
+    pub count: usize,
+    /// RMSE within the bin.
+    pub rmse: f64,
+}
+
+/// Groups pairs by `actual` into bins of `bin_width` and reports RMSE per
+/// bin, ascending. §3 uses bins "at multiples of 100" (Flixster) and
+/// "at multiples of 20" (Flickr).
+pub fn binned_rmse(pairs: &[(f64, f64)], bin_width: usize) -> Vec<BinnedError> {
+    assert!(bin_width > 0, "bin width must be positive");
+    let mut bins: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for &(a, p) in pairs {
+        let bin = (a.max(0.0) as usize / bin_width) * bin_width;
+        bins.entry(bin).or_default().push((a, p));
+    }
+    bins.into_iter()
+        .map(|(bin_start, members)| BinnedError {
+            bin_start,
+            count: members.len(),
+            rmse: rmse(&members),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_exact_predictions_is_zero() {
+        assert_eq!(rmse(&[(1.0, 1.0), (5.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // Errors 3 and 4 -> sqrt((9 + 16)/2) = sqrt(12.5).
+        let r = rmse(&[(0.0, 3.0), (0.0, 4.0)]);
+        assert!((r - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn binning_groups_by_actual() {
+        let pairs = [(5.0, 6.0), (15.0, 15.0), (17.0, 20.0), (25.0, 24.0)];
+        let bins = binned_rmse(&pairs, 10);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].bin_start, 0);
+        assert_eq!(bins[0].count, 1);
+        assert!((bins[0].rmse - 1.0).abs() < 1e-12);
+        assert_eq!(bins[1].bin_start, 10);
+        assert_eq!(bins[1].count, 2);
+        assert_eq!(bins[2].bin_start, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_rejected() {
+        let _ = binned_rmse(&[(1.0, 1.0)], 0);
+    }
+}

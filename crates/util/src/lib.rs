@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Shared low-level utilities for the `cdim` workspace.
+//!
+//! This crate deliberately has no dependencies. It provides:
+//!
+//! * [`hash`] — an FxHash-style hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases. Integer-keyed maps sit on the hot path of the credit-scan and
+//!   of every learner, where SipHash is measurably slower.
+//! * [`rng`] — a deterministic xoshiro256\*\* PRNG with the handful of
+//!   distributions the workspace needs. Experiments must be reproducible
+//!   bit-for-bit across platforms, which rules out `thread_rng`-style
+//!   nondeterminism in library code.
+//! * [`ord`] — a total-order `f64` wrapper for heaps and sorting.
+//! * [`topk`] — selection of the k largest items by a float key.
+//! * [`mem`] — coarse heap-size accounting used by the scalability
+//!   experiments (Fig 8, Table 4 report memory).
+//! * [`timer`] — a tiny stopwatch for the runtime experiments.
+
+pub mod hash;
+pub mod mem;
+pub mod ord;
+pub mod rng;
+pub mod timer;
+pub mod topk;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use mem::HeapSize;
+pub use ord::OrdF64;
+pub use rng::Rng;
+pub use timer::Timer;

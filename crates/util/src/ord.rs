@@ -1,0 +1,92 @@
+//! Total-order wrapper for `f64`.
+//!
+//! Heaps and sort keys in the CELF queue and the top-k selectors need `Ord`
+//! floats. [`OrdF64`] orders like IEEE-754 except that every NaN compares
+//! equal and greater than all other values, so it never poisons a heap.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order (`NaN` sorts last and equal to itself).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Unwraps the inner float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(x: f64) -> Self {
+        OrdF64(x)
+    }
+}
+
+impl PartialEq for OrdF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.partial_cmp(&other.0).expect("both non-NaN"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64_for_normal_values() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(-1.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(3.5), OrdF64(3.5));
+    }
+
+    #[test]
+    fn nan_sorts_last_and_is_self_equal() {
+        assert!(OrdF64(f64::NAN) > OrdF64(f64::INFINITY));
+        assert_eq!(OrdF64(f64::NAN), OrdF64(f64::NAN));
+    }
+
+    #[test]
+    fn usable_in_binary_heap() {
+        let mut heap = std::collections::BinaryHeap::new();
+        for x in [0.5, 2.0, -1.0, 1.5] {
+            heap.push(OrdF64(x));
+        }
+        assert_eq!(heap.pop(), Some(OrdF64(2.0)));
+        assert_eq!(heap.pop(), Some(OrdF64(1.5)));
+    }
+
+    #[test]
+    fn sort_is_total() {
+        let mut v = vec![OrdF64(f64::NAN), OrdF64(1.0), OrdF64(-2.0), OrdF64(0.0)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(-2.0));
+        assert_eq!(v[1], OrdF64(0.0));
+        assert_eq!(v[2], OrdF64(1.0));
+        assert!(v[3].0.is_nan());
+    }
+}

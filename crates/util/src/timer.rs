@@ -1,0 +1,81 @@
+//! A tiny stopwatch for the runtime experiments (Figs 7–8, Table 4).
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Timer { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts the stopwatch and returns the previous elapsed time.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// Formats a duration compactly (`850ms`, `3.2s`, `2m05s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1.0 {
+        format!("{:.0}ms", secs * 1000.0)
+    } else if secs < 60.0 {
+        format!("{secs:.2}s")
+    } else {
+        let minutes = (secs / 60.0).floor() as u64;
+        format!("{minutes}m{:04.1}s", secs - minutes as f64 * 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let t = Timer::start();
+        let a = t.elapsed();
+        let b = t.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = t.lap();
+        assert!(first >= Duration::from_millis(1));
+        assert!(t.elapsed() < first + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn formats_ranges() {
+        assert_eq!(fmt_duration(Duration::from_millis(850)), "850ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(3.25)), "3.25s");
+        assert_eq!(fmt_duration(Duration::from_secs(125)), "2m05.0s");
+    }
+}

@@ -1,0 +1,62 @@
+//! Scalability of the one-pass scan (Fig 8 in example form).
+//!
+//! Scans growing slices of a large action log and reports throughput,
+//! credit-store size and seed-selection time.
+//!
+//! ```text
+//! cargo run --release --example scalability
+//! ```
+
+use cdim::metrics::Table;
+use cdim::prelude::*;
+use cdim::util::mem::fmt_bytes;
+use cdim::util::Timer;
+
+fn main() {
+    let dataset = cdim::datagen::presets::flixster_large().scaled_down(4).generate();
+    println!(
+        "dataset: {} users, {} edges, {} tuples total",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.log.num_tuples()
+    );
+
+    let policy = CreditPolicy::time_aware(&dataset.graph, &dataset.log);
+    let mut table = Table::new([
+        "#tuples",
+        "scan (s)",
+        "tuples/s",
+        "UC entries",
+        "memory",
+        "select k=25 (s)",
+    ]);
+    for fraction in [0.25, 0.5, 0.75, 1.0] {
+        let budget = (dataset.log.num_tuples() as f64 * fraction) as usize;
+        let log = dataset.log.take_tuples(budget);
+
+        let t = Timer::start();
+        let store = scan(&dataset.graph, &log, &policy, 0.001);
+        let scan_s = t.secs();
+        let entries = store.total_entries();
+        let bytes = store.memory_bytes();
+
+        let t = Timer::start();
+        let selection = CdSelector::new(store).select(25);
+        let select_s = t.secs();
+        assert_eq!(selection.seeds.len(), 25);
+
+        table.row([
+            log.num_tuples().to_string(),
+            format!("{scan_s:.2}"),
+            format!("{:.0}", log.num_tuples() as f64 / scan_s.max(1e-9)),
+            entries.to_string(),
+            fmt_bytes(bytes),
+            format!("{select_s:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "the scan is a single pass over the log — time and memory grow ~linearly\n\
+         with the tuple count, and selection cost is independent of graph size."
+    );
+}

@@ -1,0 +1,248 @@
+//! `cdim` — command-line interface to the credit-distribution model.
+//!
+//! ```text
+//! cdim generate --preset flixster_small --out DIR     synthesize a dataset
+//! cdim stats    --graph G.tsv --log L.tsv             Table-1-style statistics
+//! cdim select   --graph G.tsv --log L.tsv --k 50      influence maximization
+//! cdim predict  --graph G.tsv --log L.tsv --seeds 1,2 spread prediction
+//! ```
+//!
+//! Graphs and logs are the TSV formats of `cdim::actionlog::storage`.
+
+use cdim::actionlog::{stats::log_stats, storage};
+use cdim::graph::stats::graph_stats;
+use cdim::metrics::Table;
+use cdim::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "select" => cmd_select(&flags),
+        "predict" => cmd_predict(&flags),
+        "--help" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  \
+         cdim generate --preset <name>|tiny --out <dir> [--scale N]\n  \
+         cdim stats    --graph <g.tsv> --log <l.tsv>\n  \
+         cdim select   --graph <g.tsv> --log <l.tsv> [--k N] [--lambda F] [--policy uniform|time-aware]\n  \
+         cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...]"
+    );
+}
+
+/// Minimal `--key value` flag parser.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            flags.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Flags(flags))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid --{key}: {raw:?}")),
+        }
+    }
+}
+
+fn load(flags: &Flags) -> Result<(DirectedGraph, ActionLog), String> {
+    let graph_path = flags.require("graph")?;
+    let log_path = flags.require("log")?;
+    let graph = storage::load_graph(Path::new(graph_path))
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let log = storage::load_action_log(Path::new(log_path), graph.num_nodes())
+        .map_err(|e| format!("reading {log_path}: {e}"))?;
+    Ok((graph, log))
+}
+
+fn policy_config(flags: &Flags) -> Result<CdModelConfig, String> {
+    let policy = match flags.get("policy").unwrap_or("time-aware") {
+        "uniform" => PolicyKind::Uniform,
+        "time-aware" => PolicyKind::TimeAware,
+        other => return Err(format!("unknown policy {other:?} (uniform|time-aware)")),
+    };
+    let lambda = flags.get_parsed("lambda", 0.001)?;
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err(format!("--lambda must be in [0, 1], got {lambda}"));
+    }
+    Ok(CdModelConfig { policy, lambda })
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let preset = flags.require("preset")?;
+    let out: PathBuf = flags.require("out")?.into();
+    let scale = flags.get_parsed("scale", 1usize)?;
+    let spec = match preset {
+        "tiny" => cdim::datagen::presets::tiny(),
+        "flixster_small" => cdim::datagen::presets::flixster_small(),
+        "flickr_small" => cdim::datagen::presets::flickr_small(),
+        "flixster_large" => cdim::datagen::presets::flixster_large(),
+        "flickr_large" => cdim::datagen::presets::flickr_large(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let ds = spec.scaled_down(scale.max(1)).generate();
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating {out:?}: {e}"))?;
+    let graph_path = out.join("graph.tsv");
+    let log_path = out.join("log.tsv");
+    storage::save_graph(&ds.graph, &graph_path).map_err(|e| e.to_string())?;
+    storage::save_action_log(&ds.log, &log_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges) and {} ({} traces, {} tuples)",
+        graph_path.display(),
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        log_path.display(),
+        ds.log.num_actions(),
+        ds.log.num_tuples()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let (graph, log) = load(flags)?;
+    let gs = graph_stats(&graph);
+    let ls = log_stats(&log);
+    let mut table = Table::new(["statistic", "value"]);
+    table.row(["nodes".to_string(), gs.nodes.to_string()]);
+    table.row(["directed edges".to_string(), gs.edges.to_string()]);
+    table.row(["avg degree".to_string(), format!("{:.2}", gs.avg_degree)]);
+    table.row(["reciprocity".to_string(), format!("{:.2}", gs.reciprocity)]);
+    table.row(["propagations".to_string(), ls.propagations.to_string()]);
+    table.row(["tuples".to_string(), ls.tuples.to_string()]);
+    table.row(["avg trace size".to_string(), format!("{:.1}", ls.avg_size)]);
+    table.row(["max trace size".to_string(), ls.max_size.to_string()]);
+    table.row(["active users".to_string(), ls.active_users.to_string()]);
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_select(flags: &Flags) -> Result<(), String> {
+    let (graph, log) = load(flags)?;
+    let k = flags.get_parsed("k", 50usize)?;
+    let config = policy_config(flags)?;
+    let timer = cdim::util::Timer::start();
+    let model = CdModel::train(&graph, &log, config);
+    let selection = model.select(k);
+    eprintln!(
+        "trained + selected {} seeds in {:.2}s ({} credit entries, ~{})",
+        selection.seeds.len(),
+        timer.secs(),
+        model.store().total_entries(),
+        cdim::util::mem::fmt_bytes(model.store_memory_bytes()),
+    );
+    let mut table = Table::new(["rank", "user", "marginal gain"]);
+    for (i, (seed, gain)) in selection.seeds.iter().zip(&selection.marginal_gains).enumerate() {
+        table.row([(i + 1).to_string(), seed.to_string(), format!("{gain:.3}")]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Flags;
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let args: Vec<String> = ["--k", "5", "--policy", "uniform"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = Flags::parse(&args).unwrap();
+        assert_eq!(flags.get("k"), Some("5"));
+        assert_eq!(flags.get_parsed("k", 0usize).unwrap(), 5);
+        assert_eq!(flags.get("policy"), Some("uniform"));
+        assert_eq!(flags.get("missing"), None);
+        assert!(flags.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_values_and_dangling_flags() {
+        let bare: Vec<String> = vec!["oops".into()];
+        assert!(Flags::parse(&bare).is_err());
+        let dangling: Vec<String> = vec!["--k".into()];
+        assert!(Flags::parse(&dangling).is_err());
+    }
+
+    #[test]
+    fn get_parsed_falls_back_and_validates() {
+        let flags = Flags::parse(&[]).unwrap();
+        assert_eq!(flags.get_parsed("k", 7usize).unwrap(), 7);
+        let bad: Vec<String> = vec!["--k".into(), "banana".into()];
+        let flags = Flags::parse(&bad).unwrap();
+        assert!(flags.get_parsed::<usize>("k", 0).is_err());
+    }
+}
+
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
+    let (graph, log) = load(flags)?;
+    let config = policy_config(flags)?;
+    let seeds: Vec<u32> = flags
+        .require("seeds")?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("invalid seed id {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    for &s in &seeds {
+        if (s as usize) >= graph.num_nodes() {
+            return Err(format!("seed {s} out of range ({} nodes)", graph.num_nodes()));
+        }
+    }
+    let model = CdModel::train(&graph, &log, config);
+    println!("sigma_cd({seeds:?}) = {:.2}", model.spread(&seeds));
+    Ok(())
+}

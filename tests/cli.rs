@@ -1,0 +1,141 @@
+//! The `cdim` CLI binary works end-to-end on TSV datasets.
+
+use std::process::Command;
+
+fn cdim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cdim"))
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cdim_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_stats_select_predict_pipeline() {
+    let dir = tempdir("pipeline");
+
+    let out = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let graph = dir.join("graph.tsv");
+    let log = dir.join("log.tsv");
+    assert!(graph.exists() && log.exists());
+
+    let out = cdim()
+        .args([
+            "stats",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes"), "{text}");
+    assert!(text.contains("propagations"), "{text}");
+
+    let out = cdim()
+        .args([
+            "select",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 5, "header + rule + 3 seeds: {text}");
+
+    let out = cdim()
+        .args([
+            "predict",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--seeds",
+            "0,1,2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sigma_cd"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_usage() {
+    // No command.
+    let out = cdim().output().unwrap();
+    assert!(!out.status.success());
+
+    // Unknown command.
+    let out = cdim().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing required flag.
+    let out = cdim().args(["select", "--k", "3"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--graph"));
+
+    // Malformed seeds list.
+    let dir = tempdir("badusage");
+    let g = dir.join("graph.tsv");
+    let l = dir.join("log.tsv");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let out = cdim()
+        .args([
+            "predict",
+            "--graph",
+            g.to_str().unwrap(),
+            "--log",
+            l.to_str().unwrap(),
+            "--seeds",
+            "0,banana",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_out_of_range_seed() {
+    let dir = tempdir("range");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let out = cdim()
+        .args([
+            "predict",
+            "--graph",
+            dir.join("graph.tsv").to_str().unwrap(),
+            "--log",
+            dir.join("log.tsv").to_str().unwrap(),
+            "--seeds",
+            "999999",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}
