@@ -127,11 +127,7 @@ impl ActionLog {
     pub fn tuples(&self) -> impl Iterator<Item = ActionTuple> + '_ {
         self.actions().flat_map(move |a| {
             let range = self.range(a);
-            range.map(move |i| ActionTuple {
-                user: self.users[i],
-                action: a,
-                time: self.times[i],
-            })
+            range.map(move |i| ActionTuple { user: self.users[i], action: a, time: self.times[i] })
         })
     }
 
@@ -139,10 +135,7 @@ impl ActionLog {
     /// callers that need many lookups should build their own index).
     pub fn time_of(&self, u: UserId, a: ActionId) -> Option<Timestamp> {
         let range = self.range(a);
-        self.users[range.clone()]
-            .iter()
-            .position(|&x| x == u)
-            .map(|i| self.times[range.start + i])
+        self.users[range.clone()].iter().position(|&x| x == u).map(|i| self.times[range.start + i])
     }
 
     /// Restricts the log to the given dense action ids (in the given
@@ -257,9 +250,7 @@ impl ActionLogBuilder {
     /// ids, and keeps only the earliest record per (user, action).
     pub fn build(mut self) -> ActionLog {
         self.raw.sort_unstable_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then(a.1.partial_cmp(&b.1).expect("finite times"))
-                .then(a.2.cmp(&b.2))
+            a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite times")).then(a.2.cmp(&b.2))
         });
 
         let mut users = Vec::with_capacity(self.raw.len());

@@ -140,9 +140,8 @@ mod tests {
     /// Figure-1-like setup: v -> t, v -> u, t -> u, w -> u, z -> u, t -> z.
     /// Users: v=0, t=1, w=2, z=3, u=4.
     fn figure1() -> (DirectedGraph, ActionLog) {
-        let graph = GraphBuilder::new(5)
-            .edges([(0, 1), (0, 4), (1, 4), (2, 4), (3, 4), (1, 3)])
-            .build();
+        let graph =
+            GraphBuilder::new(5).edges([(0, 1), (0, 4), (1, 4), (2, 4), (3, 4), (1, 3)]).build();
         let mut b = ActionLogBuilder::new(5);
         // Chronology: v, w, t, z, u.
         b.push(0, 0, 1.0);
@@ -164,6 +163,7 @@ mod tests {
         assert_eq!(dag.parents_of(1), &[] as &[u32]); // w has no in-edge from v
         assert_eq!(dag.parents_of(2), &[0]); // t <- v
         assert_eq!(dag.parents_of(3), &[2]); // z <- t
+
         // u's potential influencers: v, t, w, z (all four).
         let mut parents: Vec<u32> = dag.parents_of(4).to_vec();
         parents.sort_unstable();

@@ -28,11 +28,7 @@ pub struct TrainTestSplit {
 pub fn train_test_split(log: &ActionLog, stride: usize) -> TrainTestSplit {
     assert!(stride >= 2, "stride must be at least 2");
     let mut ranked: Vec<ActionId> = log.actions().collect();
-    ranked.sort_by(|&a, &b| {
-        log.action_size(b)
-            .cmp(&log.action_size(a))
-            .then(a.cmp(&b))
-    });
+    ranked.sort_by(|&a, &b| log.action_size(b).cmp(&log.action_size(a)).then(a.cmp(&b)));
 
     let mut train_actions = Vec::new();
     let mut test_actions = Vec::new();
@@ -78,10 +74,7 @@ mod tests {
         let split = train_test_split(&log, 5);
         assert_eq!(split.train.num_actions(), 8);
         assert_eq!(split.test.num_actions(), 2);
-        assert_eq!(
-            split.train.num_tuples() + split.test.num_tuples(),
-            log.num_tuples()
-        );
+        assert_eq!(split.train.num_tuples() + split.test.num_tuples(), log.num_tuples());
     }
 
     #[test]
@@ -97,7 +90,9 @@ mod tests {
     fn traces_stay_whole() {
         let log = graded_log();
         let split = train_test_split(&log, 5);
-        for (side, actions) in [(&split.train, &split.train_actions), (&split.test, &split.test_actions)] {
+        for (side, actions) in
+            [(&split.train, &split.train_actions), (&split.test, &split.test_actions)]
+        {
             for (new_id, &old_id) in actions.iter().enumerate() {
                 assert_eq!(
                     side.users_of(new_id as u32),

@@ -24,11 +24,7 @@ pub fn log_stats(log: &ActionLog) -> LogStats {
     let propagations = log.num_actions();
     let tuples = log.num_tuples();
     let max_size = log.actions().map(|a| log.action_size(a)).max().unwrap_or(0);
-    let active_users = log
-        .actions_per_user()
-        .iter()
-        .filter(|&&c| c > 0)
-        .count();
+    let active_users = log.actions_per_user().iter().filter(|&&c| c > 0).count();
     LogStats {
         propagations,
         tuples,
@@ -62,14 +58,9 @@ mod tests {
 
     fn log() -> ActionLog {
         let mut b = ActionLogBuilder::new(6);
-        for (u, a, t) in [
-            (0, 0, 1.0),
-            (1, 0, 2.0),
-            (2, 0, 3.0),
-            (3, 1, 1.0),
-            (0, 1, 2.0),
-            (5, 2, 1.0),
-        ] {
+        for (u, a, t) in
+            [(0, 0, 1.0), (1, 0, 2.0), (2, 0, 3.0), (3, 1, 1.0), (0, 1, 2.0), (5, 2, 1.0)]
+        {
             b.push(u, a, t);
         }
         b.build()

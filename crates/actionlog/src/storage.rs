@@ -57,14 +57,10 @@ fn parse_field<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, StorageError> {
-    let raw = field.ok_or_else(|| StorageError::Parse {
-        line,
-        message: format!("missing {what} field"),
-    })?;
-    raw.parse().map_err(|_| StorageError::Parse {
-        line,
-        message: format!("invalid {what}: {raw:?}"),
-    })
+    let raw = field
+        .ok_or_else(|| StorageError::Parse { line, message: format!("missing {what} field") })?;
+    raw.parse()
+        .map_err(|_| StorageError::Parse { line, message: format!("invalid {what}: {raw:?}") })
 }
 
 /// Writes `log` as TSV (`user \t external_action_id \t time`).
@@ -78,10 +74,7 @@ pub fn write_action_log<W: Write>(log: &ActionLog, out: W) -> Result<(), Storage
 }
 
 /// Reads a TSV action log. `num_users` fixes the user-id universe.
-pub fn read_action_log<R: io::Read>(
-    input: R,
-    num_users: usize,
-) -> Result<ActionLog, StorageError> {
+pub fn read_action_log<R: io::Read>(input: R, num_users: usize) -> Result<ActionLog, StorageError> {
     let reader = BufReader::new(input);
     let mut builder = ActionLogBuilder::new(num_users);
     let mut line_buf = String::new();
@@ -159,13 +152,8 @@ pub fn read_graph<R: io::Read>(input: R) -> Result<DirectedGraph, StorageError> 
         let v: u32 = parse_field(fields.next(), line_no, "dst")?;
         edges.push((u, v));
     }
-    let n = num_nodes.unwrap_or_else(|| {
-        edges
-            .iter()
-            .map(|&(u, v)| u.max(v) as usize + 1)
-            .max()
-            .unwrap_or(0)
-    });
+    let n = num_nodes
+        .unwrap_or_else(|| edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
     Ok(GraphBuilder::new(n).edges(edges).build())
 }
 

@@ -59,12 +59,10 @@ fn main() {
 
 fn parse(args: &[String], i: &mut usize, what: &str) -> usize {
     *i += 1;
-    args.get(*i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("--{what} requires an integer argument");
-            std::process::exit(2);
-        })
+    args.get(*i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("--{what} requires an integer argument");
+        std::process::exit(2);
+    })
 }
 
 fn usage() {

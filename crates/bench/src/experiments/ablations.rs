@@ -3,7 +3,9 @@
 use crate::config::ExperimentScale;
 use crate::methods::Workbench;
 use cdim_core::model::PolicyKind;
-use cdim_core::{scan, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator, CreditPolicy, MgMode};
+use cdim_core::{
+    scan, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator, CreditPolicy, MgMode,
+};
 use cdim_datagen::presets;
 use cdim_maxim::{celf_select, greedy_select};
 use cdim_metrics::{intersection_size, rmse, Table};
@@ -64,9 +66,8 @@ pub fn celf_vs_greedy(scale: ExperimentScale) {
     let evaluator = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy);
     let k = scale.k.min(10);
 
-    let candidates: Vec<u32> = (0..ds.graph.num_nodes() as u32)
-        .filter(|&u| ds.log.actions_performed_by(u) > 0)
-        .collect();
+    let candidates: Vec<u32> =
+        (0..ds.graph.num_nodes() as u32).filter(|&u| ds.log.actions_performed_by(u) > 0).collect();
     let greedy = cdim_maxim::greedy::greedy_select_from(&evaluator, k, &candidates);
     let celf = cdim_maxim::celf::celf_select_from(&evaluator, k, &candidates);
 

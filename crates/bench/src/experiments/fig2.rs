@@ -27,22 +27,12 @@ pub fn run(scale: ExperimentScale) {
 
 fn print_dataset(wb: &Workbench) {
     let methods = Method::fig2_set();
-    let pairs: Vec<(Method, Vec<(f64, f64)>)> = methods
-        .iter()
-        .map(|&m| (m, prediction_pairs(wb, m)))
-        .collect();
-    let max_actual = pairs[0]
-        .1
-        .iter()
-        .map(|&(a, _)| a)
-        .fold(0.0f64, f64::max);
+    let pairs: Vec<(Method, Vec<(f64, f64)>)> =
+        methods.iter().map(|&m| (m, prediction_pairs(wb, m))).collect();
+    let max_actual = pairs[0].1.iter().map(|&(a, _)| a).fold(0.0f64, f64::max);
     let bin_width = super::auto_bin_width(max_actual, 8);
 
-    println!(
-        "--- {} ({} test traces, bins of {bin_width}) ---",
-        wb.dataset.name,
-        pairs[0].1.len()
-    );
+    println!("--- {} ({} test traces, bins of {bin_width}) ---", wb.dataset.name, pairs[0].1.len());
 
     // RMSE per actual-spread bin (panels a/c).
     let mut table = Table::new(
@@ -54,11 +44,7 @@ fn print_dataset(wb: &Workbench) {
         let mut row = vec![format!("[{}, {})", bin.bin_start, bin.bin_start + bin_width)];
         for (_, p) in &pairs {
             let b = binned_rmse(p, bin_width);
-            let r = b
-                .iter()
-                .find(|x| x.bin_start == bin.bin_start)
-                .map(|x| x.rmse)
-                .unwrap_or(0.0);
+            let r = b.iter().find(|x| x.bin_start == bin.bin_start).map(|x| x.rmse).unwrap_or(0.0);
             row.push(format!("{r:.1}"));
         }
         table.row(row);

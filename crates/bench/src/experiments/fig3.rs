@@ -24,21 +24,22 @@ pub fn run(scale: ExperimentScale) {
 
 fn print_dataset(wb: &Workbench) {
     let methods = Method::fig3_set();
-    let pairs: Vec<(Method, Vec<(f64, f64)>)> = methods
-        .iter()
-        .map(|&m| (m, prediction_pairs(wb, m)))
-        .collect();
+    let pairs: Vec<(Method, Vec<(f64, f64)>)> =
+        methods.iter().map(|&m| (m, prediction_pairs(wb, m))).collect();
     let max_actual = pairs[0].1.iter().map(|&(a, _)| a).fold(0.0f64, f64::max);
     let bin_width = super::auto_bin_width(max_actual, 8);
 
     println!("--- {} (bins of {bin_width}) ---", wb.dataset.name);
-    let mut table = Table::new(
-        std::iter::once("actual-spread bin".to_string()).chain(
-            methods
-                .iter()
-                .map(|m| if *m == Method::Em { "IC".to_string() } else { m.name().to_string() }),
-        ),
-    );
+    let mut table =
+        Table::new(std::iter::once("actual-spread bin".to_string()).chain(methods.iter().map(
+            |m| {
+                if *m == Method::Em {
+                    "IC".to_string()
+                } else {
+                    m.name().to_string()
+                }
+            },
+        )));
     for bin in binned_rmse(&pairs[0].1, bin_width) {
         let mut row = vec![format!("[{}, {})", bin.bin_start, bin.bin_start + bin_width)];
         for (_, p) in &pairs {

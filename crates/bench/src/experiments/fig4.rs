@@ -25,10 +25,8 @@ pub fn run(scale: ExperimentScale) {
 
 fn print_dataset(wb: &Workbench) {
     let methods = Method::fig3_set();
-    let pairs: Vec<(Method, Vec<(f64, f64)>)> = methods
-        .iter()
-        .map(|&m| (m, prediction_pairs(wb, m)))
-        .collect();
+    let pairs: Vec<(Method, Vec<(f64, f64)>)> =
+        methods.iter().map(|&m| (m, prediction_pairs(wb, m))).collect();
 
     // Tolerance grid: ten steps up to a data-driven maximum.
     let max_actual = pairs[0].1.iter().map(|&(a, _)| a).fold(0.0f64, f64::max);
@@ -36,17 +34,16 @@ fn print_dataset(wb: &Workbench) {
     let tolerances: Vec<f64> = (0..=10).map(|i| (i * step) as f64).collect();
 
     println!("--- {} ---", wb.dataset.name);
-    let mut table = Table::new(
-        std::iter::once("abs error ≤".to_string()).chain(
-            methods
-                .iter()
-                .map(|m| if *m == Method::Em { "IC".to_string() } else { m.name().to_string() }),
-        ),
-    );
-    let curves: Vec<Vec<(f64, f64)>> = pairs
-        .iter()
-        .map(|(_, p)| capture_curve(p, &tolerances))
-        .collect();
+    let mut table =
+        Table::new(std::iter::once("abs error ≤".to_string()).chain(methods.iter().map(|m| {
+            if *m == Method::Em {
+                "IC".to_string()
+            } else {
+                m.name().to_string()
+            }
+        })));
+    let curves: Vec<Vec<(f64, f64)>> =
+        pairs.iter().map(|(_, p)| capture_curve(p, &tolerances)).collect();
     for (i, &tol) in tolerances.iter().enumerate() {
         let mut row = vec![format!("{tol:.0}")];
         for curve in &curves {

@@ -23,11 +23,7 @@ pub fn run(scale: ExperimentScale) {
 fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale, use_heuristics: bool) {
     let wb = Workbench::prepare(spec, scale);
     let k = scale.k;
-    let ic = if use_heuristics {
-        wb.select_ic_mia(&wb.em, k)
-    } else {
-        wb.select_ic_mc(&wb.em, k)
-    };
+    let ic = if use_heuristics { wb.select_ic_mia(&wb.em, k) } else { wb.select_ic_mc(&wb.em, k) };
     let lt = if use_heuristics { wb.select_lt_ldag(k) } else { wb.select_lt_mc(k) };
     let cd = wb.select_cd(k);
 
@@ -41,9 +37,7 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale, use_heur
     );
     let mut table = Table::new(std::iter::once("").chain(sets.iter().map(|(n, _)| *n)));
     for (i, (name, _)) in sets.iter().enumerate() {
-        table.row(
-            std::iter::once(name.to_string()).chain(matrix[i].iter().map(|c| c.to_string())),
-        );
+        table.row(std::iter::once(name.to_string()).chain(matrix[i].iter().map(|c| c.to_string())));
     }
     println!("{table}");
     println!(

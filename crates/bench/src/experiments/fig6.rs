@@ -31,17 +31,10 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale, use_heur
 
     let methods: Vec<(&str, Vec<u32>)> = vec![
         ("CD", wb.select_cd(k)),
-        (
-            "LT",
-            if use_heuristics { wb.select_lt_ldag(k) } else { wb.select_lt_mc(k) },
-        ),
+        ("LT", if use_heuristics { wb.select_lt_ldag(k) } else { wb.select_lt_mc(k) }),
         (
             "IC",
-            if use_heuristics {
-                wb.select_ic_mia(&wb.em, k)
-            } else {
-                wb.select_ic_mc(&wb.em, k)
-            },
+            if use_heuristics { wb.select_ic_mia(&wb.em, k) } else { wb.select_ic_mc(&wb.em, k) },
         ),
         ("HighDegree", high_degree_seeds(graph, k)),
         ("PageRank", pagerank_seeds(graph, k)),
@@ -68,10 +61,7 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale, use_heur
 
     // Diagnostics on IC's anomalous seeds (§6's analysis of user 168766).
     let avg_actions = |seeds: &[u32]| {
-        seeds
-            .iter()
-            .map(|&u| wb.split.train.actions_performed_by(u) as f64)
-            .sum::<f64>()
+        seeds.iter().map(|&u| wb.split.train.actions_performed_by(u) as f64).sum::<f64>()
             / seeds.len().max(1) as f64
     };
     let cd_acts = avg_actions(&methods[0].1);
@@ -82,7 +72,5 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale, use_heur
     );
     let cd_final = final_spreads.iter().find(|(n, _)| *n == "CD").unwrap().1;
     let ic_final = final_spreads.iter().find(|(n, _)| *n == "IC").unwrap().1;
-    println!(
-        "shape check: σ_cd(CD seeds) = {cd_final:.1} vs σ_cd(IC seeds) = {ic_final:.1}\n"
-    );
+    println!("shape check: σ_cd(CD seeds) = {cd_final:.1} vs σ_cd(IC seeds) = {ic_final:.1}\n");
 }

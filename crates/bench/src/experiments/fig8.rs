@@ -28,14 +28,8 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale) {
     let total = ds.log.num_tuples();
     println!("--- {} ({} tuples total) ---", ds.name, total);
 
-    let mut table = Table::new([
-        "#tuples",
-        "scan (s)",
-        "select (s)",
-        "total (s)",
-        "UC entries",
-        "memory",
-    ]);
+    let mut table =
+        Table::new(["#tuples", "scan (s)", "select (s)", "total (s)", "UC entries", "memory"]);
     let mut series: Vec<(usize, f64, usize)> = Vec::new();
     for fraction in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let budget = ((total as f64) * fraction) as usize;

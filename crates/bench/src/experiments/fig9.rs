@@ -50,11 +50,7 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale) {
         if (fraction - 1.0).abs() < 1e-9 {
             last_fraction_spread = spread;
         }
-        table.row([
-            log.num_tuples().to_string(),
-            format!("{spread:.1}"),
-            format!("{overlap}/{k}"),
-        ]);
+        table.row([log.num_tuples().to_string(), format!("{spread:.1}"), format!("{overlap}/{k}")]);
     }
     println!("{table}");
     println!(

@@ -17,8 +17,21 @@ use crate::config::ExperimentScale;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 15] = [
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table4", "ablate-credit", "ablate-celf", "ablate-mg", "all",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table4",
+    "ablate-credit",
+    "ablate-celf",
+    "ablate-mg",
+    "all",
 ];
 
 /// Dispatches one experiment by id; returns false for unknown ids.

@@ -45,14 +45,9 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale, use_mia:
         wb.dataset.name,
         if use_mia { "MIA heuristic, as the paper does for Flickr" } else { "MC + CELF" }
     );
-    let mut table = Table::new(
-        std::iter::once("").chain(sets.iter().map(|(n, _)| *n)),
-    );
+    let mut table = Table::new(std::iter::once("").chain(sets.iter().map(|(n, _)| *n)));
     for (i, (name, _)) in sets.iter().enumerate() {
-        table.row(
-            std::iter::once(name.to_string())
-                .chain(matrix[i].iter().map(|c| c.to_string())),
-        );
+        table.row(std::iter::once(name.to_string()).chain(matrix[i].iter().map(|c| c.to_string())));
     }
     println!("{table}");
     let em_pt = matrix[3][4];

@@ -15,9 +15,9 @@ use cdim_datagen::presets::DatasetSpec;
 use cdim_datagen::Dataset;
 use cdim_diffusion::{EdgeProbabilities, IcModel, LtModel, McConfig, MonteCarloEstimator};
 use cdim_learning::{assign, em::EmConfig, em::EmLearner, learn_lt_weights};
-use cdim_maxim::{celf_select, LdagOracle, MiaOracle};
 use cdim_maxim::ldag::LdagConfig;
 use cdim_maxim::mia::MiaConfig;
+use cdim_maxim::{celf_select, LdagOracle, MiaOracle};
 
 /// One test propagation trace: who initiated it, how far it actually went.
 #[derive(Clone, Debug)]
@@ -96,31 +96,23 @@ impl Workbench {
 
     /// The test traces (initiators + actual spread), capped by the scale.
     pub fn test_traces(&self) -> Vec<TestTrace> {
-        let cap = if self.scale.max_test_traces == 0 {
-            usize::MAX
-        } else {
-            self.scale.max_test_traces
-        };
+        let cap =
+            if self.scale.max_test_traces == 0 { usize::MAX } else { self.scale.max_test_traces };
         self.split
             .test
             .actions()
             .take(cap)
             .map(|a| {
                 let dag = PropagationDag::build(&self.split.test, &self.dataset.graph, a);
-                TestTrace {
-                    initiators: dag.initiators(),
-                    actual: dag.len() as f64,
-                }
+                TestTrace { initiators: dag.initiators(), actual: dag.len() as f64 }
             })
             .collect()
     }
 
     /// CELF seed selection under IC/MC with the given probabilities.
     pub fn select_ic_mc(&self, probs: &EdgeProbabilities, k: usize) -> Vec<UserId> {
-        let est = MonteCarloEstimator::new(
-            IcModel::new(&self.dataset.graph, probs),
-            self.mc_config(),
-        );
+        let est =
+            MonteCarloEstimator::new(IcModel::new(&self.dataset.graph, probs), self.mc_config());
         celf_select(&est, k).seeds
     }
 

@@ -61,15 +61,9 @@ pub fn prediction_pairs(wb: &Workbench, method: Method) -> Vec<(f64, f64)> {
         Method::Pt => ic_pairs(wb, &wb.pt, &traces),
         Method::Lt => {
             let est = wb.lt_estimator();
-            traces
-                .iter()
-                .map(|t| (t.actual, est.spread(&t.initiators)))
-                .collect()
+            traces.iter().map(|t| (t.actual, est.spread(&t.initiators))).collect()
         }
-        Method::Cd => traces
-            .iter()
-            .map(|t| (t.actual, wb.cd.spread(&t.initiators)))
-            .collect(),
+        Method::Cd => traces.iter().map(|t| (t.actual, wb.cd.spread(&t.initiators))).collect(),
     }
 }
 
@@ -79,10 +73,7 @@ fn ic_pairs(
     traces: &[crate::methods::TestTrace],
 ) -> Vec<(f64, f64)> {
     let est = wb.ic_estimator(probs);
-    traces
-        .iter()
-        .map(|t| (t.actual, est.spread(&t.initiators)))
-        .collect()
+    traces.iter().map(|t| (t.actual, est.spread(&t.initiators))).collect()
 }
 
 #[cfg(test)]

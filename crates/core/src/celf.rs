@@ -262,10 +262,7 @@ mod tests {
         for x in 1..6u32 {
             let mg = sel.compute_mg(x);
             let expect = reference::sigma_cd(&graph, &log, &policy, &[0, x]) - base;
-            assert!(
-                (mg - expect).abs() < 1e-12,
-                "S={{0}}, x={x}: {mg} vs {expect}"
-            );
+            assert!((mg - expect).abs() < 1e-12, "S={{0}}, x={x}: {mg} vs {expect}");
         }
         // Second update and re-check.
         sel.update(4); // S = {v, z}
@@ -273,10 +270,7 @@ mod tests {
         for x in [1u32, 2, 3, 5] {
             let mg = sel.compute_mg(x);
             let expect = reference::sigma_cd(&graph, &log, &policy, &[0, 4, x]) - base2;
-            assert!(
-                (mg - expect).abs() < 1e-12,
-                "S={{0,4}}, x={x}: {mg} vs {expect}"
-            );
+            assert!((mg - expect).abs() < 1e-12, "S={{0,4}}, x={x}: {mg} vs {expect}");
         }
     }
 

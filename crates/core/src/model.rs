@@ -127,9 +127,7 @@ mod tests {
     use cdim_graph::GraphBuilder;
 
     fn instance() -> (DirectedGraph, ActionLog) {
-        let graph = GraphBuilder::new(5)
-            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
-            .build();
+        let graph = GraphBuilder::new(5).edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).build();
         let mut b = ActionLogBuilder::new(5);
         for a in 0..4u32 {
             let mut t = 0.0;

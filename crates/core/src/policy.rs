@@ -125,10 +125,7 @@ mod tests {
         let fast = PropagationDag::build(&log, &graph, 1);
         let g_slow = policy.edge_credits(&graph, &slow)[0];
         let g_fast = policy.edge_credits(&graph, &fast)[0];
-        assert!(
-            g_fast > g_slow,
-            "shorter delay should earn more credit: {g_fast} vs {g_slow}"
-        );
+        assert!(g_fast > g_slow, "shorter delay should earn more credit: {g_fast} vs {g_slow}");
         // infl(1) = 1/2: only the delay-2 action is within τ = 3.
         let expected_fast = 0.5 * (-2.0f64 / 3.0).exp();
         let expected_slow = 0.5 * (-4.0f64 / 3.0).exp();

@@ -94,14 +94,7 @@ pub fn set_credit(
     seed_set: &[UserId],
 ) -> BTreeMap<UserId, f64> {
     let seeds: Vec<UserId> = seed_set.to_vec();
-    set_credit_restricted(
-        graph,
-        log,
-        policy,
-        a,
-        &move |u| seeds.contains(&u),
-        &|_| true,
-    )
+    set_credit_restricted(graph, log, policy, a, &move |u| seeds.contains(&u), &|_| true)
 }
 
 /// Exact σ_cd(S) = Σ_u (1/A_u) Σ_a Γ_{S,u}(a), by full recomputation.
@@ -143,16 +136,7 @@ mod tests {
     /// Same Figure-1 construction as the scan tests.
     fn figure1() -> (DirectedGraph, ActionLog) {
         let graph = GraphBuilder::new(6)
-            .edges([
-                (0, 2),
-                (1, 2),
-                (0, 3),
-                (2, 4),
-                (0, 5),
-                (2, 5),
-                (3, 5),
-                (4, 5),
-            ])
+            .edges([(0, 2), (1, 2), (0, 3), (2, 4), (0, 5), (2, 5), (3, 5), (4, 5)])
             .build();
         let mut b = ActionLogBuilder::new(6);
         for (u, t) in [(0u32, 0.0), (1, 0.5), (2, 1.0), (3, 1.5), (4, 2.0), (5, 2.5)] {
@@ -174,11 +158,7 @@ mod tests {
         // Paper (§5.2): with S = {v, z}, Γ_{S,u} = 0.875.
         let (graph, log) = figure1();
         let credits = set_credit(&graph, &log, &CreditPolicy::Uniform, 0, &[0, 4]);
-        assert!(
-            (credits[&5] - 0.875).abs() < 1e-12,
-            "Γ_S,u = {}",
-            credits[&5]
-        );
+        assert!((credits[&5] - 0.875).abs() < 1e-12, "Γ_S,u = {}", credits[&5]);
     }
 
     #[test]
@@ -186,14 +166,10 @@ mod tests {
         // Γ^{V−z}_{v,u}: drop relays through z. From the paper's Lemma 1
         // example: Γ^{V−z}_{v,u} = 0.25 + 0.25 + 0.5·0.25 = 0.625.
         let (graph, log) = figure1();
-        let credits = set_credit_restricted(
-            &graph,
-            &log,
-            &CreditPolicy::Uniform,
-            0,
-            &|u| u == 0,
-            &|u| u != 4,
-        );
+        let credits =
+            set_credit_restricted(&graph, &log, &CreditPolicy::Uniform, 0, &|u| u == 0, &|u| {
+                u != 4
+            });
         assert!((credits[&5] - 0.625).abs() < 1e-12, "got {}", credits[&5]);
     }
 

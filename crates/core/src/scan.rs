@@ -32,11 +32,7 @@ pub fn scan(
     lambda: f64,
 ) -> CreditStore {
     assert!(lambda >= 0.0, "lambda must be non-negative");
-    assert_eq!(
-        graph.num_nodes(),
-        log.num_users(),
-        "graph and log must share a user universe"
-    );
+    assert_eq!(graph.num_nodes(), log.num_users(), "graph and log must share a user universe");
     let mut store = CreditStore::new(log.num_users(), log.num_actions(), lambda);
 
     // Per-user action membership and 1/A_u.
@@ -74,11 +70,8 @@ pub fn scan(
                 // this activation. Collect first — we cannot mutate while
                 // iterating the same action's map.
                 sources_scratch.clear();
-                sources_scratch.extend(
-                    credits
-                        .sources_of(v)
-                        .filter(|&(w, c)| w != u && c * gamma >= lambda),
-                );
+                sources_scratch
+                    .extend(credits.sources_of(v).filter(|&(w, c)| w != u && c * gamma >= lambda));
                 for &(w, c) in &sources_scratch {
                     credits.add(w, u, c * gamma);
                 }

@@ -75,13 +75,7 @@ impl CdSpreadEvaluator {
                     })
                     .collect();
                 max_dag_len = max_dag_len.max(dag.len());
-                CompactDag {
-                    users: dag.users().to_vec(),
-                    parent_offsets,
-                    parents,
-                    gammas,
-                    inv_au,
-                }
+                CompactDag { users: dag.users().to_vec(), parent_offsets, parents, gammas, inv_au }
             })
             .collect();
         CdSpreadEvaluator { dags, num_users: log.num_users(), max_dag_len }

@@ -68,25 +68,27 @@ impl ActionCredits {
 
     /// Live `(u, Γ_{v,u})` pairs for influencer `v`.
     pub fn targets_of(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.out.get(&v).into_iter().flatten().filter_map(move |&u| {
-            self.credit.get(&pair_key(v, u)).map(|&c| (u, c))
-        })
+        self.out
+            .get(&v)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&u| self.credit.get(&pair_key(v, u)).map(|&c| (u, c)))
     }
 
     /// Live `(v, Γ_{v,u})` pairs for target `u`.
     pub fn sources_of(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.inc.get(&u).into_iter().flatten().filter_map(move |&v| {
-            self.credit.get(&pair_key(v, u)).map(|&c| (v, c))
-        })
+        self.inc
+            .get(&u)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&v| self.credit.get(&pair_key(v, u)).map(|&c| (v, c)))
     }
 
     /// Iterates every live credit entry as `(v, u, Γ_{v,u})`, in arbitrary
     /// order. This is the cache-friendly bulk view the first CELF pass
     /// uses (one sweep instead of one hash probe per entry).
     pub fn entries(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
-        self.credit
-            .iter()
-            .map(|(&key, &c)| ((key >> 32) as u32, key as u32, c))
+        self.credit.iter().map(|(&key, &c)| ((key >> 32) as u32, key as u32, c))
     }
 
     /// Subtracts `amount` from `Γ_{v,u}` (Lemma 2), clamping at zero and

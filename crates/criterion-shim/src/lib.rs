@@ -1,0 +1,259 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! This workspace builds without network access, so the real `criterion`
+//! crate cannot be fetched. The eight `crates/bench/benches/*.rs` targets
+//! only use a narrow slice of its API — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`Throughput`], [`BatchSize`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — and this crate reimplements exactly that
+//! slice over `std::time::Instant`.
+//!
+//! Semantics: each benchmark is warmed up once, then timed for the group's
+//! configured sample count (default 10, override with the
+//! `CDIM_BENCH_SAMPLES` environment variable). Mean and minimum wall-clock
+//! time per iteration are printed, plus throughput when the group set one.
+//! No statistics, plots, or baseline comparisons — swap the workspace
+//! `criterion` entry back to the crates.io package to get those.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How [`Bencher::iter_batched`] should batch setup outputs.
+///
+/// The shim times every routine invocation individually, so the variants
+/// only exist for signature compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many setup outputs per batch (cheap setup).
+    SmallInput,
+    /// One setup output per batch (expensive setup or large values).
+    LargeInput,
+    /// Re-run setup before every single iteration.
+    PerIteration,
+}
+
+/// Input-size annotation for a benchmark group, used to report throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter value,
+/// e.g. `BenchmarkId::new("lambda", 0.01)` renders as `lambda/0.01`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to every benchmark closure.
+///
+/// Collects one wall-clock sample per configured sample slot; the owning
+/// group prints the aggregate.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self { samples, times: Vec::with_capacity(samples) }
+    }
+
+    /// Time `routine` once per sample (plus one untimed warm-up run).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing sample-count and
+/// throughput configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration input size so results include throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark under this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.criterion.sample_override.unwrap_or(self.sample_size);
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.times);
+        self
+    }
+
+    /// Run one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group. (All reporting already happened per-benchmark.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, times: &[Duration]) {
+        let full = format!("{}/{}", self.name, id);
+        if times.is_empty() {
+            println!("{full:<48} time: [no samples]");
+            return;
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "{full:<48} time: [mean {} | min {} | {} samples]",
+            fmt_duration(mean),
+            fmt_duration(min),
+            times.len()
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                line.push_str(&format!(" thrpt: {per_sec:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                line.push_str(&format!(" thrpt: {per_sec:.0} B/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// The top-level benchmark driver, constructed by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    sample_override: Option<usize>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group with default configuration
+    /// (10 samples, no throughput annotation).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_override = std::env::var("CDIM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(1));
+        self.sample_override = sample_override;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("base", f);
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring the real
+/// criterion macro: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups, mirroring the real criterion
+/// macro: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -193,11 +193,7 @@ mod tests {
         let mut sizes: Vec<usize> = log.actions().map(|a| log.action_size(a)).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let median = sizes[sizes.len() / 2];
-        assert!(
-            sizes[0] >= 5 * median.max(1),
-            "max {} vs median {median}",
-            sizes[0]
-        );
+        assert!(sizes[0] >= 5 * median.max(1), "max {} vs median {median}", sizes[0]);
     }
 
     #[test]
@@ -240,10 +236,7 @@ mod tests {
                 (0..dag.len()).filter(|&i| dag.in_degree(i) > 0).count()
             })
             .sum();
-        assert!(
-            with_parents > log.num_actions() / 2,
-            "only {with_parents} influenced activations"
-        );
+        assert!(with_parents > log.num_actions() / 2, "only {with_parents} influenced activations");
     }
 
     #[test]

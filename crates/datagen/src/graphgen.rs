@@ -120,11 +120,7 @@ mod tests {
         in_degrees.sort_unstable_by(|a, b| b.cmp(a));
         // The top node should hold far more than the mean in-degree.
         let mean = g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!(
-            in_degrees[0] as f64 > 8.0 * mean,
-            "hub degree {} vs mean {mean}",
-            in_degrees[0]
-        );
+        assert!(in_degrees[0] as f64 > 8.0 * mean, "hub degree {} vs mean {mean}", in_degrees[0]);
     }
 
     #[test]
@@ -162,8 +158,14 @@ mod tests {
 
     #[test]
     fn tiny_configs_do_not_panic() {
-        assert_eq!(preferential_attachment(GraphGenConfig { nodes: 0, ..Default::default() }).num_nodes(), 0);
-        assert_eq!(preferential_attachment(GraphGenConfig { nodes: 1, ..Default::default() }).num_edges(), 0);
+        assert_eq!(
+            preferential_attachment(GraphGenConfig { nodes: 0, ..Default::default() }).num_nodes(),
+            0
+        );
+        assert_eq!(
+            preferential_attachment(GraphGenConfig { nodes: 1, ..Default::default() }).num_edges(),
+            0
+        );
         assert_eq!(random_digraph(1, 10, 1).num_edges(), 0);
     }
 }

@@ -91,8 +91,7 @@ impl GroundTruth {
         let mut mean_delay = vec![0.0f64; m];
         for u in graph.nodes() {
             let boost = if is_influencer[u as usize] { config.influencer_boost } else { 1.0 };
-            let saturation =
-                1.0 + config.hub_damping * graph.out_degree(u) as f64 / avg_out;
+            let saturation = 1.0 + config.hub_damping * graph.out_degree(u) as f64 / avg_out;
             for pos in graph.out_range(u) {
                 let x = rng.f64().powf(config.prob_skew);
                 let p = config.min_prob + (config.max_prob - config.min_prob) * x;
@@ -197,13 +196,8 @@ mod tests {
         }
         // The most active user must be sampled far more often than a
         // median-activity user.
-        let top = gt
-            .activity
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let top =
+            gt.activity.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(counts[top] > 1000, "top user sampled {} times", counts[top]);
     }
 

@@ -220,9 +220,6 @@ mod tests {
     #[test]
     fn all_presets_enumerates_four() {
         let names: Vec<_> = all_presets().iter().map(|s| s.name).collect();
-        assert_eq!(
-            names,
-            vec!["flixster_small", "flickr_small", "flixster_large", "flickr_large"]
-        );
+        assert_eq!(names, vec!["flixster_small", "flickr_small", "flixster_large", "flickr_large"]);
     }
 }

@@ -280,10 +280,7 @@ mod tests {
         }
         let m_thr = sum_thr as f64 / n as f64;
         let m_live = sum_live as f64 / n as f64;
-        assert!(
-            (m_thr - m_live).abs() < 0.05,
-            "threshold {m_thr} vs live-edge {m_live}"
-        );
+        assert!((m_thr - m_live).abs() < 0.05, "threshold {m_thr} vs live-edge {m_live}");
     }
 
     #[test]

@@ -128,9 +128,8 @@ impl<M: CascadeSampler> MonteCarloEstimator<M> {
         if threads == 1 {
             let mut rng = Rng::seed_from_u64(self.config.base_seed);
             let mut scratch = self.sampler.make_scratch();
-            let total: u64 = (0..sims)
-                .map(|_| self.sampler.sample(seeds, &mut rng, &mut scratch) as u64)
-                .sum();
+            let total: u64 =
+                (0..sims).map(|_| self.sampler.sample(seeds, &mut rng, &mut scratch) as u64).sum();
             return total as f64 / sims as f64;
         }
 
@@ -143,7 +142,12 @@ impl<M: CascadeSampler> MonteCarloEstimator<M> {
                 .map(|t| {
                     let quota = per + usize::from(t < extra);
                     scope.spawn(move || {
-                        let mut rng = Rng::seed_from_u64(base_seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t as u64 + 1));
+                        let mut rng = Rng::seed_from_u64(
+                            base_seed
+                                ^ (t as u64)
+                                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                    .wrapping_add(t as u64 + 1),
+                        );
                         let mut scratch = sampler.make_scratch();
                         let mut sum = 0u64;
                         for _ in 0..quota {

@@ -104,10 +104,7 @@ impl EdgeProbabilities {
 
     /// Largest incoming weight sum over all nodes.
     pub fn max_in_weight_sum(&self, graph: &DirectedGraph) -> f64 {
-        graph
-            .nodes()
-            .map(|u| self.in_weight_sum(graph, u))
-            .fold(0.0, f64::max)
+        graph.nodes().map(|u| self.in_weight_sum(graph, u)).fold(0.0, f64::max)
     }
 
     /// Rescales each node's incoming weights so they sum to at most 1

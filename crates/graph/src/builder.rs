@@ -16,10 +16,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph with `num_nodes` nodes (ids `0..n`).
     pub fn new(num_nodes: usize) -> Self {
-        assert!(
-            num_nodes <= u32::MAX as usize,
-            "node ids are u32; got {num_nodes} nodes"
-        );
+        assert!(num_nodes <= u32::MAX as usize, "node ids are u32; got {num_nodes} nodes");
         GraphBuilder { num_nodes, edges: Vec::new() }
     }
 
@@ -77,9 +74,8 @@ mod tests {
 
     #[test]
     fn drops_self_loops_and_duplicates() {
-        let g = GraphBuilder::new(3)
-            .edges([(0, 1), (0, 1), (1, 1), (1, 2), (2, 0), (0, 1)])
-            .build();
+        let g =
+            GraphBuilder::new(3).edges([(0, 1), (0, 1), (1, 1), (1, 2), (2, 0), (0, 1)]).build();
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.out_neighbors(0), &[1]);
         assert!(!g.has_edge(1, 1));

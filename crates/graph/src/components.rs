@@ -35,11 +35,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         true
@@ -82,18 +79,8 @@ pub fn largest_component(graph: &DirectedGraph) -> Vec<NodeId> {
     for &l in &labels {
         sizes[l as usize] += 1;
     }
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &s)| s)
-        .map(|(i, _)| i as u32)
-        .unwrap();
-    labels
-        .iter()
-        .enumerate()
-        .filter(|&(_, &l)| l == best)
-        .map(|(i, _)| i as NodeId)
-        .collect()
+    let best = sizes.iter().enumerate().max_by_key(|&(_, &s)| s).map(|(i, _)| i as u32).unwrap();
+    labels.iter().enumerate().filter(|&(_, &l)| l == best).map(|(i, _)| i as NodeId).collect()
 }
 
 #[cfg(test)]
@@ -103,9 +90,7 @@ mod tests {
 
     #[test]
     fn separates_disconnected_pieces() {
-        let g = GraphBuilder::new(6)
-            .edges([(0, 1), (1, 2), (3, 4)])
-            .build();
+        let g = GraphBuilder::new(6).edges([(0, 1), (1, 2), (3, 4)]).build();
         let (labels, count) = weakly_connected_components(&g);
         assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
         assert_eq!(labels[0], labels[1]);
@@ -124,9 +109,7 @@ mod tests {
 
     #[test]
     fn largest_component_is_found() {
-        let g = GraphBuilder::new(7)
-            .edges([(0, 1), (1, 2), (2, 3), (4, 5)])
-            .build();
+        let g = GraphBuilder::new(7).edges([(0, 1), (1, 2), (2, 3), (4, 5)]).build();
         let mut comp = largest_component(&g);
         comp.sort_unstable();
         assert_eq!(comp, vec![0, 1, 2, 3]);

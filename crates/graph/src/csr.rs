@@ -190,9 +190,7 @@ impl DirectedGraph {
 
     /// Iterator over all edges as `(src, dst)` in (src, dst) order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.out_neighbors(u).iter().map(move |&v| (u, v))
-        })
+        self.nodes().flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 }
 
@@ -212,9 +210,7 @@ mod tests {
 
     fn diamond() -> super::DirectedGraph {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
-        GraphBuilder::new(4)
-            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
-            .build()
+        GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build()
     }
 
     #[test]

@@ -55,11 +55,7 @@ pub fn pagerank(graph: &DirectedGraph, config: PageRankConfig) -> (Vec<f64>, usi
                 }
             }
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < config.tolerance {
             return (rank, iter + 1);
@@ -76,9 +72,7 @@ mod tests {
 
     #[test]
     fn scores_sum_to_one() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 0), (2, 3)]).build();
         let (pr, iters) = pagerank(&g, PageRankConfig::default());
         let sum: f64 = pr.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
@@ -88,9 +82,7 @@ mod tests {
     #[test]
     fn hub_outranks_leaves() {
         // Star pointing inward: everyone links to 0.
-        let g = GraphBuilder::new(5)
-            .edges([(1, 0), (2, 0), (3, 0), (4, 0)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(1, 0), (2, 0), (3, 0), (4, 0)]).build();
         let (pr, _) = pagerank(&g, PageRankConfig::default());
         for leaf in 1..5 {
             assert!(pr[0] > pr[leaf], "hub {} vs leaf {}", pr[0], pr[leaf]);

@@ -52,9 +52,7 @@ mod tests {
 
     #[test]
     fn counts_are_correct() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (1, 0), (1, 2), (1, 3)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 0), (1, 2), (1, 3)]).build();
         let s = graph_stats(&g);
         assert_eq!(s.nodes, 4);
         assert_eq!(s.edges, 4);

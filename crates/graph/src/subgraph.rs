@@ -31,10 +31,7 @@ impl InducedSubgraph {
         let mut old_to_new = FxHashMap::default();
         old_to_new.reserve(sorted.len());
         for (new_id, &old_id) in sorted.iter().enumerate() {
-            assert!(
-                (old_id as usize) < parent.num_nodes(),
-                "node {old_id} out of range"
-            );
+            assert!((old_id as usize) < parent.num_nodes(), "node {old_id} out of range");
             old_to_new.insert(old_id, new_id as NodeId);
         }
         let mut builder = GraphBuilder::new(sorted.len());
@@ -66,9 +63,7 @@ mod tests {
 
     #[test]
     fn keeps_internal_edges_only() {
-        let parent = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
-            .build();
+        let parent = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).build();
         let sub = InducedSubgraph::new(&parent, &[0, 1, 2]);
         assert_eq!(sub.graph.num_nodes(), 3);
         assert_eq!(sub.graph.num_edges(), 2); // 0->1, 1->2

@@ -20,11 +20,7 @@ pub struct BfsScratch {
 impl BfsScratch {
     /// Creates scratch space for graphs with up to `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        BfsScratch {
-            visited_epoch: vec![0; num_nodes],
-            epoch: 0,
-            queue: Vec::new(),
-        }
+        BfsScratch { visited_epoch: vec![0; num_nodes], epoch: 0, queue: Vec::new() }
     }
 
     /// Starts a new traversal: clears the visited set in O(1).

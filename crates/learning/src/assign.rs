@@ -18,9 +18,8 @@ pub fn uniform(graph: &DirectedGraph, p: f64) -> EdgeProbabilities {
 pub fn trivalency(graph: &DirectedGraph, seed: u64) -> EdgeProbabilities {
     const LEVELS: [f64; 3] = [0.1, 0.01, 0.001];
     let mut rng = Rng::seed_from_u64(seed);
-    let values: Vec<f64> = (0..graph.num_edges())
-        .map(|_| LEVELS[rng.index(LEVELS.len())])
-        .collect();
+    let values: Vec<f64> =
+        (0..graph.num_edges()).map(|_| LEVELS[rng.index(LEVELS.len())]).collect();
     EdgeProbabilities::from_out_aligned(graph, values)
 }
 
@@ -72,10 +71,7 @@ mod tests {
         let g = diamond();
         let p = trivalency(&g, 7);
         for &x in p.out_view() {
-            assert!(
-                [0.1, 0.01, 0.001].contains(&x),
-                "unexpected probability {x}"
-            );
+            assert!([0.1, 0.01, 0.001].contains(&x), "unexpected probability {x}");
         }
     }
 
@@ -91,6 +87,7 @@ mod tests {
         let p = weighted_cascade(&g);
         assert_eq!(p.get(&g, 0, 1), Some(1.0)); // in_degree(1) = 1
         assert_eq!(p.get(&g, 1, 3), Some(0.5)); // in_degree(3) = 2
+
         // In-weights sum to exactly 1 per node with in-edges: valid LT too.
         assert!((p.in_weight_sum(&g, 3) - 1.0).abs() < 1e-12);
     }

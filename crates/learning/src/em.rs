@@ -122,9 +122,8 @@ impl<'a> EmLearner<'a> {
     pub fn learn(&self, config: EmConfig) -> (EdgeProbabilities, usize) {
         let m = self.graph.num_edges();
         // In-aligned parameter vector; edges with no trials stay 0.
-        let mut p: Vec<f64> = (0..m)
-            .map(|e| if self.trials[e] > 0 { config.initial_p } else { 0.0 })
-            .collect();
+        let mut p: Vec<f64> =
+            (0..m).map(|e| if self.trials[e] > 0 { config.initial_p } else { 0.0 }).collect();
         let mut acc = vec![0.0f64; m];
         let mut iterations = 0;
 
@@ -297,9 +296,7 @@ mod tests {
 
     #[test]
     fn probabilities_always_within_bounds() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)]).build();
         let mut b = ActionLogBuilder::new(4);
         let mut t = 0.0;
         for a in 0..10u32 {

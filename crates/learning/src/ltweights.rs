@@ -71,9 +71,7 @@ mod tests {
 
     #[test]
     fn in_weights_sum_to_one_or_zero() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (2, 1), (3, 1), (0, 3), (1, 2)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (2, 1), (3, 1), (0, 3), (1, 2)]).build();
         let mut b = ActionLogBuilder::new(4);
         let mut t = 0.0;
         for a in 0..8u32 {
@@ -88,10 +86,7 @@ mod tests {
         let w = learn_lt_weights(&g, &log);
         for u in g.nodes() {
             let s = w.in_weight_sum(&g, u);
-            assert!(
-                s.abs() < 1e-12 || (s - 1.0).abs() < 1e-12,
-                "node {u}: sum = {s}"
-            );
+            assert!(s.abs() < 1e-12 || (s - 1.0).abs() < 1e-12, "node {u}: sum = {s}");
         }
     }
 

@@ -52,7 +52,11 @@ impl TemporalModel {
         }
         let total_sum: f64 = delay_sum.iter().sum();
         let total_count: u64 = delay_count.iter().map(|&c| c as u64).sum();
-        let default_tau = if total_count > 0 { (total_sum / total_count as f64).max(f64::MIN_POSITIVE) } else { 1.0 };
+        let default_tau = if total_count > 0 {
+            (total_sum / total_count as f64).max(f64::MIN_POSITIVE)
+        } else {
+            1.0
+        };
         let tau: Vec<f64> = (0..m)
             .map(|e| {
                 if delay_count[e] > 0 {

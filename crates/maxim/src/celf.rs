@@ -49,11 +49,7 @@ pub fn celf_select<O: SpreadOracle>(oracle: &O, k: usize) -> Selection {
 ///
 /// Tie-breaking matches [`crate::greedy::greedy_select_from`]: among equal
 /// gains the smaller node id wins.
-pub fn celf_select_from<O: SpreadOracle>(
-    oracle: &O,
-    k: usize,
-    candidates: &[NodeId],
-) -> Selection {
+pub fn celf_select_from<O: SpreadOracle>(oracle: &O, k: usize, candidates: &[NodeId]) -> Selection {
     let mut unique: Vec<NodeId> = candidates.to_vec();
     unique.sort_unstable();
     unique.dedup();
@@ -137,13 +133,7 @@ mod tests {
     #[test]
     fn matches_greedy_on_coverage_oracle() {
         let o = CoverageOracle {
-            covers: vec![
-                vec![0, 1, 2, 3],
-                vec![2, 3, 4],
-                vec![4, 5],
-                vec![0, 5],
-                vec![6],
-            ],
+            covers: vec![vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5], vec![0, 5], vec![6]],
         };
         let g = greedy_select(&o, 4);
         let c = celf_select(&o, 4);

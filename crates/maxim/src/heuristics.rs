@@ -22,10 +22,7 @@ pub fn pagerank_seeds(graph: &DirectedGraph, k: usize) -> Vec<NodeId> {
 /// `k` distinct uniformly random nodes.
 pub fn random_seeds(graph: &DirectedGraph, k: usize, seed: u64) -> Vec<NodeId> {
     let mut rng = Rng::seed_from_u64(seed);
-    rng.sample_indices(graph.num_nodes(), k)
-        .into_iter()
-        .map(|i| i as NodeId)
-        .collect()
+    rng.sample_indices(graph.num_nodes(), k).into_iter().map(|i| i as NodeId).collect()
 }
 
 #[cfg(test)]
@@ -35,9 +32,7 @@ mod tests {
 
     fn star_plus_chain() -> DirectedGraph {
         // 0 has out-degree 3; chain 4 -> 5 -> 6.
-        GraphBuilder::new(7)
-            .edges([(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)])
-            .build()
+        GraphBuilder::new(7).edges([(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)]).build()
     }
 
     #[test]

@@ -107,10 +107,7 @@ impl LdagOracle {
                         let w = targets[pos];
                         let lw = selected[w as usize];
                         if lw != u32::MAX && lw < lu as u32 {
-                            by_target
-                                .entry(lw)
-                                .or_default()
-                                .push((lu as u32, weights.out(pos)));
+                            by_target.entry(lw).or_default().push((lu as u32, weights.out(pos)));
                         }
                     }
                 }
@@ -170,9 +167,7 @@ impl SpreadOracle for LdagOracle {
         for &s in seeds {
             mask[s as usize] = true;
         }
-        (0..self.num_nodes as NodeId)
-            .map(|v| self.root_ap(v, &mask))
-            .sum()
+        (0..self.num_nodes as NodeId).map(|v| self.root_ap(v, &mask)).sum()
     }
 
     fn universe(&self) -> usize {
@@ -230,9 +225,8 @@ mod tests {
 
     #[test]
     fn monotone_in_seeds() {
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (1, 3)])
-            .build();
+        let g =
+            GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (1, 3)]).build();
         let mut w = EdgeProbabilities::from_fn(&g, |u, v| ((u + v) % 3 + 1) as f64 * 0.25);
         w.normalize_in_weights(&g);
         let oracle = LdagOracle::build(&g, &w, LdagConfig::default());

@@ -131,8 +131,7 @@ impl MiaOracle {
                         }
                     })
                     .collect();
-                let edge_prob: Vec<f64> =
-                    order.iter().map(|&g| parent_prob[g as usize]).collect();
+                let edge_prob: Vec<f64> = order.iter().map(|&g| parent_prob[g as usize]).collect();
                 Arborescence { nodes: order, parent, edge_prob }
             })
             .collect();
@@ -173,9 +172,7 @@ impl SpreadOracle for MiaOracle {
         for &s in seeds {
             mask[s as usize] = true;
         }
-        (0..self.num_nodes as NodeId)
-            .map(|v| self.root_ap(v, &mask))
-            .sum()
+        (0..self.num_nodes as NodeId).map(|v| self.root_ap(v, &mask)).sum()
     }
 
     fn universe(&self) -> usize {
@@ -224,9 +221,8 @@ mod tests {
 
     #[test]
     fn monotone_in_seeds() {
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)])
-            .build();
+        let g =
+            GraphBuilder::new(5).edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)]).build();
         let probs = EdgeProbabilities::uniform(&g, 0.4);
         let oracle = MiaOracle::build(&g, &probs, MiaConfig::default());
         let mut prev = 0.0;
@@ -255,9 +251,7 @@ mod tests {
     #[test]
     fn celf_selects_sensible_seed() {
         // Star with strong hub: the hub must be the first pick.
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
         let probs = EdgeProbabilities::uniform(&g, 0.5);
         let oracle = MiaOracle::build(&g, &probs, MiaConfig::default());
         let sel = celf_select(&oracle, 1);

@@ -72,11 +72,7 @@ pub struct AdditiveOracle {
 impl SpreadOracle for AdditiveOracle {
     fn spread(&self, seeds: &[NodeId]) -> f64 {
         let mut seen = std::collections::HashSet::new();
-        seeds
-            .iter()
-            .filter(|&&s| seen.insert(s))
-            .map(|&s| self.values[s as usize])
-            .sum()
+        seeds.iter().filter(|&&s| seen.insert(s)).map(|&s| self.values[s as usize]).sum()
     }
 
     fn universe(&self) -> usize {
@@ -98,11 +94,7 @@ mod tests {
 
     #[test]
     fn selection_total_gain() {
-        let s = Selection {
-            seeds: vec![3, 1],
-            marginal_gains: vec![4.0, 2.0],
-            evaluations: 10,
-        };
+        let s = Selection { seeds: vec![3, 1], marginal_gains: vec![4.0, 2.0], evaluations: 10 };
         assert_eq!(s.total_gain(), 6.0);
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());

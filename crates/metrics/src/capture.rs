@@ -6,10 +6,7 @@ pub fn capture_ratio_at(pairs: &[(f64, f64)], tolerance: f64) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let captured = pairs
-        .iter()
-        .filter(|&&(a, p)| (a - p).abs() <= tolerance)
-        .count();
+    let captured = pairs.iter().filter(|&&(a, p)| (a - p).abs() <= tolerance).count();
     captured as f64 / pairs.len() as f64
 }
 
@@ -17,10 +14,7 @@ pub fn capture_ratio_at(pairs: &[(f64, f64)], tolerance: f64) -> f64 {
 /// A point `(x, y)` reads: "a fraction `y` of propagations is predicted
 /// within absolute error `x`" (Fig 4's axes).
 pub fn capture_curve(pairs: &[(f64, f64)], tolerances: &[f64]) -> Vec<(f64, f64)> {
-    tolerances
-        .iter()
-        .map(|&t| (t, capture_ratio_at(pairs, t)))
-        .collect()
+    tolerances.iter().map(|&t| (t, capture_ratio_at(pairs, t))).collect()
 }
 
 #[cfg(test)]

@@ -14,9 +14,7 @@ pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
 /// Pairwise intersection matrix over named seed sets;
 /// `matrix[i][j] = |sets[i] ∩ sets[j]|`.
 pub fn intersection_matrix(sets: &[(&str, Vec<u32>)]) -> Vec<Vec<usize>> {
-    sets.iter()
-        .map(|(_, a)| sets.iter().map(|(_, b)| intersection_size(a, b)).collect())
-        .collect()
+    sets.iter().map(|(_, a)| sets.iter().map(|(_, b)| intersection_size(a, b)).collect()).collect()
 }
 
 #[cfg(test)]
@@ -32,11 +30,7 @@ mod tests {
 
     #[test]
     fn matrix_diagonal_is_set_size() {
-        let sets = vec![
-            ("a", vec![1, 2, 3]),
-            ("b", vec![3, 4]),
-            ("c", vec![9]),
-        ];
+        let sets = vec![("a", vec![1, 2, 3]), ("b", vec![3, 4]), ("c", vec![9])];
         let m = intersection_matrix(&sets);
         assert_eq!(m[0][0], 3);
         assert_eq!(m[1][1], 2);

@@ -5,11 +5,7 @@ pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let mse: f64 = pairs
-        .iter()
-        .map(|&(a, p)| (a - p) * (a - p))
-        .sum::<f64>()
-        / pairs.len() as f64;
+    let mse: f64 = pairs.iter().map(|&(a, p)| (a - p) * (a - p)).sum::<f64>() / pairs.len() as f64;
     mse.sqrt()
 }
 

@@ -1,0 +1,283 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the crates.io `proptest` property-testing crate.
+//!
+//! The workspace builds without network access, so the real `proptest`
+//! cannot be fetched. The unit tests under `crates/*/src` use a small,
+//! fixed slice of its API, and this crate reimplements exactly that slice:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn from strategies (`arg in strategy` syntax);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * integer-range strategies (`0u32..30`), tuples of strategies,
+//!   [`collection::vec`], [`sample::subsequence`] and [`bool::ANY`].
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (per-test, derived from the test name), there is no
+//! shrinking — a failing case prints its inputs and re-panics — and the
+//! case count is 64 by default (`PROPTEST_CASES` overrides it).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic test RNG (splitmix64 core) — no platform entropy, so a
+/// failing case reproduces bit-for-bit on every machine.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the RNG for a named test; the name keeps distinct tests from
+    /// sharing a sample sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for b in name.bytes() {
+            state = state.wrapping_mul(31).wrapping_add(b as u64);
+        }
+        Self { state }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-strategy scale.
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The real crate's `Strategy` also supports mapping,
+/// filtering and shrinking; the shim only needs sampling.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64) - (self.start as u64);
+                assert!(span > 0, "empty range strategy {:?}", self);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The unique instance of [`Any`], mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// An inclusive-exclusive size bound for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over existing collections.
+pub mod sample {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy yielding order-preserving subsequences of `values` with a
+    /// length drawn from `size`.
+    pub fn subsequence<T: Clone + Debug>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence { values, size: size.into() }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone + Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.sample(rng).min(self.values.len());
+            // Reservoir-style pick of `want` distinct indices, then emit in
+            // original order to preserve subsequence semantics.
+            let mut picked: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..picked.len() {
+                let j = i + rng.below((picked.len() - i) as u64) as usize;
+                picked.swap(i, j);
+            }
+            picked.truncate(want);
+            picked.sort_unstable();
+            picked.iter().map(|&i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES` override).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The common imports: the [`Strategy`] trait plus the macros (which are
+/// exported at the crate root regardless).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+/// Assert a condition inside a `proptest!` body.
+///
+/// The shim does not shrink, so this is `assert!` — the wrapping macro
+/// prints the generated inputs when the case panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Reject the current case when its inputs don't satisfy a precondition.
+///
+/// Real proptest draws a replacement case; the shim simply skips the body
+/// for this sample (the case still counts toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments [`case_count`] times and
+/// runs the body on each sample. A panicking case prints its inputs first.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for case in 0..$crate::case_count() {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!("proptest case {case} of {} failed with {inputs}", stringify!($name));
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}

@@ -62,11 +62,7 @@ impl<K: HeapSize, V: HeapSize, S: BuildHasher> HeapSize for HashMap<K, V, S> {
         // ~8/7 the length when grown; capacity() already reflects that.
         let slot = std::mem::size_of::<(K, V)>() + 1;
         let table = self.capacity() * slot;
-        table
-            + self
-                .iter()
-                .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
-                .sum::<usize>()
+        table + self.iter().map(|(k, v)| k.heap_bytes() + v.heap_bytes()).sum::<usize>()
     }
 }
 

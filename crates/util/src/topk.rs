@@ -78,9 +78,7 @@ mod tests {
         let scores: Vec<f64> = (0..500).map(|_| rng.f64()).collect();
         let by_heap = top_k_indices(&scores, 25);
         let mut by_sort: Vec<usize> = (0..scores.len()).collect();
-        by_sort.sort_by(|&a, &b| {
-            OrdF64(scores[b]).cmp(&OrdF64(scores[a])).then(a.cmp(&b))
-        });
+        by_sort.sort_by(|&a, &b| OrdF64(scores[b]).cmp(&OrdF64(scores[a])).then(a.cmp(&b)));
         by_sort.truncate(25);
         assert_eq!(by_heap, by_sort);
     }

@@ -5,6 +5,9 @@
 //! weights, MC+CELF) and CD, reporting pairwise overlaps (Fig 5's shape)
 //! and wall-clock time (Fig 7's shape).
 //!
+//! Paper artifact: Fig 5 (seed-set overlap between models) and Fig 7
+//! (runtime comparison; CD vs simulation-based selection).
+//!
 //! ```text
 //! cargo run --release --example model_comparison
 //! ```
@@ -40,11 +43,7 @@ fn main() {
     let cd_seeds = model.select(k).seeds;
     let cd_time = t.secs();
 
-    let sets = vec![
-        ("IC", ic_seeds.clone()),
-        ("LT", lt_seeds.clone()),
-        ("CD", cd_seeds.clone()),
-    ];
+    let sets = vec![("IC", ic_seeds.clone()), ("LT", lt_seeds.clone()), ("CD", cd_seeds.clone())];
     let matrix = intersection_matrix(&sets);
     println!("seed-set overlaps (k = {k}):\n");
     let mut table = Table::new(["", "IC", "LT", "CD", "time (s)"]);

@@ -1,6 +1,10 @@
 //! Quickstart: train the credit-distribution model on an action log and
 //! pick seeds.
 //!
+//! Paper artifact: the end-to-end CD pipeline of §4–5 — the Algorithm-2
+//! log scan, CELF with Theorem-3 marginal gains (Algorithm 3), and σ_cd
+//! (Eq 8) as a spread predictor.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```

@@ -3,6 +3,9 @@
 //! Scans growing slices of a large action log and reports throughput,
 //! credit-store size and seed-selection time.
 //!
+//! Paper artifact: Fig 8 (runtime and memory vs action-log size; the
+//! one-pass scan of Algorithm 2 scales linearly in the log).
+//!
 //! ```text
 //! cargo run --release --example scalability
 //! ```
@@ -22,14 +25,8 @@ fn main() {
     );
 
     let policy = CreditPolicy::time_aware(&dataset.graph, &dataset.log);
-    let mut table = Table::new([
-        "#tuples",
-        "scan (s)",
-        "tuples/s",
-        "UC entries",
-        "memory",
-        "select k=25 (s)",
-    ]);
+    let mut table =
+        Table::new(["#tuples", "scan (s)", "tuples/s", "UC entries", "memory", "select k=25 (s)"]);
     for fraction in [0.25, 0.5, 0.75, 1.0] {
         let budget = (dataset.log.num_tuples() as f64 * fraction) as usize;
         let log = dataset.log.take_tuples(budget);

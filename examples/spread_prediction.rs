@@ -6,6 +6,9 @@
 //! comparing the CD model with EM-learned IC and the weighted-cascade
 //! assignment.
 //!
+//! Paper artifact: Figs 2–4 (spread-prediction accuracy of CD vs IC-EM
+//! and weighted cascade on held-out traces; §3/§6 methodology).
+//!
 //! ```text
 //! cargo run --release --example spread_prediction
 //! ```

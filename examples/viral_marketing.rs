@@ -5,6 +5,9 @@
 //! the budget k and compares the CD seed set against the structural
 //! heuristics a marketer might use instead (top degree, PageRank, random).
 //!
+//! Paper artifact: the §1 motivating scenario and Fig 6 (CD seeds vs
+//! HighDegree/PageRank/Random baselines across budgets k).
+//!
 //! ```text
 //! cargo run --release --example viral_marketing
 //! ```

@@ -71,9 +71,7 @@ impl Flags {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("--{key} requires a value"))?;
+            let value = args.get(i + 1).ok_or_else(|| format!("--{key} requires a value"))?;
             flags.push((key.to_string(), value.clone()));
             i += 2;
         }
@@ -195,10 +193,8 @@ mod tests {
 
     #[test]
     fn parses_key_value_pairs() {
-        let args: Vec<String> = ["--k", "5", "--policy", "uniform"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["--k", "5", "--policy", "uniform"].iter().map(|s| s.to_string()).collect();
         let flags = Flags::parse(&args).unwrap();
         assert_eq!(flags.get("k"), Some("5"));
         assert_eq!(flags.get_parsed("k", 0usize).unwrap(), 5);
@@ -231,11 +227,7 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
     let seeds: Vec<u32> = flags
         .require("seeds")?
         .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<u32>()
-                .map_err(|_| format!("invalid seed id {s:?}"))
-        })
+        .map(|s| s.trim().parse::<u32>().map_err(|_| format!("invalid seed id {s:?}")))
         .collect::<Result<_, _>>()?;
     for &s in &seeds {
         if (s as usize) >= graph.num_nodes() {

@@ -27,13 +27,7 @@ fn generate_stats_select_predict_pipeline() {
     assert!(graph.exists() && log.exists());
 
     let out = cdim()
-        .args([
-            "stats",
-            "--graph",
-            graph.to_str().unwrap(),
-            "--log",
-            log.to_str().unwrap(),
-        ])
+        .args(["stats", "--graph", graph.to_str().unwrap(), "--log", log.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(out.status.success());

@@ -43,17 +43,13 @@ fn cd_selection_equals_generic_greedy_on_exact_oracle() {
     let cd = CdSelector::new(store).select(4);
 
     let evaluator = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy);
-    let candidates: Vec<u32> = (0..ds.graph.num_nodes() as u32)
-        .filter(|&u| ds.log.actions_performed_by(u) > 0)
-        .collect();
+    let candidates: Vec<u32> =
+        (0..ds.graph.num_nodes() as u32).filter(|&u| ds.log.actions_performed_by(u) > 0).collect();
     let greedy = cdim::maxim::greedy::greedy_select_from(&evaluator, 4, &candidates);
 
     let cd_sigma = evaluator.spread(&cd.seeds);
     let greedy_sigma = evaluator.spread(&greedy.seeds);
-    assert!(
-        (cd_sigma - greedy_sigma).abs() < 1e-9,
-        "cd {cd_sigma} vs greedy {greedy_sigma}"
-    );
+    assert!((cd_sigma - greedy_sigma).abs() < 1e-9, "cd {cd_sigma} vs greedy {greedy_sigma}");
 }
 
 #[test]
@@ -63,10 +59,7 @@ fn truncation_trades_accuracy_for_memory_monotonically() {
     let mut prev_entries = usize::MAX;
     for lambda in [0.0, 0.0001, 0.001, 0.01, 0.1] {
         let store = scan(&ds.graph, &ds.log, &policy, lambda);
-        assert!(
-            store.total_entries() <= prev_entries,
-            "entries must shrink as λ grows"
-        );
+        assert!(store.total_entries() <= prev_entries, "entries must shrink as λ grows");
         prev_entries = store.total_entries();
     }
 }

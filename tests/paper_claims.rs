@@ -34,10 +34,7 @@ fn learned_probabilities_beat_weighted_cascade() {
         ));
     }
     let (rmse_em, rmse_wc) = (rmse(&pairs_em), rmse(&pairs_wc));
-    assert!(
-        rmse_em < rmse_wc,
-        "EM ({rmse_em:.1}) must beat WC ({rmse_wc:.1})"
-    );
+    assert!(rmse_em < rmse_wc, "EM ({rmse_em:.1}) must beat WC ({rmse_wc:.1})");
 }
 
 /// §6 (Figs 3–4): the CD model predicts held-out spread at least as well
@@ -65,10 +62,7 @@ fn cd_predicts_at_least_as_well_as_ic_em() {
     let (rmse_cd, rmse_ic) = (rmse(&pairs_cd), rmse(&pairs_ic));
     // Allow a sliver of slack: at this miniature scale the two are close;
     // the full-scale experiments show the real gap.
-    assert!(
-        rmse_cd <= rmse_ic * 1.1,
-        "CD ({rmse_cd:.1}) must not lose to IC+EM ({rmse_ic:.1})"
-    );
+    assert!(rmse_cd <= rmse_ic * 1.1, "CD ({rmse_cd:.1}) must not lose to IC+EM ({rmse_ic:.1})");
 }
 
 /// §5: σ_cd is monotone and submodular on generated data (Theorem 2),
@@ -102,10 +96,7 @@ fn sigma_cd_is_monotone_and_submodular_on_generated_data() {
             with_x.push(x);
             eval.spread(&with_x) - eval.spread(base)
         };
-        assert!(
-            gain(small) + 1e-9 >= gain(large),
-            "submodularity violated at prefix {i}"
-        );
+        assert!(gain(small) + 1e-9 >= gain(large), "submodularity violated at prefix {i}");
     }
 }
 
@@ -126,10 +117,7 @@ fn cd_seeds_differ_from_wc_ic_seeds() {
     // At this miniature scale (≈200 users) the handful of genuinely
     // central users is found by everyone, so we only require the sets to
     // disagree; the full-scale fig5/table2 runs show near-disjointness.
-    assert!(
-        overlap < cd_seeds.len(),
-        "CD {cd_seeds:?} vs WC-IC {wc_seeds:?} must not coincide"
-    );
+    assert!(overlap < cd_seeds.len(), "CD {cd_seeds:?} vs WC-IC {wc_seeds:?} must not coincide");
 }
 
 /// The EM learner recovers the *planted* probabilities on well-observed

@@ -1,0 +1,34 @@
+//! Workspace-wiring smoke test: every `cdim::` re-export path the README
+//! and rustdoc examples rely on must resolve, and the facade's
+//! train → select → evaluate pipeline must run on a tiny synthetic log.
+//!
+//! This exists to catch manifest regressions (a crate dropped from the
+//! workspace, a renamed re-export) before anything subtler does.
+
+use cdim::prelude::*;
+
+#[test]
+fn facade_reexports_resolve_and_pipeline_runs() {
+    // Each sub-crate is reachable under its `cdim::` alias.
+    let ds: cdim::datagen::Dataset = cdim::datagen::presets::tiny().generate();
+    let _: &cdim::graph::DirectedGraph = &ds.graph;
+    let _: &cdim::actionlog::ActionLog = &ds.log;
+
+    // Train → select → evaluate through the prelude types.
+    let split: TrainTestSplit = train_test_split(&ds.log, 5);
+    let model = CdModel::train(&ds.graph, &split.train, CdModelConfig::default());
+    let selection: Selection = model.select(3);
+    assert_eq!(selection.seeds.len(), 3);
+
+    // σ_cd of the chosen set is at least the CELF objective it reported.
+    let sigma = model.spread(&selection.seeds);
+    assert!(sigma >= selection.total_gain() - 1e-9, "{sigma} < {}", selection.total_gain());
+
+    // Leaf crates re-exported by the facade stay usable directly.
+    let mut rng = cdim::util::Rng::seed_from_u64(7);
+    let probs: cdim::diffusion::EdgeProbabilities = cdim::learning::uniform(&ds.graph, 0.01);
+    assert_eq!(probs.out_view().len(), ds.graph.num_edges());
+    let spread = cdim::metrics::rmse(&[(1.0, 1.5)]);
+    assert!((spread - 0.5).abs() < 1e-12);
+    let _ = rng.f64();
+}
