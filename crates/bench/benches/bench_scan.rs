@@ -17,7 +17,7 @@ fn bench_scan(c: &mut Criterion) {
             BenchmarkId::new("lambda", format!("{lambda}")),
             &lambda,
             |b, &lambda| {
-                b.iter(|| scan(&ds.graph, &ds.log, &policy, lambda));
+                b.iter(|| scan(&ds.graph, &ds.log, &policy, lambda).unwrap());
             },
         );
     }
@@ -26,10 +26,10 @@ fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan_policy");
     group.sample_size(10);
     group.bench_function("uniform", |b| {
-        b.iter(|| scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.001));
+        b.iter(|| scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.001).unwrap());
     });
     group.bench_function("time_aware", |b| {
-        b.iter(|| scan(&ds.graph, &ds.log, &policy, 0.001));
+        b.iter(|| scan(&ds.graph, &ds.log, &policy, 0.001).unwrap());
     });
     group.finish();
 }

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_select(c: &mut Criterion) {
     let ds = presets::flixster_small().scaled_down(4).generate();
     let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
-    let store = scan(&ds.graph, &ds.log, &policy, 0.001);
+    let store = scan(&ds.graph, &ds.log, &policy, 0.001).unwrap();
 
     let mut group = c.benchmark_group("cd_select");
     group.sample_size(10);

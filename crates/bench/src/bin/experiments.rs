@@ -1,7 +1,7 @@
 //! Experiment harness CLI.
 //!
 //! ```text
-//! experiments <id> [--quick] [--k N] [--sims N] [--scale N] [--traces N]
+//! experiments <id> [--quick] [--k N] [--sims N] [--scale N] [--traces N] [--threads N]
 //! experiments all
 //! experiments list
 //! ```
@@ -41,6 +41,9 @@ fn main() {
             "--traces" => {
                 scale.max_test_traces = parse(&args, &mut i, "traces");
             }
+            "--threads" => {
+                scale.threads = parse(&args, &mut i, "threads");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
@@ -67,7 +70,8 @@ fn parse(args: &[String], i: &mut usize, what: &str) -> usize {
 
 fn usage() {
     eprintln!(
-        "usage: experiments <id>|all|list [--quick] [--k N] [--sims N] [--scale N] [--traces N]"
+        "usage: experiments <id>|all|list [--quick] [--k N] [--sims N] [--scale N] [--traces N] \
+         [--threads N]"
     );
     eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
 }

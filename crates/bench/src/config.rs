@@ -44,8 +44,9 @@ impl ExperimentScale {
 
     /// Describes the scale in the experiment output.
     pub fn describe(&self) -> String {
+        let threads = if self.threads == 0 { "auto".to_string() } else { self.threads.to_string() };
         format!(
-            "scale: dataset 1/{}, {} MC sims (paper: 10k), k = {}, ≤{} test traces",
+            "scale: dataset 1/{}, {} MC sims (paper: 10k), k = {}, ≤{} test traces, {threads} MC threads",
             self.dataset_divisor, self.mc_simulations, self.k, self.max_test_traces
         )
     }

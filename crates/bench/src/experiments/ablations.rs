@@ -109,7 +109,7 @@ pub fn mg_formula(scale: ExperimentScale) {
     let wb = Workbench::prepare(presets::flixster_small(), scale);
     let k = scale.k;
     let policy = CreditPolicy::time_aware(&wb.dataset.graph, &wb.split.train);
-    let make_store = || scan(&wb.dataset.graph, &wb.split.train, &policy, 0.001);
+    let make_store = || scan(&wb.dataset.graph, &wb.split.train, &policy, 0.001).unwrap();
 
     let theorem3 = CdSelector::new(make_store()).select_with_mode(k, MgMode::Theorem3);
     let pseudo = CdSelector::new(make_store()).select_with_mode(k, MgMode::Pseudocode);

@@ -47,7 +47,7 @@ pub fn run(scale: ExperimentScale) {
         // CD time includes the scan, as the paper's reported time does.
         let t = Timer::start();
         let policy = CreditPolicy::time_aware(&wb.dataset.graph, &wb.split.train);
-        let store = scan(&wb.dataset.graph, &wb.split.train, &policy, 0.001);
+        let store = scan(&wb.dataset.graph, &wb.split.train, &policy, 0.001).unwrap();
         let _ = CdSelector::new(store).select(k);
         let cd_s = t.secs();
 

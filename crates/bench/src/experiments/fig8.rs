@@ -38,7 +38,7 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale) {
 
         let t = Timer::start();
         let policy = CreditPolicy::time_aware(&ds.graph, &log);
-        let store = scan(&ds.graph, &log, &policy, 0.001);
+        let store = scan(&ds.graph, &log, &policy, 0.001).unwrap();
         let scan_s = t.secs();
         let entries = store.total_entries();
         let bytes = store.memory_bytes();

@@ -27,7 +27,7 @@ pub fn run(scale: ExperimentScale) {
     let evaluator = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy);
 
     // Reference ("true") seeds at the smallest λ, as the paper defines.
-    let store_ref = scan(&ds.graph, &ds.log, &policy, *LAMBDAS.last().unwrap());
+    let store_ref = scan(&ds.graph, &ds.log, &policy, *LAMBDAS.last().unwrap()).unwrap();
     let true_seeds = CdSelector::new(store_ref).select(k).seeds;
 
     let mut table = Table::new([
@@ -41,7 +41,7 @@ pub fn run(scale: ExperimentScale) {
     let mut spreads = Vec::new();
     for &lambda in &LAMBDAS {
         let t = Timer::start();
-        let store = scan(&ds.graph, &ds.log, &policy, lambda);
+        let store = scan(&ds.graph, &ds.log, &policy, lambda).unwrap();
         let entries = store.total_entries();
         let bytes = store.memory_bytes();
         let seeds = CdSelector::new(store).select(k).seeds;

@@ -18,7 +18,7 @@
 //! `x ∉ V − S` any more, so credits into or out of `x` must not survive
 //! (DESIGN.md §2.2).
 
-use crate::store::{pair_key, CreditStore};
+use crate::store::{pair_key, CreditStore, CreditStoreDump};
 use cdim_maxim::Selection;
 use cdim_util::{FxHashMap, OrdF64};
 use std::cmp::Reverse;
@@ -53,6 +53,28 @@ impl CdSelector {
     /// Read access to the (updated) credit store.
     pub fn store(&self) -> &CreditStore {
         &self.store
+    }
+
+    /// Exports the full selector state (store, SC map, chosen seeds) as
+    /// plain data — the serialization hook snapshot persistence builds on.
+    /// SC entries are emitted in sorted `(action, user)` order, making the
+    /// dump canonical.
+    pub fn dump(&self) -> SelectorDump {
+        let mut sc: Vec<(u32, u32, f64)> =
+            self.sc.iter().map(|(&key, &c)| ((key >> 32) as u32, key as u32, c)).collect();
+        sc.sort_unstable_by_key(|&(a, u, _)| sc_key(a, u));
+        SelectorDump { store: self.store.dump(), sc, seeds: self.seeds.clone() }
+    }
+
+    /// Rebuilds a selector from a [`dump`](Self::dump). Two selectors
+    /// restored from equal dumps answer every query identically (bit-exact
+    /// floating-point sums included).
+    pub fn from_dump(dump: &SelectorDump) -> Self {
+        let mut sc = FxHashMap::default();
+        for &(a, u, c) in &dump.sc {
+            sc.insert(sc_key(a, u), c);
+        }
+        CdSelector { store: CreditStore::from_dump(&dump.store), sc, seeds: dump.seeds.clone() }
     }
 
     /// Theorem-3 marginal gain of adding `x` to the current seed set.
@@ -203,6 +225,17 @@ impl CdSelector {
     }
 }
 
+/// Plain-data image of a [`CdSelector`] (see [`CdSelector::dump`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SelectorDump {
+    /// The (possibly Lemma-2-updated) credit store.
+    pub store: CreditStoreDump,
+    /// `(action, user, Γ_{S,u}(a))` triples sorted by `(action, user)`.
+    pub sc: Vec<(u32, u32, f64)>,
+    /// Seeds chosen so far, in selection order.
+    pub seeds: Vec<u32>,
+}
+
 /// Which marginal-gain formula Algorithm 3 runs with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MgMode {
@@ -242,7 +275,7 @@ mod tests {
     fn first_marginal_gain_is_sigma_singleton() {
         let (graph, log) = figure1();
         let policy = CreditPolicy::Uniform;
-        let store = scan(&graph, &log, &policy, 0.0);
+        let store = scan(&graph, &log, &policy, 0.0).unwrap();
         let sel = CdSelector::new(store);
         for x in 0..6u32 {
             let mg = sel.compute_mg(x);
@@ -255,7 +288,7 @@ mod tests {
     fn marginal_gains_match_reference_after_updates() {
         let (graph, log) = figure1();
         let policy = CreditPolicy::Uniform;
-        let store = scan(&graph, &log, &policy, 0.0);
+        let store = scan(&graph, &log, &policy, 0.0).unwrap();
         let mut sel = CdSelector::new(store);
         sel.update(0); // S = {v}
         let base = reference::sigma_cd(&graph, &log, &policy, &[0]);
@@ -278,7 +311,7 @@ mod tests {
     fn selection_telescopes_to_sigma() {
         let (graph, log) = figure1();
         let policy = CreditPolicy::Uniform;
-        let store = scan(&graph, &log, &policy, 0.0);
+        let store = scan(&graph, &log, &policy, 0.0).unwrap();
         let sel = select_seeds(store, 3);
         let sigma = reference::sigma_cd(&graph, &log, &policy, &sel.seeds);
         assert!(
@@ -293,7 +326,7 @@ mod tests {
     fn matches_exact_greedy() {
         let (graph, log) = figure1();
         let policy = CreditPolicy::Uniform;
-        let store = scan(&graph, &log, &policy, 0.0);
+        let store = scan(&graph, &log, &policy, 0.0).unwrap();
         let cd = select_seeds(store, 3);
         let eval = crate::spread::CdSpreadEvaluator::build(&graph, &log, &policy);
         let greedy = cdim_maxim::greedy_select(&eval, 3);
@@ -307,7 +340,7 @@ mod tests {
         b.push(0, 0, 0.0);
         b.push(1, 0, 1.0);
         let log = b.build();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         let sel = select_seeds(store, 4);
         // Users 2 and 3 never acted: only 0 and 1 are eligible.
         assert_eq!(sel.seeds.len(), 2);
@@ -318,7 +351,7 @@ mod tests {
     #[test]
     fn pseudocode_mg_never_exceeds_theorem3() {
         let (graph, log) = figure1();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         let sel = CdSelector::new(store);
         for x in 0..6u32 {
             let full = sel.compute_mg(x);
@@ -368,7 +401,7 @@ mod tests {
         assert!(sigma(&[0, 1]) < threshold(2) - 1e-12);
         assert!(sigma(&[0, 3]) < threshold(2) - 1e-12);
         // And the CD CELF finds a cover-grade seed set.
-        let store = scan(&graph, &log, &policy, 0.0);
+        let store = scan(&graph, &log, &policy, 0.0).unwrap();
         let sel = select_seeds(store, 2);
         assert!(sigma(&sel.seeds) >= threshold(2) - 1e-12);
     }
@@ -407,7 +440,7 @@ mod proptests {
             } else {
                 CreditPolicy::Uniform
             };
-            let store = scan(&graph, &log, &policy, 0.0);
+            let store = scan(&graph, &log, &policy, 0.0).unwrap();
             let cd = select_seeds(store, k);
 
             let eval = CdSpreadEvaluator::build(&graph, &log, &policy);
@@ -446,7 +479,7 @@ mod proptests {
             }
             let log = b.build();
             let policy = CreditPolicy::Uniform;
-            let store = scan(&graph, &log, &policy, 0.0);
+            let store = scan(&graph, &log, &policy, 0.0).unwrap();
             let mut sel = CdSelector::new(store);
             let mut current: Vec<u32> = Vec::new();
 

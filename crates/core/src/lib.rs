@@ -40,9 +40,9 @@ pub mod scan;
 pub mod spread;
 pub mod store;
 
-pub use celf::{select_seeds, CdSelector, MgMode};
+pub use celf::{select_seeds, CdSelector, MgMode, SelectorDump};
 pub use model::{CdModel, CdModelConfig};
 pub use policy::CreditPolicy;
-pub use scan::scan;
+pub use scan::{scan, ScanError};
 pub use spread::CdSpreadEvaluator;
-pub use store::CreditStore;
+pub use store::{CreditStore, CreditStoreDump};

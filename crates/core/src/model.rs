@@ -6,7 +6,7 @@
 
 use crate::celf::CdSelector;
 use crate::policy::CreditPolicy;
-use crate::scan::scan;
+use crate::scan::{scan, ScanError};
 use crate::spread::CdSpreadEvaluator;
 use crate::store::CreditStore;
 use cdim_actionlog::{ActionLog, UserId};
@@ -63,14 +63,26 @@ pub struct CdModel {
 impl CdModel {
     /// Trains the model: learns temporal parameters (if requested), scans
     /// the log into the credit store, and precompiles the evaluator.
+    ///
+    /// Panics on invalid inputs; use [`Self::try_train`] where bad data
+    /// must be rejected as a value (e.g. inside a serving process).
     pub fn train(graph: &DirectedGraph, train_log: &ActionLog, config: CdModelConfig) -> Self {
+        Self::try_train(graph, train_log, config).expect("invalid training inputs")
+    }
+
+    /// Fallible variant of [`Self::train`].
+    pub fn try_train(
+        graph: &DirectedGraph,
+        train_log: &ActionLog,
+        config: CdModelConfig,
+    ) -> Result<Self, ScanError> {
         let policy = match config.policy {
             PolicyKind::Uniform => CreditPolicy::Uniform,
             PolicyKind::TimeAware => CreditPolicy::time_aware(graph, train_log),
         };
-        let store = scan(graph, train_log, &policy, config.lambda);
+        let store = scan(graph, train_log, &policy, config.lambda)?;
         let evaluator = CdSpreadEvaluator::build(graph, train_log, &policy);
-        CdModel { policy, store, evaluator }
+        Ok(CdModel { policy, store, evaluator })
     }
 
     /// The trained credit policy.

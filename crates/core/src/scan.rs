@@ -20,6 +20,44 @@ use crate::store::CreditStore;
 use cdim_actionlog::{ActionLog, PropagationDag};
 use cdim_graph::DirectedGraph;
 
+/// Input validation failures of [`scan`].
+///
+/// The scan is the entry point a long-lived service feeds untrusted
+/// retraining requests into, so bad inputs must surface as values, not
+/// process aborts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScanError {
+    /// The truncation threshold was negative or NaN.
+    InvalidLambda {
+        /// The offending λ.
+        lambda: f64,
+    },
+    /// Graph and log disagree on the user universe, so user ids cannot be
+    /// shared between them.
+    UserUniverseMismatch {
+        /// Nodes in the social graph.
+        graph_nodes: usize,
+        /// Users in the action log.
+        log_users: usize,
+    },
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::InvalidLambda { lambda } => {
+                write!(f, "truncation threshold must be a non-negative number, got {lambda}")
+            }
+            ScanError::UserUniverseMismatch { graph_nodes, log_users } => write!(
+                f,
+                "graph and log must share a user universe ({graph_nodes} nodes vs {log_users} users)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
 /// Scans `log` and builds the [`CreditStore`].
 ///
 /// `lambda` is the truncation threshold (§5.3): credit increments below it
@@ -30,9 +68,16 @@ pub fn scan(
     log: &ActionLog,
     policy: &CreditPolicy,
     lambda: f64,
-) -> CreditStore {
-    assert!(lambda >= 0.0, "lambda must be non-negative");
-    assert_eq!(graph.num_nodes(), log.num_users(), "graph and log must share a user universe");
+) -> Result<CreditStore, ScanError> {
+    if lambda.is_nan() || lambda < 0.0 {
+        return Err(ScanError::InvalidLambda { lambda });
+    }
+    if graph.num_nodes() != log.num_users() {
+        return Err(ScanError::UserUniverseMismatch {
+            graph_nodes: graph.num_nodes(),
+            log_users: log.num_users(),
+        });
+    }
     let mut store = CreditStore::new(log.num_users(), log.num_actions(), lambda);
 
     // Per-user action membership and 1/A_u.
@@ -79,7 +124,7 @@ pub fn scan(
         }
     }
 
-    store
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -125,7 +170,7 @@ mod tests {
     #[test]
     fn reproduces_paper_worked_example() {
         let (graph, log) = figure1();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         let ac = store.action(0);
         assert!((ac.get(0, 2) - 0.5).abs() < 1e-12, "Γ_v,t");
         assert!((ac.get(0, 3) - 1.0).abs() < 1e-12, "Γ_v,w");
@@ -141,7 +186,7 @@ mod tests {
     #[test]
     fn initiators_receive_all_flow() {
         let (graph, log) = figure1();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         let ac = store.action(0);
         // Initiators have no in-edges, so no path passes through one:
         // Γ_{Initiators,u} = Σ_{v ∈ Initiators} Γ_{v,u}, and under the
@@ -153,8 +198,8 @@ mod tests {
     #[test]
     fn truncation_drops_small_credits() {
         let (graph, log) = figure1();
-        let exact = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
-        let truncated = scan(&graph, &log, &CreditPolicy::Uniform, 0.3);
+        let exact = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
+        let truncated = scan(&graph, &log, &CreditPolicy::Uniform, 0.3).unwrap();
         assert!(truncated.total_entries() < exact.total_entries());
         // γ = 0.25 edges into u are below λ = 0.3 and must be gone.
         assert_eq!(truncated.action(0).get(3, 5), 0.0);
@@ -165,7 +210,7 @@ mod tests {
     #[test]
     fn au_bookkeeping() {
         let (graph, log) = figure1();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         assert_eq!(store.actions_of_user(0), &[0]);
         assert!((store.inv_au(0) - 1.0).abs() < 1e-12);
         assert_eq!(store.inv_au(5), 1.0);
@@ -175,7 +220,7 @@ mod tests {
     fn empty_log_produces_empty_store() {
         let graph = GraphBuilder::new(3).edges([(0, 1)]).build();
         let log = ActionLogBuilder::new(3).build();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         assert_eq!(store.total_entries(), 0);
         assert_eq!(store.num_actions(), 0);
         assert_eq!(store.inv_au(0), 0.0);
@@ -190,7 +235,7 @@ mod tests {
         b.push(0, 1, 0.0);
         b.push(1, 1, 1.0);
         let log = b.build();
-        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
         assert!((store.action(0).get(0, 1) - 1.0).abs() < 1e-12);
         assert!((store.action(1).get(0, 1) - 1.0).abs() < 1e-12);
         assert!((store.inv_au(1) - 0.5).abs() < 1e-12);
@@ -226,7 +271,7 @@ mod proptests {
             } else {
                 CreditPolicy::Uniform
             };
-            let store = scan(&graph, &log, &policy, 0.0);
+            let store = scan(&graph, &log, &policy, 0.0).unwrap();
 
             for a in log.actions() {
                 let expected = reference::pairwise_credit(&graph, &log, &policy, a);
@@ -261,7 +306,7 @@ mod proptests {
                 b.push(u, a, t as f64);
             }
             let log = b.build();
-            let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+            let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
             for a in log.actions() {
                 let dag = cdim_actionlog::PropagationDag::build(&log, &graph, a);
                 let initiators = dag.initiators();
@@ -292,10 +337,10 @@ mod proptests {
                 b.push(u, a, t as f64);
             }
             let log = b.build();
-            let exact = scan(&graph, &log, &CreditPolicy::Uniform, 0.0);
+            let exact = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
             let mut prev_entries = exact.total_entries();
             for lambda in [0.01, 0.1, 0.5] {
-                let trunc = scan(&graph, &log, &CreditPolicy::Uniform, lambda);
+                let trunc = scan(&graph, &log, &CreditPolicy::Uniform, lambda).unwrap();
                 prop_assert!(trunc.total_entries() <= prev_entries);
                 prev_entries = trunc.total_entries();
                 for a in log.actions() {

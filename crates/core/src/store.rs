@@ -223,6 +223,64 @@ impl HeapSize for CreditStore {
     }
 }
 
+/// A plain-data image of a [`CreditStore`] — the serialization hook the
+/// snapshot format builds on.
+///
+/// Credit entries are emitted in sorted `(v, u)` order per action, so the
+/// dump of a store is canonical: dumping, restoring and dumping again
+/// yields identical data (and identical snapshot bytes) regardless of the
+/// hash-map iteration order inside the live store.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CreditStoreDump {
+    /// Truncation threshold λ the store was built with.
+    pub lambda: f64,
+    /// Dense action ids each user performed (indexed by user).
+    pub user_actions: Vec<Vec<u32>>,
+    /// `1 / A_u` per user.
+    pub inv_au: Vec<f64>,
+    /// Per action, live `(v, u, Γ_{v,u})` triples sorted by `(v, u)`.
+    pub credits: Vec<Vec<(u32, u32, f64)>>,
+}
+
+impl CreditStore {
+    /// Exports the store as plain data (canonical entry order).
+    pub fn dump(&self) -> CreditStoreDump {
+        let credits = self
+            .actions
+            .iter()
+            .map(|ac| {
+                let mut entries: Vec<(u32, u32, f64)> = ac.entries().collect();
+                entries.sort_unstable_by_key(|&(v, u, _)| pair_key(v, u));
+                entries
+            })
+            .collect();
+        CreditStoreDump {
+            lambda: self.lambda,
+            user_actions: self.user_actions.clone(),
+            inv_au: self.inv_au.clone(),
+            credits,
+        }
+    }
+
+    /// Rebuilds a store from a [`dump`](Self::dump).
+    ///
+    /// The adjacency indexes are reconstructed by replaying the entries in
+    /// the dump's canonical order, so two stores restored from equal dumps
+    /// are identical down to iteration order.
+    pub fn from_dump(dump: &CreditStoreDump) -> Self {
+        let mut store = CreditStore::new(dump.user_actions.len(), dump.credits.len(), dump.lambda);
+        store.user_actions.clone_from(&dump.user_actions);
+        store.inv_au.clone_from(&dump.inv_au);
+        for (a, entries) in dump.credits.iter().enumerate() {
+            let ac = &mut store.actions[a];
+            for &(v, u, c) in entries {
+                ac.add(v, u, c);
+            }
+        }
+        store
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

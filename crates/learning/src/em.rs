@@ -291,7 +291,7 @@ mod tests {
         b.push(0, 1, 1.0);
         let log = b.build();
         let (_, iters) = EmLearner::new(&g, &log).learn(EmConfig::default());
-        assert!(iters >= 1 && iters <= 30);
+        assert!((1..=30).contains(&iters));
     }
 
     #[test]

@@ -76,7 +76,7 @@ mod tests {
         let mut t = 0.0;
         for a in 0..8u32 {
             for u in [0u32, 2, 1, 3] {
-                if (a as usize + u as usize) % 2 == 0 {
+                if (a as usize + u as usize).is_multiple_of(2) {
                     t += 1.0;
                     b.push(u, a, t);
                 }

@@ -116,7 +116,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(1234.6), "1235");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(2.34567), "2.35");
         assert_eq!(fmt_f64(0.012345), "0.0123");
     }
 }

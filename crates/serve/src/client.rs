@@ -1,0 +1,109 @@
+//! A blocking client for the query protocol.
+//!
+//! One [`QueryClient`] wraps one TCP connection and issues any number of
+//! sequential requests over it. Clients are cheap; open one per thread for
+//! concurrent load.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
+    ServiceInfo,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Protocol(ProtocolError),
+    /// The server closed the connection instead of answering.
+    Disconnected,
+    /// The server rejected the request with this message.
+    Server(String),
+    /// The server answered with a response of the wrong kind.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::UnexpectedResponse => write!(f, "response kind does not match request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A connected query client.
+pub struct QueryClient {
+    stream: TcpStream,
+}
+
+impl QueryClient {
+    /// Connects to a running influence service.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(QueryClient { stream })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request)).map_err(ProtocolError::Io)?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// The `budget` best seeds with their marginal gains.
+    pub fn top_k(&mut self, budget: u32) -> Result<(Vec<u32>, Vec<f64>), ClientError> {
+        match self.request(&Request::TopKSeeds { budget })? {
+            Response::TopKSeeds { seeds, gains } => Ok((seeds, gains)),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// σ_cd of `seeds`.
+    pub fn spread(&mut self, seeds: &[u32]) -> Result<f64, ClientError> {
+        match self.request(&Request::Spread { seeds: seeds.to_vec() })? {
+            Response::Spread(sigma) => Ok(sigma),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Marginal gain of `candidate` on top of `seeds`.
+    pub fn marginal_gain(&mut self, seeds: &[u32], candidate: u32) -> Result<f64, ClientError> {
+        match self.request(&Request::MarginalGain { seeds: seeds.to_vec(), candidate })? {
+            Response::MarginalGain(gain) => Ok(gain),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Snapshot dimensions and cache counters.
+    pub fn info(&mut self) -> Result<ServiceInfo, ClientError> {
+        match self.request(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}

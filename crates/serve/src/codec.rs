@@ -1,0 +1,19 @@
+//! Little-endian encode primitives shared by the snapshot format and the
+//! wire protocol. (The two decoders keep separate bounds-checked readers
+//! because they report genuinely different error types — rich
+//! truncation/section diagnostics for files, compact ones for frames.)
+
+/// Appends a `u32` in little-endian order.
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 little-endian bit pattern.
+pub(crate) fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}

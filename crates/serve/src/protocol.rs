@@ -1,0 +1,453 @@
+//! The length-prefixed request/response wire protocol.
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! followed by the payload. The first payload byte is an opcode; the rest
+//! is the fixed encoding of that message (u32/f64 little-endian, vectors
+//! as `u32` count + elements — the same primitives as the snapshot
+//! format).
+//!
+//! ## Requests
+//!
+//! | opcode | request       | payload after opcode |
+//! |--------|---------------|----------------------|
+//! | 1      | TopKSeeds     | `budget u32` |
+//! | 2      | Spread        | `n u32 · n × u32 seed` |
+//! | 3      | MarginalGain  | `n u32 · n × u32 seed · candidate u32` |
+//! | 4      | Info          | — |
+//!
+//! ## Responses
+//!
+//! | opcode | response      | payload after opcode |
+//! |--------|---------------|----------------------|
+//! | 1      | TopKSeeds     | `n u32 · n × (seed u32 · gain f64)` |
+//! | 2      | Spread        | `sigma f64` |
+//! | 3      | MarginalGain  | `gain f64` |
+//! | 4      | Info          | `num_users u32 · num_actions u32 · seeds u32 · hits u64 · misses u64` |
+//! | 255    | Error         | `len u32 · len × utf-8 byte` |
+//!
+//! Frames above [`MAX_FRAME_LEN`] are rejected before allocation, so a
+//! garbage length prefix cannot make the server reserve gigabytes.
+
+use crate::codec::{push_f64, push_u32, push_u64};
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame's payload (16 MiB — a 4-million-seed
+/// query, far beyond anything meaningful).
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+const OP_TOPK: u8 = 1;
+const OP_SPREAD: u8 = 2;
+const OP_GAIN: u8 = 3;
+const OP_INFO: u8 = 4;
+const OP_ERROR: u8 = 255;
+
+/// A wire request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Select the `budget` best seeds.
+    TopKSeeds {
+        /// Number of seeds to select.
+        budget: u32,
+    },
+    /// Predict σ_cd of a seed set.
+    Spread {
+        /// The seed set.
+        seeds: Vec<u32>,
+    },
+    /// Marginal gain of `candidate` on top of `seeds`.
+    MarginalGain {
+        /// The existing seed set.
+        seeds: Vec<u32>,
+        /// The candidate user.
+        candidate: u32,
+    },
+    /// Snapshot dimensions and cache counters.
+    Info,
+}
+
+/// Snapshot and cache facts returned by [`Request::Info`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceInfo {
+    /// Users in the served snapshot.
+    pub num_users: u32,
+    /// Actions in the served snapshot.
+    pub num_actions: u32,
+    /// Seeds already committed in the served snapshot.
+    pub committed_seeds: u32,
+    /// Answer-cache hits since the service started.
+    pub cache_hits: u64,
+    /// Answer-cache misses since the service started.
+    pub cache_misses: u64,
+}
+
+/// A wire response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Seeds in selection order with their marginal gains.
+    TopKSeeds {
+        /// Chosen seeds, best first.
+        seeds: Vec<u32>,
+        /// Marginal gain of each seed at its selection step.
+        gains: Vec<f64>,
+    },
+    /// σ_cd of the queried set.
+    Spread(f64),
+    /// The queried marginal gain.
+    MarginalGain(f64),
+    /// Answer to [`Request::Info`].
+    Info(ServiceInfo),
+    /// The request was rejected; the payload explains why.
+    Error(String),
+}
+
+/// Decoding/transport failures.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// A frame length exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The payload ended before a field could be read.
+    Truncated,
+    /// The first payload byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// A structurally invalid payload (bad count, trailing bytes, bad
+    /// UTF-8 in an error message, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte limit")
+            }
+            ProtocolError::Truncated => write!(f, "frame payload truncated"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtocolError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------------ frames
+
+/// Writes one `length · payload` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream at a frame
+/// boundary (the peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(ProtocolError::Truncated),
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated
+        } else {
+            ProtocolError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn push_seeds(out: &mut Vec<u8>, seeds: &[u32]) {
+    push_u32(out, seeds.len() as u32);
+    for &s in seeds {
+        push_u32(out, s);
+    }
+}
+
+/// Serializes a request payload.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match request {
+        Request::TopKSeeds { budget } => {
+            out.push(OP_TOPK);
+            push_u32(&mut out, *budget);
+        }
+        Request::Spread { seeds } => {
+            out.push(OP_SPREAD);
+            push_seeds(&mut out, seeds);
+        }
+        Request::MarginalGain { seeds, candidate } => {
+            out.push(OP_GAIN);
+            push_seeds(&mut out, seeds);
+            push_u32(&mut out, *candidate);
+        }
+        Request::Info => out.push(OP_INFO),
+    }
+    out
+}
+
+/// Serializes a response payload.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match response {
+        Response::TopKSeeds { seeds, gains } => {
+            debug_assert_eq!(seeds.len(), gains.len());
+            out.push(OP_TOPK);
+            push_u32(&mut out, seeds.len() as u32);
+            for (&s, &g) in seeds.iter().zip(gains) {
+                push_u32(&mut out, s);
+                push_f64(&mut out, g);
+            }
+        }
+        Response::Spread(sigma) => {
+            out.push(OP_SPREAD);
+            push_f64(&mut out, *sigma);
+        }
+        Response::MarginalGain(gain) => {
+            out.push(OP_GAIN);
+            push_f64(&mut out, *gain);
+        }
+        Response::Info(info) => {
+            out.push(OP_INFO);
+            push_u32(&mut out, info.num_users);
+            push_u32(&mut out, info.num_actions);
+            push_u32(&mut out, info.committed_seeds);
+            push_u64(&mut out, info.cache_hits);
+            push_u64(&mut out, info.cache_misses);
+        }
+        Response::Error(message) => {
+            out.push(OP_ERROR);
+            let bytes = message.as_bytes();
+            push_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn seeds(&mut self) -> Result<Vec<u32>, ProtocolError> {
+        let n = self.u32()? as usize;
+        if n * 4 > self.buf.len() - self.pos {
+            return Err(ProtocolError::Truncated);
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn done(&self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::Malformed("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+/// Parses a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let request = match r.u8()? {
+        OP_TOPK => Request::TopKSeeds { budget: r.u32()? },
+        OP_SPREAD => Request::Spread { seeds: r.seeds()? },
+        OP_GAIN => {
+            let seeds = r.seeds()?;
+            let candidate = r.u32()?;
+            Request::MarginalGain { seeds, candidate }
+        }
+        OP_INFO => Request::Info,
+        op => return Err(ProtocolError::UnknownOpcode(op)),
+    };
+    r.done()?;
+    Ok(request)
+}
+
+/// Parses a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let response = match r.u8()? {
+        OP_TOPK => {
+            let n = r.u32()? as usize;
+            if n * 12 > payload.len() {
+                return Err(ProtocolError::Truncated);
+            }
+            let mut seeds = Vec::with_capacity(n);
+            let mut gains = Vec::with_capacity(n);
+            for _ in 0..n {
+                seeds.push(r.u32()?);
+                gains.push(r.f64()?);
+            }
+            Response::TopKSeeds { seeds, gains }
+        }
+        OP_SPREAD => Response::Spread(r.f64()?),
+        OP_GAIN => Response::MarginalGain(r.f64()?),
+        OP_INFO => Response::Info(ServiceInfo {
+            num_users: r.u32()?,
+            num_actions: r.u32()?,
+            committed_seeds: r.u32()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+        }),
+        OP_ERROR => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| ProtocolError::Malformed("error message is not UTF-8"))?;
+            Response::Error(message.to_string())
+        }
+        op => return Err(ProtocolError::UnknownOpcode(op)),
+    };
+    r.done()?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::TopKSeeds { budget: 7 },
+            Request::Spread { seeds: vec![] },
+            Request::Spread { seeds: vec![5, 1, 5, 9] },
+            Request::MarginalGain { seeds: vec![2, 3], candidate: 4 },
+            Request::Info,
+        ];
+        for request in requests {
+            let payload = encode_request(&request);
+            assert_eq!(decode_request(&payload).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::TopKSeeds { seeds: vec![4, 2], gains: vec![3.5, 1.25] },
+            Response::TopKSeeds { seeds: vec![], gains: vec![] },
+            Response::Spread(12.75),
+            Response::MarginalGain(-0.0),
+            Response::Info(ServiceInfo {
+                num_users: 100,
+                num_actions: 7,
+                committed_seeds: 2,
+                cache_hits: 5,
+                cache_misses: 9,
+            }),
+            Response::Error("user 9 out of range".to_string()),
+        ];
+        for response in responses {
+            let payload = encode_response(&response);
+            assert_eq!(decode_response(&payload).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::TopKSeeds { budget: 3 })).unwrap();
+        write_frame(&mut wire, &encode_request(&Request::Info)).unwrap();
+        let mut cursor = &wire[..];
+        let a = read_frame(&mut cursor).unwrap().unwrap();
+        let b = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(&a).unwrap(), Request::TopKSeeds { budget: 3 });
+        assert_eq!(decode_request(&b).unwrap(), Request::Info);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        // Length prefix promises more than the stream holds.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3, 4]).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor = &wire[..];
+        assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Truncated)));
+
+        // Absurd length prefix fails before allocating.
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(ProtocolError::FrameTooLarge(n)) if n == MAX_FRAME_LEN + 1
+        ));
+
+        // Mid-length-prefix EOF is truncation, not a clean close.
+        let wire = [1u8, 0];
+        assert!(matches!(read_frame(&mut &wire[..]), Err(ProtocolError::Truncated)));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(matches!(decode_request(&[]), Err(ProtocolError::Truncated)));
+        assert!(matches!(decode_request(&[42]), Err(ProtocolError::UnknownOpcode(42))));
+        // Seed count promising more seeds than the payload holds.
+        let mut bad = vec![2u8]; // OP_SPREAD
+        bad.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(decode_request(&bad), Err(ProtocolError::Truncated)));
+        // Trailing garbage.
+        let mut bad = encode_request(&Request::Info);
+        bad.push(0);
+        assert!(matches!(decode_request(&bad), Err(ProtocolError::Malformed(_))));
+        // Non-UTF-8 error message.
+        let mut bad = vec![255u8];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(decode_response(&bad), Err(ProtocolError::Malformed(_))));
+    }
+}

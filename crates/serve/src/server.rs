@@ -1,0 +1,258 @@
+//! The TCP frontend: a thread-per-connection accept loop.
+//!
+//! [`spawn`] binds a listener (port 0 gives an ephemeral port, reported
+//! via [`ServerHandle::addr`]) and serves frames until the handle is shut
+//! down or dropped. Each connection gets its own thread and processes
+//! requests sequentially; concurrency comes from concurrent connections,
+//! which all share the one [`InfluenceService`] (immutable snapshot +
+//! mutex-guarded cache). Malformed frames produce a `Response::Error` and
+//! close the connection; query-level errors produce a `Response::Error`
+//! and keep it open.
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, ProtocolError, Request, Response,
+    ServiceInfo,
+};
+use crate::service::{Answer, InfluenceService, Query};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection may sit idle (or mid-frame) before its thread
+/// gives up and closes it. With thread-per-connection serving, this is
+/// what keeps hung or silent peers from pinning threads forever.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A running server. Dropping the handle shuts the accept loop down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Already-
+    /// open connections finish their in-flight request and close when the
+    /// client hangs up.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection. A
+        // wildcard bind address is not connectable, so aim at loopback on
+        // the same port in that case.
+        let mut wake_addr = self.addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let woke = TcpStream::connect(wake_addr).is_ok();
+        if let Some(handle) = self.accept_thread.take() {
+            if woke {
+                let _ = handle.join();
+            }
+            // If the wake-up connect failed, joining could block forever
+            // (accept() only re-checks the flag after an incoming event).
+            // Detach instead: the thread exits at the next connection.
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// Binds `addr` and serves `service` on a background accept thread.
+pub fn spawn(
+    service: Arc<InfluenceService>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        accept_loop(&listener, &service, &stop_flag);
+    });
+    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<InfluenceService>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(service);
+        std::thread::spawn(move || {
+            let _ = stream.set_nodelay(true);
+            // A hung peer must not pin this thread forever: reads that
+            // stall past the idle timeout close the connection.
+            let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+            serve_connection(stream, &service);
+        });
+    }
+}
+
+/// Runs the request/response loop for one connection until the peer hangs
+/// up or sends an undecodable frame.
+fn serve_connection(stream: TcpStream, service: &InfluenceService) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean disconnect
+            Err(ProtocolError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return; // idle timeout: drop the connection silently
+            }
+            Err(e) => {
+                let response = Response::Error(format!("protocol error: {e}"));
+                let _ = write_frame(&mut writer, &encode_response(&response));
+                return;
+            }
+        };
+        let response = match decode_request(&payload) {
+            Ok(request) => handle(&request, service),
+            Err(e @ (ProtocolError::UnknownOpcode(_) | ProtocolError::Malformed(_))) => {
+                // The stream is still framed correctly: answer and go on.
+                let _ = write_frame(
+                    &mut writer,
+                    &encode_response(&Response::Error(format!("bad request: {e}"))),
+                );
+                continue;
+            }
+            Err(e) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &encode_response(&Response::Error(format!("bad request: {e}"))),
+                );
+                return;
+            }
+        };
+        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Maps a wire request onto the query engine.
+fn handle(request: &Request, service: &InfluenceService) -> Response {
+    let query = match request {
+        Request::TopKSeeds { budget } => Query::TopKSeeds { budget: *budget },
+        Request::Spread { seeds } => Query::Spread { seeds: seeds.clone() },
+        Request::MarginalGain { seeds, candidate } => {
+            Query::MarginalGain { seeds: seeds.clone(), candidate: *candidate }
+        }
+        Request::Info => {
+            let snapshot = service.snapshot();
+            let stats = service.stats();
+            return Response::Info(ServiceInfo {
+                num_users: snapshot.num_users() as u32,
+                num_actions: snapshot.num_actions() as u32,
+                committed_seeds: snapshot.selector().seeds().len() as u32,
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
+            });
+        }
+    };
+    match service.query(&query) {
+        Ok(Answer::TopKSeeds { seeds, gains }) => Response::TopKSeeds { seeds, gains },
+        Ok(Answer::Spread(sigma)) => Response::Spread(sigma),
+        Ok(Answer::MarginalGain(gain)) => Response::MarginalGain(gain),
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::QueryClient;
+    use crate::snapshot::ModelSnapshot;
+    use cdim_core::{scan, CreditPolicy};
+
+    fn test_service() -> Arc<InfluenceService> {
+        let ds = cdim_datagen::presets::tiny().generate();
+        let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+        let store = scan(&ds.graph, &ds.log, &policy, 0.001).unwrap();
+        Arc::new(InfluenceService::new(ModelSnapshot::from_store(store), 32))
+    }
+
+    #[test]
+    fn serves_all_query_kinds_over_tcp() {
+        let service = test_service();
+        let server = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = QueryClient::connect(server.addr()).unwrap();
+
+        let (seeds, gains) = client.top_k(3).unwrap();
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(gains.len(), 3);
+
+        let sigma = client.spread(&seeds).unwrap();
+        // Canonical-order telescoping vs CELF-order telescoping: equal up
+        // to the λ-truncation error (see service::tests for the exact
+        // canonical-order comparison).
+        assert!((sigma - gains.iter().sum::<f64>()).abs() < 1e-3 * sigma.abs());
+
+        let info = client.info().unwrap();
+        assert_eq!(info.num_users as usize, service.snapshot().num_users());
+
+        // Query-level errors keep the connection usable.
+        let err = client.spread(&[u32::MAX]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert!(client.info().is_ok());
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_frame_gets_an_error_response() {
+        let service = test_service();
+        let server = spawn(service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, &[42, 0, 0]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        match crate::protocol::decode_response(&payload).unwrap() {
+            Response::Error(message) => assert!(message.contains("opcode"), "{message}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_and_rejects_new_connections() {
+        let service = test_service();
+        let server = spawn(service, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // The listener is gone: a fresh connection either fails outright or
+        // is closed without an answer.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut stream) => {
+                write_frame(&mut stream, &encode_response(&Response::Spread(0.0))).unwrap();
+                assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
+            }
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The concurrent influence-query engine.
+//!
+//! An [`InfluenceService`] owns an immutable [`ModelSnapshot`] behind an
+//! `Arc` and answers three query shapes from any number of threads:
+//!
+//! * **top-k seeds** — CELF (Algorithm 3) over the snapshot store;
+//! * **spread** — σ_cd(S) for an arbitrary seed set, computed by
+//!   telescoping Theorem-3 marginal gains over the canonicalized set;
+//! * **marginal gain** — σ_cd(S + x) − σ_cd(S) for a candidate `x`.
+//!
+//! Answers for hot keys are cached in an
+//! [`cdim_util::LruCache`] keyed on *canonicalized* seed sets
+//! (sorted, deduplicated), so `{3, 1}` and `{1, 3, 3}` share one entry and
+//! one floating-point evaluation order. A retrain is published with
+//! [`InfluenceService::publish`]: the `Arc` snapshot is swapped under a
+//! brief write lock and the cache is invalidated, while in-flight queries
+//! keep the old snapshot alive until they finish — zero downtime.
+
+use crate::snapshot::ModelSnapshot;
+use cdim_util::LruCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A query against the current snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// The `budget` best seeds by CELF, with their marginal gains.
+    TopKSeeds {
+        /// Number of seeds to select.
+        budget: u32,
+    },
+    /// Predicted spread σ_cd of an arbitrary seed set.
+    Spread {
+        /// The seed set (any order, duplicates tolerated).
+        seeds: Vec<u32>,
+    },
+    /// Marginal gain of adding `candidate` to `seeds`.
+    MarginalGain {
+        /// The existing seed set.
+        seeds: Vec<u32>,
+        /// The candidate user.
+        candidate: u32,
+    },
+}
+
+/// A successful answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Answer {
+    /// Seeds in selection order with their telescoping marginal gains.
+    TopKSeeds {
+        /// Chosen seeds, best first.
+        seeds: Vec<u32>,
+        /// Marginal gain of each seed at its selection step.
+        gains: Vec<f64>,
+    },
+    /// σ_cd of the queried set.
+    Spread(f64),
+    /// The queried marginal gain.
+    MarginalGain(f64),
+}
+
+/// Why a query was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A user id exceeds the snapshot's user universe.
+    UserOutOfRange {
+        /// The offending user id.
+        user: u32,
+        /// Users in the snapshot.
+        num_users: usize,
+    },
+    /// The marginal-gain candidate is already in the queried seed set.
+    CandidateInSeedSet(u32),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UserOutOfRange { user, num_users } => {
+                write!(f, "user {user} out of range (snapshot has {num_users} users)")
+            }
+            QueryError::CandidateInSeedSet(x) => {
+                write!(f, "candidate {x} is already in the seed set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Cache key: the query with its seed set in canonical form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum CacheKey {
+    TopK(u32),
+    Spread(Vec<u32>),
+    Gain(Vec<u32>, u32),
+}
+
+/// Counters exposed for monitoring and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Queries that had to be computed.
+    pub cache_misses: u64,
+    /// Snapshots published over the service's lifetime (the initial one
+    /// counts as zero).
+    pub snapshots_published: u64,
+}
+
+/// Thread-safe influence-query service over an immutable model snapshot.
+pub struct InfluenceService {
+    /// The served model plus its publish epoch. Reading them as a pair is
+    /// what lets a finished computation prove its answer is not stale
+    /// before caching it.
+    snapshot: RwLock<(u64, Arc<ModelSnapshot>)>,
+    cache: Mutex<LruCache<CacheKey, Answer>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    published: AtomicU64,
+}
+
+impl InfluenceService {
+    /// Wraps `snapshot` with an answer cache of `cache_capacity` entries
+    /// (0 disables caching).
+    pub fn new(snapshot: ModelSnapshot, cache_capacity: usize) -> Self {
+        InfluenceService {
+            snapshot: RwLock::new((0, Arc::new(snapshot))),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently-served snapshot. The returned `Arc` stays valid (and
+    /// the old model stays alive) across concurrent [`publish`] calls.
+    ///
+    /// [`publish`]: Self::publish
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned").1)
+    }
+
+    /// The served snapshot together with its publish epoch.
+    fn snapshot_with_epoch(&self) -> (u64, Arc<ModelSnapshot>) {
+        let guard = self.snapshot.read().expect("snapshot lock poisoned");
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// Current publish epoch.
+    fn epoch(&self) -> u64 {
+        self.snapshot.read().expect("snapshot lock poisoned").0
+    }
+
+    /// Atomically replaces the served snapshot and invalidates the answer
+    /// cache. Queries already in flight finish against the old snapshot;
+    /// new queries see the new one. No query is ever blocked for longer
+    /// than the pointer swap + cache clear.
+    pub fn publish(&self, snapshot: ModelSnapshot) {
+        let next = Arc::new(snapshot);
+        // Bump the epoch together with the swap, *then* clear. A query
+        // that computed against the old snapshot either sees the bumped
+        // epoch and skips its cache insert, or inserted before the bump —
+        // in which case the clear below removes the entry. Either way no
+        // old-model answer survives the publish.
+        {
+            let mut slot = self.snapshot.write().expect("snapshot lock poisoned");
+            *slot = (slot.0 + 1, next);
+        }
+        self.cache.lock().expect("cache lock poisoned").clear();
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache and publish counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            snapshots_published: self.published.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers one query, consulting the LRU cache first.
+    pub fn query(&self, query: &Query) -> Result<Answer, QueryError> {
+        let (epoch, snapshot) = self.snapshot_with_epoch();
+        let key = canonical_key(query, &snapshot)?;
+
+        if let Some(answer) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(answer.clone());
+        }
+
+        let answer = compute(&key, &snapshot);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Cache only when no publish raced the computation (checked while
+        // holding the cache lock, so a concurrent publish's clear either
+        // runs after this insert or is ordered after our epoch check).
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        if self.epoch() == epoch {
+            cache.insert(key, answer.clone());
+        }
+        Ok(answer)
+    }
+}
+
+/// Validates the query against the snapshot and canonicalizes its seed set
+/// (sorted + deduplicated) so equivalent queries share a cache entry and a
+/// summation order.
+fn canonical_key(query: &Query, snapshot: &ModelSnapshot) -> Result<CacheKey, QueryError> {
+    let num_users = snapshot.num_users();
+    let check = |user: u32| {
+        if user as usize >= num_users {
+            Err(QueryError::UserOutOfRange { user, num_users })
+        } else {
+            Ok(())
+        }
+    };
+    match query {
+        Query::TopKSeeds { budget } => Ok(CacheKey::TopK(*budget)),
+        Query::Spread { seeds } => {
+            for &s in seeds {
+                check(s)?;
+            }
+            Ok(CacheKey::Spread(canonicalize(seeds)))
+        }
+        Query::MarginalGain { seeds, candidate } => {
+            for &s in seeds {
+                check(s)?;
+            }
+            check(*candidate)?;
+            let canonical = canonicalize(seeds);
+            if canonical.binary_search(candidate).is_ok() {
+                return Err(QueryError::CandidateInSeedSet(*candidate));
+            }
+            Ok(CacheKey::Gain(canonical, *candidate))
+        }
+    }
+}
+
+fn canonicalize(seeds: &[u32]) -> Vec<u32> {
+    let mut out = seeds.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn compute(key: &CacheKey, snapshot: &ModelSnapshot) -> Answer {
+    match key {
+        CacheKey::TopK(budget) => {
+            let selection = snapshot.selector().clone().select(*budget as usize);
+            Answer::TopKSeeds { seeds: selection.seeds, gains: selection.marginal_gains }
+        }
+        // Single-seed spread and empty-set marginal gain are pure reads:
+        // σ_cd({s}) = mg(s), no Lemma-2/3 update ever runs, so skip the
+        // O(model-size) selector clone that the general walk needs.
+        CacheKey::Spread(seeds) if seeds.len() == 1 => {
+            Answer::Spread(snapshot.selector().compute_mg(seeds[0]))
+        }
+        CacheKey::Spread(seeds) => Answer::Spread(telescoped_spread(snapshot, seeds)),
+        CacheKey::Gain(seeds, candidate) if seeds.is_empty() => {
+            Answer::MarginalGain(snapshot.selector().compute_mg(*candidate))
+        }
+        CacheKey::Gain(seeds, candidate) => {
+            let mut sel = snapshot.selector().clone();
+            for &s in seeds {
+                sel.update(s);
+            }
+            Answer::MarginalGain(sel.compute_mg(*candidate))
+        }
+    }
+}
+
+/// σ_cd(S) via Theorem 3: walk the canonical seed order, accumulating each
+/// seed's marginal gain and applying the Lemma-2/3 update (skipped after
+/// the last seed — nothing reads the selector afterwards).
+fn telescoped_spread(snapshot: &ModelSnapshot, seeds: &[u32]) -> f64 {
+    let mut sel = snapshot.selector().clone();
+    let mut total = 0.0;
+    for (i, &s) in seeds.iter().enumerate() {
+        total += sel.compute_mg(s);
+        if i + 1 < seeds.len() {
+            sel.update(s);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_core::{scan, CdSelector, CreditPolicy};
+
+    fn service(cache: usize) -> InfluenceService {
+        let ds = cdim_datagen::presets::tiny().generate();
+        let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+        let store = scan(&ds.graph, &ds.log, &policy, 0.001).unwrap();
+        InfluenceService::new(ModelSnapshot::from_store(store), cache)
+    }
+
+    #[test]
+    fn topk_matches_offline_selector() {
+        let svc = service(16);
+        let offline = CdSelector::new(svc.snapshot().selector().store().clone()).select(5);
+        match svc.query(&Query::TopKSeeds { budget: 5 }).unwrap() {
+            Answer::TopKSeeds { seeds, gains } => {
+                assert_eq!(seeds, offline.seeds);
+                assert_eq!(gains, offline.marginal_gains);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spread_telescopes_marginal_gains() {
+        let svc = service(16);
+        let Answer::TopKSeeds { seeds, gains } =
+            svc.query(&Query::TopKSeeds { budget: 3 }).unwrap()
+        else {
+            unreachable!()
+        };
+        let Answer::Spread(sigma) = svc.query(&Query::Spread { seeds: seeds.clone() }).unwrap()
+        else {
+            unreachable!()
+        };
+        // The service telescopes in canonical (sorted) seed order; CELF
+        // telescoped in selection order. On a λ-truncated store the
+        // Lemma-2 update algebra is only order-independent up to the
+        // truncation error, so the totals agree approximately…
+        assert!((sigma - gains.iter().sum::<f64>()).abs() < 1e-3 * sigma.abs());
+        // …and exactly against an offline walk in the same canonical order.
+        let mut canonical = seeds;
+        canonical.sort_unstable();
+        let mut offline = CdSelector::new(svc.snapshot().selector().store().clone());
+        let mut expected = 0.0;
+        for &s in &canonical {
+            expected += offline.compute_mg(s);
+            offline.update(s);
+        }
+        assert_eq!(sigma.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn marginal_gain_is_spread_difference() {
+        let svc = service(16);
+        let s = vec![0u32, 1];
+        let Answer::Spread(base) = svc.query(&Query::Spread { seeds: s.clone() }).unwrap() else {
+            unreachable!()
+        };
+        for candidate in 2..svc.snapshot().num_users() as u32 {
+            let Answer::MarginalGain(mg) =
+                svc.query(&Query::MarginalGain { seeds: s.clone(), candidate }).unwrap()
+            else {
+                unreachable!()
+            };
+            let mut with = s.clone();
+            with.push(candidate);
+            let Answer::Spread(bigger) = svc.query(&Query::Spread { seeds: with }).unwrap() else {
+                unreachable!()
+            };
+            assert!(
+                (base + mg - bigger).abs() < 1e-9,
+                "candidate {candidate}: {base} + {mg} vs {bigger}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hit_path_returns_identical_answer() {
+        let svc = service(16);
+        let q = Query::Spread { seeds: vec![3, 1, 2] };
+        let first = svc.query(&q).unwrap();
+        assert_eq!(
+            svc.stats(),
+            ServiceStats { cache_hits: 0, cache_misses: 1, ..Default::default() }
+        );
+        let second = svc.query(&q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(svc.stats().cache_hits, 1);
+        // Permuted and duplicated seed lists hit the same canonical entry.
+        let third = svc.query(&Query::Spread { seeds: vec![2, 3, 1, 1] }).unwrap();
+        assert_eq!(first, third);
+        assert_eq!(
+            svc.stats(),
+            ServiceStats { cache_hits: 2, cache_misses: 1, ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_answers() {
+        let svc = service(0);
+        let q = Query::Spread { seeds: vec![0] };
+        let a = svc.query(&q).unwrap();
+        let b = svc.query(&q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(svc.stats().cache_hits, 0);
+        assert_eq!(svc.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_duplicate_candidate() {
+        let svc = service(4);
+        let n = svc.snapshot().num_users() as u32;
+        assert_eq!(
+            svc.query(&Query::Spread { seeds: vec![n] }),
+            Err(QueryError::UserOutOfRange { user: n, num_users: n as usize })
+        );
+        assert_eq!(
+            svc.query(&Query::MarginalGain { seeds: vec![1, 2], candidate: 2 }),
+            Err(QueryError::CandidateInSeedSet(2))
+        );
+    }
+
+    #[test]
+    fn publish_swaps_snapshot_and_clears_cache() {
+        let svc = service(16);
+        let q = Query::TopKSeeds { budget: 2 };
+        let before = svc.query(&q).unwrap();
+        svc.query(&q).unwrap();
+        assert_eq!(svc.stats().cache_hits, 1);
+
+        // Retrain on a different dataset and hot-swap.
+        let ds = cdim_datagen::presets::tiny().generate();
+        let store = scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.0).unwrap();
+        svc.publish(ModelSnapshot::from_store(store));
+        assert_eq!(svc.stats().snapshots_published, 1);
+
+        // The cache was invalidated: the next query recomputes.
+        let misses_before = svc.stats().cache_misses;
+        let after = svc.query(&q).unwrap();
+        assert_eq!(svc.stats().cache_misses, misses_before + 1);
+        // Same dataset, different policy — answers may differ, but both are
+        // well-formed 2-seed selections.
+        let (Answer::TopKSeeds { seeds: a, .. }, Answer::TopKSeeds { seeds: b, .. }) =
+            (before, after)
+        else {
+            unreachable!()
+        };
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_queries_agree_with_serial_answers() {
+        let svc = std::sync::Arc::new(service(64));
+        let serial: Vec<Answer> = (0..6u32)
+            .map(|u| svc.query(&Query::Spread { seeds: vec![u % 3, u] }).unwrap())
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = std::sync::Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    (0..6u32)
+                        .map(|u| svc.query(&Query::Spread { seeds: vec![u % 3, u] }).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), serial);
+        }
+    }
+}

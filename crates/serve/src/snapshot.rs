@@ -1,0 +1,660 @@
+//! The versioned binary snapshot format.
+//!
+//! A snapshot freezes everything seed selection and spread prediction need
+//! after training — the λ-truncated credit store plus the selector's SC
+//! map and chosen seeds — so a serving process can answer queries without
+//! the action log, the graph, or a rescan (the paper's core claim: the
+//! credit store *is* the model).
+//!
+//! ## Layout (version 1)
+//!
+//! All integers are little-endian; floats are IEEE-754 `f64` bit patterns.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "CDIMSNAP"
+//! 8       4     format version (u32) = 1
+//! 12      …     six sections, in fixed order, each:
+//!                 u32 tag · u64 payload length · payload
+//! end-4   4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! | tag | section      | payload |
+//! |-----|--------------|---------|
+//! | 1   | META         | `lambda f64 · num_users u32 · num_actions u32` |
+//! | 2   | USER_ACTIONS | per user: `count u32 · count × u32 action id` |
+//! | 3   | INV_AU       | `num_users × f64` |
+//! | 4   | CREDITS      | per action: `count u32 · count × (v u32 · u u32 · Γ f64)` |
+//! | 5   | SC           | `count u32 · count × (a u32 · u u32 · Γ f64)` |
+//! | 6   | SEEDS        | `count u32 · count × u32` |
+//!
+//! Credit and SC entries are written in sorted key order, so the encoding
+//! of a model state is *canonical*: `save → load → save` is byte-identical.
+//! Decoding validates the checksum, every index bound, and the sort order,
+//! and returns a typed [`SnapshotError`] instead of panicking on garbage.
+
+use crate::codec::{push_f64, push_u32, push_u64};
+use cdim_core::{CdSelector, CreditStore, CreditStoreDump, SelectorDump};
+use cdim_util::checksum::{crc32, Crc32};
+use std::path::Path;
+
+/// File magic, followed by the version word.
+pub const MAGIC: [u8; 8] = *b"CDIMSNAP";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_META: u32 = 1;
+const TAG_USER_ACTIONS: u32 = 2;
+const TAG_INV_AU: u32 = 3;
+const TAG_CREDITS: u32 = 4;
+const TAG_SC: u32 = 5;
+const TAG_SEEDS: u32 = 6;
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The CRC-32 trailer does not match the file contents.
+    ChecksumMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the file body.
+        computed: u32,
+    },
+    /// The file ended before a field could be read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Structurally invalid contents (bad section order, out-of-range ids,
+    /// unsorted entries, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a cdim snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {FORMAT_VERSION})")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (stored {stored:#010x}, computed {computed:#010x}) — \
+                 file is corrupt"
+            ),
+            SnapshotError::Truncated { needed, available } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, {available} available")
+            }
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// An immutable, fully-trained model state: the unit the query service
+/// holds behind an `Arc` and the unit the snapshot file round-trips.
+#[derive(Clone, Debug)]
+pub struct ModelSnapshot {
+    selector: CdSelector,
+}
+
+impl ModelSnapshot {
+    /// Wraps a freshly scanned credit store (empty seed set).
+    pub fn from_store(store: CreditStore) -> Self {
+        ModelSnapshot { selector: CdSelector::new(store) }
+    }
+
+    /// Wraps an arbitrary selector state (e.g. mid-campaign, with seeds
+    /// already committed).
+    pub fn from_selector(selector: CdSelector) -> Self {
+        ModelSnapshot { selector }
+    }
+
+    /// The frozen selector state.
+    pub fn selector(&self) -> &CdSelector {
+        &self.selector
+    }
+
+    /// Users in the id space.
+    pub fn num_users(&self) -> usize {
+        self.selector.store().num_users()
+    }
+
+    /// Actions the store was scanned over.
+    pub fn num_actions(&self) -> usize {
+        self.selector.store().num_actions()
+    }
+
+    /// Serializes to the version-1 byte format (canonical encoding).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode(&self.selector.dump())
+    }
+
+    /// Deserializes and validates a snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let dump = decode(bytes)?;
+        Ok(ModelSnapshot { selector: CdSelector::from_dump(&dump) })
+    }
+
+    /// Writes the snapshot to `path` (via a sibling temp file + rename, so
+    /// a crash mid-write never leaves a half-written snapshot in place).
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+/// Appends one `tag · length · payload` section built by `fill`.
+fn section(out: &mut Vec<u8>, tag: u32, fill: impl FnOnce(&mut Vec<u8>)) {
+    push_u32(out, tag);
+    let len_at = out.len();
+    push_u64(out, 0);
+    let payload_start = out.len();
+    fill(out);
+    let len = (out.len() - payload_start) as u64;
+    out[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+}
+
+fn encode(dump: &SelectorDump) -> Vec<u8> {
+    let store = &dump.store;
+    let num_users = store.user_actions.len();
+    let num_actions = store.credits.len();
+    let mut out =
+        Vec::with_capacity(64 + store.credits.iter().map(|c| 16 * c.len()).sum::<usize>());
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, FORMAT_VERSION);
+
+    section(&mut out, TAG_META, |o| {
+        push_f64(o, store.lambda);
+        push_u32(o, num_users as u32);
+        push_u32(o, num_actions as u32);
+    });
+    section(&mut out, TAG_USER_ACTIONS, |o| {
+        for actions in &store.user_actions {
+            push_u32(o, actions.len() as u32);
+            for &a in actions {
+                push_u32(o, a);
+            }
+        }
+    });
+    section(&mut out, TAG_INV_AU, |o| {
+        for &x in &store.inv_au {
+            push_f64(o, x);
+        }
+    });
+    section(&mut out, TAG_CREDITS, |o| {
+        for entries in &store.credits {
+            push_u32(o, entries.len() as u32);
+            for &(v, u, c) in entries {
+                push_u32(o, v);
+                push_u32(o, u);
+                push_f64(o, c);
+            }
+        }
+    });
+    section(&mut out, TAG_SC, |o| {
+        push_u32(o, dump.sc.len() as u32);
+        for &(a, u, c) in &dump.sc {
+            push_u32(o, a);
+            push_u32(o, u);
+            push_f64(o, c);
+        }
+    });
+    section(&mut out, TAG_SEEDS, |o| {
+        push_u32(o, dump.seeds.len() as u32);
+        for &s in &dump.seeds {
+            push_u32(o, s);
+        }
+    });
+
+    let crc = crc32(&out);
+    push_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Bounds-checked cursor over the snapshot body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let available = self.buf.len() - self.pos;
+        if n > available {
+            return Err(SnapshotError::Truncated { needed: n, available });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads a `count` field that prefixes `count` items of at least
+    /// `item_size` bytes, rejecting counts the remaining bytes cannot hold
+    /// (so corrupt counts fail fast instead of attempting huge allocations).
+    fn count(&mut self, item_size: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        let needed = n.saturating_mul(item_size);
+        if needed > self.remaining() {
+            return Err(SnapshotError::Truncated { needed, available: self.remaining() });
+        }
+        Ok(n)
+    }
+
+    /// Consumes one section header, checking the tag, and returns the
+    /// payload end offset.
+    fn section(&mut self, expect_tag: u32) -> Result<usize, SnapshotError> {
+        let tag = self.u32()?;
+        if tag != expect_tag {
+            return Err(SnapshotError::Malformed(format!(
+                "expected section tag {expect_tag}, found {tag}"
+            )));
+        }
+        let len = self.u64()? as usize;
+        if len > self.remaining() {
+            return Err(SnapshotError::Truncated { needed: len, available: self.remaining() });
+        }
+        Ok(self.pos + len)
+    }
+
+    /// Asserts the previous section was consumed exactly to its boundary.
+    fn finish_section(&self, end: usize, what: &str) -> Result<(), SnapshotError> {
+        if self.pos != end {
+            return Err(SnapshotError::Malformed(format!(
+                "section {what}: payload length mismatch (at {}, expected {end})",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn decode(bytes: &[u8]) -> Result<SelectorDump, SnapshotError> {
+    // Magic + version + CRC trailer are the minimum plausible file.
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(SnapshotError::Truncated { needed: MAGIC.len() + 8, available: bytes.len() });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let computed = {
+        let mut crc = Crc32::new();
+        crc.update(body);
+        crc.finish()
+    };
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut r = Reader { buf: body, pos: MAGIC.len() };
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+
+    // META
+    let end = r.section(TAG_META)?;
+    let lambda = r.f64()?;
+    let num_users = r.u32()? as usize;
+    let num_actions = r.u32()? as usize;
+    r.finish_section(end, "META")?;
+    if lambda.is_nan() || lambda < 0.0 {
+        return Err(SnapshotError::Malformed(format!("invalid lambda {lambda}")));
+    }
+    // Bound the META counts by what the remaining bytes can possibly hold
+    // (USER_ACTIONS needs ≥4 bytes per user, CREDITS ≥4 per action), so a
+    // resealed-garbage count fails here instead of aborting the process in
+    // a gigantic pre-allocation below.
+    let cap = r.remaining();
+    if num_users.saturating_mul(4) > cap || num_actions.saturating_mul(4) > cap {
+        return Err(SnapshotError::Malformed(format!(
+            "META claims {num_users} users / {num_actions} actions but only {cap} bytes follow"
+        )));
+    }
+
+    // USER_ACTIONS
+    let end = r.section(TAG_USER_ACTIONS)?;
+    let mut user_actions = Vec::with_capacity(num_users);
+    for u in 0..num_users {
+        let n = r.count(4)?;
+        let mut actions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.u32()?;
+            if a as usize >= num_actions {
+                return Err(SnapshotError::Malformed(format!(
+                    "user {u}: action id {a} out of range ({num_actions} actions)"
+                )));
+            }
+            actions.push(a);
+        }
+        user_actions.push(actions);
+    }
+    r.finish_section(end, "USER_ACTIONS")?;
+
+    // INV_AU
+    let end = r.section(TAG_INV_AU)?;
+    let mut inv_au = Vec::with_capacity(num_users);
+    for u in 0..num_users {
+        let x = r.f64()?;
+        if !(0.0..=1.0).contains(&x) {
+            return Err(SnapshotError::Malformed(format!("user {u}: 1/A_u = {x} out of [0, 1]")));
+        }
+        inv_au.push(x);
+    }
+    r.finish_section(end, "INV_AU")?;
+
+    // CREDITS
+    let end = r.section(TAG_CREDITS)?;
+    let mut credits = Vec::with_capacity(num_actions);
+    for a in 0..num_actions {
+        let n = r.count(16)?;
+        let mut entries: Vec<(u32, u32, f64)> = Vec::with_capacity(n);
+        let mut last_key: Option<u64> = None;
+        for _ in 0..n {
+            let v = r.u32()?;
+            let u = r.u32()?;
+            let c = r.f64()?;
+            if v as usize >= num_users || u as usize >= num_users || v == u {
+                return Err(SnapshotError::Malformed(format!(
+                    "action {a}: invalid credit pair ({v}, {u}) for {num_users} users"
+                )));
+            }
+            if !c.is_finite() {
+                return Err(SnapshotError::Malformed(format!(
+                    "action {a}: non-finite credit for ({v}, {u})"
+                )));
+            }
+            let key = (u64::from(v) << 32) | u64::from(u);
+            if last_key.is_some_and(|prev| prev >= key) {
+                return Err(SnapshotError::Malformed(format!(
+                    "action {a}: credit entries not in canonical sorted order"
+                )));
+            }
+            last_key = Some(key);
+            entries.push((v, u, c));
+        }
+        credits.push(entries);
+    }
+    r.finish_section(end, "CREDITS")?;
+
+    // SC
+    let end = r.section(TAG_SC)?;
+    let n = r.count(16)?;
+    let mut sc: Vec<(u32, u32, f64)> = Vec::with_capacity(n);
+    let mut last_key: Option<u64> = None;
+    for _ in 0..n {
+        let a = r.u32()?;
+        let u = r.u32()?;
+        let c = r.f64()?;
+        if a as usize >= num_actions || u as usize >= num_users {
+            return Err(SnapshotError::Malformed(format!("SC entry ({a}, {u}) out of range")));
+        }
+        if !c.is_finite() {
+            return Err(SnapshotError::Malformed(format!("non-finite SC credit for ({a}, {u})")));
+        }
+        let key = (u64::from(a) << 32) | u64::from(u);
+        if last_key.is_some_and(|prev| prev >= key) {
+            return Err(SnapshotError::Malformed(
+                "SC entries not in canonical sorted order".to_string(),
+            ));
+        }
+        last_key = Some(key);
+        sc.push((a, u, c));
+    }
+    r.finish_section(end, "SC")?;
+
+    // SEEDS
+    let end = r.section(TAG_SEEDS)?;
+    let n = r.count(4)?;
+    let mut seeds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = r.u32()?;
+        if s as usize >= num_users {
+            return Err(SnapshotError::Malformed(format!("seed {s} out of range")));
+        }
+        if seeds.contains(&s) {
+            return Err(SnapshotError::Malformed(format!("duplicate seed {s}")));
+        }
+        seeds.push(s);
+    }
+    r.finish_section(end, "SEEDS")?;
+
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing bytes after final section",
+            r.remaining()
+        )));
+    }
+
+    Ok(SelectorDump { store: CreditStoreDump { lambda, user_actions, inv_au, credits }, sc, seeds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_core::{scan, CreditPolicy};
+
+    fn trained_selector() -> CdSelector {
+        let ds = cdim_datagen::presets::tiny().generate();
+        let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+        CdSelector::new(scan(&ds.graph, &ds.log, &policy, 0.001).unwrap())
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let bytes = snap.to_bytes();
+        let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_bytes(), bytes);
+        assert_eq!(restored.selector().dump(), snap.selector().dump());
+    }
+
+    #[test]
+    fn round_trip_preserves_mid_selection_state() {
+        let mut sel = trained_selector();
+        let seed = CdSelector::new(sel.store().clone()).select(1).seeds[0];
+        sel.update(seed);
+        let snap = ModelSnapshot::from_selector(sel.clone());
+        let restored = ModelSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored.selector().seeds(), sel.seeds());
+        // Against the live selector gains agree up to credit-iteration
+        // order; against any other canonical restoration they are
+        // bit-exact (the dump fixes the summation order).
+        let canonical = CdSelector::from_dump(&sel.dump());
+        for x in 0..snap.num_users() as u32 {
+            assert!((restored.selector().compute_mg(x) - sel.compute_mg(x)).abs() < 1e-9);
+            assert_eq!(
+                restored.selector().compute_mg(x).to_bits(),
+                canonical.compute_mg(x).to_bits(),
+                "user {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let dir = std::env::temp_dir().join(format!("cdim_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.snap");
+        snap.save(&path).unwrap();
+        let restored = ModelSnapshot::load(&path).unwrap();
+        assert_eq!(restored.to_bytes(), snap.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let bytes = snap.to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(ModelSnapshot::from_bytes(&bad), Err(SnapshotError::BadMagic)));
+
+        let mut bad = bytes.clone();
+        bad[8] = 99; // version — also breaks the CRC, so re-seal.
+        let crc = crc32(&bad[..bad.len() - 4]);
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&bad),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let bytes = snap.to_bytes();
+        // Every prefix must fail without panicking (step 7 keeps it fast).
+        for len in (0..bytes.len()).step_by(7) {
+            assert!(
+                ModelSnapshot::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_is_detected_by_checksum() {
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let bytes = snap.to_bytes();
+        for &at in &[9, 20, bytes.len() / 2, bytes.len() - 5] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            match ModelSnapshot::from_bytes(&bad) {
+                Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::BadMagic) => {}
+                other => panic!("corruption at {at} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_meta_counts_fail_without_allocating() {
+        // num_users sits at offset 32: magic(8) + version(4) + META
+        // tag(4) + len(8) + lambda(8). Claiming u32::MAX users with a
+        // valid CRC must be rejected structurally, not by a ~100 GB
+        // pre-allocation abort.
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let mut bytes = snap.to_bytes();
+        bytes[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn resealed_garbage_is_rejected_structurally() {
+        // A validly-checksummed file whose seed id is out of range: the CRC
+        // passes, structural validation must still reject it.
+        let snap = ModelSnapshot::from_selector(trained_selector());
+        let mut bytes = snap.to_bytes();
+        let n = bytes.len();
+        bytes[n - 8..n - 4].copy_from_slice(&u32::MAX.to_le_bytes()); // last seed-count/seed word
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Malformed(_)) | Err(SnapshotError::Truncated { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_core::{scan, CreditPolicy};
+    use cdim_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// save → load is lossless over random trained stores (both
+        /// policies, with and without committed seeds).
+        #[test]
+        fn random_trained_stores_round_trip(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..50),
+            events in proptest::collection::vec((0u32..10, 0u32..4, 0u64..20), 1..60),
+            seeds in proptest::sample::subsequence((0u32..10).collect::<Vec<_>>(), 0..3),
+            time_aware in proptest::bool::ANY,
+        ) {
+            let graph = GraphBuilder::new(10).edges(edges).build();
+            let mut b = ActionLogBuilder::new(10);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let policy = if time_aware {
+                CreditPolicy::time_aware(&graph, &log)
+            } else {
+                CreditPolicy::Uniform
+            };
+            let mut sel = CdSelector::new(scan(&graph, &log, &policy, 0.0).unwrap());
+            for &s in &seeds {
+                sel.update(s);
+            }
+            let snap = ModelSnapshot::from_selector(sel);
+            let bytes = snap.to_bytes();
+            let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(restored.selector().dump(), snap.selector().dump());
+            prop_assert_eq!(restored.to_bytes(), bytes);
+        }
+    }
+}

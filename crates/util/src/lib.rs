@@ -15,15 +15,22 @@
 //! * [`mem`] — coarse heap-size accounting used by the scalability
 //!   experiments (Fig 8, Table 4 report memory).
 //! * [`timer`] — a tiny stopwatch for the runtime experiments.
+//! * [`lru`] — an O(1) least-recently-used cache (the query service's
+//!   answer cache).
+//! * [`checksum`] — CRC-32 for the snapshot file trailer.
 
+pub mod checksum;
 pub mod hash;
+pub mod lru;
 pub mod mem;
 pub mod ord;
 pub mod rng;
 pub mod timer;
 pub mod topk;
 
+pub use checksum::{crc32, Crc32};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use lru::LruCache;
 pub use mem::HeapSize;
 pub use ord::OrdF64;
 pub use rng::Rng;

@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn sort_is_total() {
-        let mut v = vec![OrdF64(f64::NAN), OrdF64(1.0), OrdF64(-2.0), OrdF64(0.0)];
+        let mut v = [OrdF64(f64::NAN), OrdF64(1.0), OrdF64(-2.0), OrdF64(0.0)];
         v.sort();
         assert_eq!(v[0], OrdF64(-2.0));
         assert_eq!(v[1], OrdF64(0.0));

@@ -32,7 +32,7 @@ fn main() {
         let log = dataset.log.take_tuples(budget);
 
         let t = Timer::start();
-        let store = scan(&dataset.graph, &log, &policy, 0.001);
+        let store = scan(&dataset.graph, &log, &policy, 0.001).unwrap();
         let scan_s = t.secs();
         let entries = store.total_entries();
         let bytes = store.memory_bytes();

@@ -5,16 +5,22 @@
 //! cdim stats    --graph G.tsv --log L.tsv             Table-1-style statistics
 //! cdim select   --graph G.tsv --log L.tsv --k 50      influence maximization
 //! cdim predict  --graph G.tsv --log L.tsv --seeds 1,2 spread prediction
+//! cdim snapshot --graph G.tsv --log L.tsv --out M.snap   train + persist
+//! cdim serve    --snapshot M.snap --addr 127.0.0.1:7171  query service
+//! cdim query    --addr 127.0.0.1:7171 --op topk --k 10   remote queries
 //! ```
 //!
-//! Graphs and logs are the TSV formats of `cdim::actionlog::storage`.
+//! Graphs and logs are the TSV formats of `cdim::actionlog::storage`;
+//! snapshots are the binary format of `cdim::serve::snapshot`.
 
 use cdim::actionlog::{stats::log_stats, storage};
 use cdim::graph::stats::graph_stats;
 use cdim::metrics::Table;
 use cdim::prelude::*;
+use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +41,9 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "select" => cmd_select(&flags),
         "predict" => cmd_predict(&flags),
+        "snapshot" => cmd_snapshot(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         "--help" | "help" => {
             usage();
             Ok(())
@@ -56,7 +65,10 @@ fn usage() {
          cdim generate --preset <name>|tiny --out <dir> [--scale N]\n  \
          cdim stats    --graph <g.tsv> --log <l.tsv>\n  \
          cdim select   --graph <g.tsv> --log <l.tsv> [--k N] [--lambda F] [--policy uniform|time-aware]\n  \
-         cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...]"
+         cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...] [--mc ic|lt] [--sims N] [--threads N]\n  \
+         cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F]\n  \
+         cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N]\n  \
+         cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]"
     );
 }
 
@@ -170,7 +182,7 @@ fn cmd_select(flags: &Flags) -> Result<(), String> {
     let k = flags.get_parsed("k", 50usize)?;
     let config = policy_config(flags)?;
     let timer = cdim::util::Timer::start();
-    let model = CdModel::train(&graph, &log, config);
+    let model = CdModel::try_train(&graph, &log, config).map_err(|e| e.to_string())?;
     let selection = model.select(k);
     eprintln!(
         "trained + selected {} seeds in {:.2}s ({} credit entries, ~{})",
@@ -187,9 +199,144 @@ fn cmd_select(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_seeds(raw: &str) -> Result<Vec<u32>, String> {
+    raw.split(',')
+        .map(|s| s.trim().parse::<u32>().map_err(|_| format!("invalid seed id {s:?}")))
+        .collect()
+}
+
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
+    let (graph, log) = load(flags)?;
+    let config = policy_config(flags)?;
+    let seeds = parse_seeds(flags.require("seeds")?)?;
+    for &s in &seeds {
+        if (s as usize) >= graph.num_nodes() {
+            return Err(format!("seed {s} out of range ({} nodes)", graph.num_nodes()));
+        }
+    }
+    let model = CdModel::try_train(&graph, &log, config).map_err(|e| e.to_string())?;
+    println!("sigma_cd({seeds:?}) = {:.2}", model.spread(&seeds));
+
+    // Optional Monte-Carlo cross-check under weighted-cascade
+    // probabilities, sharded over --threads workers.
+    if let Some(mc) = flags.get("mc") {
+        let sims = flags.get_parsed("sims", 1000usize)?;
+        let threads = flags.get_parsed("threads", 0usize)?;
+        let mc_config = McConfig { simulations: sims, threads, base_seed: 0xC0FFEE };
+        let probs = cdim::learning::assign::weighted_cascade(&graph);
+        let estimate = match mc {
+            "ic" => {
+                MonteCarloEstimator::new(IcModel::new(&graph, &probs), mc_config).spread(&seeds)
+            }
+            "lt" => {
+                MonteCarloEstimator::new(LtModel::new(&graph, &probs), mc_config).spread(&seeds)
+            }
+            other => return Err(format!("unknown MC model {other:?} (ic|lt)")),
+        };
+        println!(
+            "sigma_{mc}/wc({seeds:?}) = {estimate:.2}  ({sims} simulations, {} threads)",
+            if threads == 0 { "auto".to_string() } else { threads.to_string() }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_snapshot(flags: &Flags) -> Result<(), String> {
+    let (graph, log) = load(flags)?;
+    let config = policy_config(flags)?;
+    let out: PathBuf = flags.require("out")?.into();
+    let timer = cdim::util::Timer::start();
+    let policy = match config.policy {
+        PolicyKind::Uniform => CreditPolicy::Uniform,
+        PolicyKind::TimeAware => CreditPolicy::time_aware(&graph, &log),
+    };
+    let store = scan(&graph, &log, &policy, config.lambda).map_err(|e| e.to_string())?;
+    let entries = store.total_entries();
+    let snapshot = ModelSnapshot::from_store(store);
+    snapshot.save(&out).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out).map_err(|e| e.to_string())?.len();
+    println!(
+        "wrote {} ({}, {entries} credit entries, {} users, {} actions) in {:.2}s",
+        out.display(),
+        cdim::util::mem::fmt_bytes(bytes as usize),
+        snapshot.num_users(),
+        snapshot.num_actions(),
+        timer.secs()
+    );
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let path: PathBuf = flags.require("snapshot")?.into();
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7171");
+    let cache = flags.get_parsed("cache", 1024usize)?;
+    let snapshot = ModelSnapshot::load(&path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} ({} users, {} actions, {} committed seeds)",
+        path.display(),
+        snapshot.num_users(),
+        snapshot.num_actions(),
+        snapshot.selector().seeds().len()
+    );
+    let service = Arc::new(InfluenceService::new(snapshot, cache));
+    let handle = server::spawn(service, addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    // The exact address on its own stdout line, so scripts (and the CLI
+    // test) can discover an ephemeral port.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let addr = flags.require("addr")?;
+    let op = flags.require("op")?;
+    let mut client =
+        QueryClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match op {
+        "topk" => {
+            let k = flags.get_parsed("k", 10usize)?;
+            let (seeds, gains) = client.top_k(k as u32).map_err(|e| e.to_string())?;
+            let mut table = Table::new(["rank", "user", "marginal gain"]);
+            for (i, (seed, gain)) in seeds.iter().zip(&gains).enumerate() {
+                table.row([(i + 1).to_string(), seed.to_string(), format!("{gain:.3}")]);
+            }
+            print!("{table}");
+        }
+        "spread" => {
+            let seeds = parse_seeds(flags.require("seeds")?)?;
+            let sigma = client.spread(&seeds).map_err(|e| e.to_string())?;
+            println!("sigma_cd({seeds:?}) = {sigma:.4}");
+        }
+        "gain" => {
+            let seeds = parse_seeds(flags.require("seeds")?)?;
+            let candidate: u32 = flags
+                .require("candidate")?
+                .parse()
+                .map_err(|_| "invalid --candidate: expected a user id".to_string())?;
+            let gain = client.marginal_gain(&seeds, candidate).map_err(|e| e.to_string())?;
+            println!("mg({candidate} | {seeds:?}) = {gain:.4}");
+        }
+        "info" => {
+            let info = client.info().map_err(|e| e.to_string())?;
+            let mut table = Table::new(["field", "value"]);
+            table.row(["users".to_string(), info.num_users.to_string()]);
+            table.row(["actions".to_string(), info.num_actions.to_string()]);
+            table.row(["committed seeds".to_string(), info.committed_seeds.to_string()]);
+            table.row(["cache hits".to_string(), info.cache_hits.to_string()]);
+            table.row(["cache misses".to_string(), info.cache_misses.to_string()]);
+            print!("{table}");
+        }
+        other => return Err(format!("unknown query op {other:?} (topk|spread|gain|info)")),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Flags;
+    use super::{parse_seeds, Flags};
 
     #[test]
     fn parses_key_value_pairs() {
@@ -219,22 +366,10 @@ mod tests {
         let flags = Flags::parse(&bad).unwrap();
         assert!(flags.get_parsed::<usize>("k", 0).is_err());
     }
-}
 
-fn cmd_predict(flags: &Flags) -> Result<(), String> {
-    let (graph, log) = load(flags)?;
-    let config = policy_config(flags)?;
-    let seeds: Vec<u32> = flags
-        .require("seeds")?
-        .split(',')
-        .map(|s| s.trim().parse::<u32>().map_err(|_| format!("invalid seed id {s:?}")))
-        .collect::<Result<_, _>>()?;
-    for &s in &seeds {
-        if (s as usize) >= graph.num_nodes() {
-            return Err(format!("seed {s} out of range ({} nodes)", graph.num_nodes()));
-        }
+    #[test]
+    fn parse_seeds_accepts_lists_and_rejects_garbage() {
+        assert_eq!(parse_seeds("1, 2,3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_seeds("1,banana").is_err());
     }
-    let model = CdModel::train(&graph, &log, config);
-    println!("sigma_cd({seeds:?}) = {:.2}", model.spread(&seeds));
-    Ok(())
 }

@@ -42,6 +42,7 @@
 //! | [`core`] | the credit-distribution model (scan, CELF, exact σ_cd) |
 //! | [`datagen`] | synthetic graphs, planted influence, cascade logs, presets |
 //! | [`metrics`] | RMSE, capture curves, intersections, text tables |
+//! | [`serve`] | model snapshots, the concurrent influence-query service, TCP protocol |
 
 pub use cdim_actionlog as actionlog;
 pub use cdim_core as core;
@@ -51,6 +52,7 @@ pub use cdim_graph as graph;
 pub use cdim_learning as learning;
 pub use cdim_maxim as maxim;
 pub use cdim_metrics as metrics;
+pub use cdim_serve as serve;
 pub use cdim_util as util;
 
 /// The most common imports in one line.
@@ -60,12 +62,13 @@ pub mod prelude {
     };
     pub use cdim_core::{
         model::PolicyKind, scan, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator,
-        CreditPolicy, CreditStore,
+        CreditPolicy, CreditStore, ScanError,
     };
     pub use cdim_datagen::{Dataset, DatasetSpec};
     pub use cdim_diffusion::{EdgeProbabilities, IcModel, LtModel, McConfig, MonteCarloEstimator};
     pub use cdim_graph::{DirectedGraph, GraphBuilder, NodeId};
     pub use cdim_learning::{learn_lt_weights, EmConfig, EmLearner, TemporalModel};
     pub use cdim_maxim::{celf_select, greedy_select, Selection, SpreadOracle};
+    pub use cdim_serve::{InfluenceService, ModelSnapshot, QueryClient};
     pub use cdim_util::Rng;
 }

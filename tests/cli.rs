@@ -70,6 +70,110 @@ fn generate_stats_select_predict_pipeline() {
 }
 
 #[test]
+fn snapshot_serve_query_pipeline() {
+    use std::io::BufRead;
+
+    let dir = tempdir("serving");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let graph = dir.join("graph.tsv");
+    let log = dir.join("log.tsv");
+    let snap = dir.join("model.snap");
+
+    // Train + persist.
+    let out = cdim()
+        .args([
+            "snapshot",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(snap.exists());
+
+    // The snapshot reloads bit-identically.
+    let bytes = std::fs::read(&snap).unwrap();
+    let restored = cdim::serve::ModelSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.to_bytes(), bytes);
+
+    // Serve on an ephemeral port; the CLI prints the bound address.
+    let mut server = cdim()
+        .args(["serve", "--snapshot", snap.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap()).read_line(&mut line).unwrap();
+    let addr = line.trim().strip_prefix("listening on ").expect("address line").to_string();
+
+    // Remote top-k equals the in-process answer on the same snapshot.
+    let out = cdim().args(["query", "--addr", &addr, "--op", "topk", "--k", "3"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let offline = restored.selector().clone().select(3);
+    for seed in &offline.seeds {
+        assert!(text.contains(&seed.to_string()), "missing seed {seed} in:\n{text}");
+    }
+
+    let out = cdim()
+        .args(["query", "--addr", &addr, "--op", "spread", "--seeds", "0,1,2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sigma_cd"));
+
+    let out = cdim().args(["query", "--addr", &addr, "--op", "info"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("users"));
+
+    server.kill().ok();
+    server.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_with_mc_crosscheck_and_threads() {
+    let dir = tempdir("mcpredict");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let out = cdim()
+        .args([
+            "predict",
+            "--graph",
+            dir.join("graph.tsv").to_str().unwrap(),
+            "--log",
+            dir.join("log.tsv").to_str().unwrap(),
+            "--seeds",
+            "0,1",
+            "--mc",
+            "ic",
+            "--sims",
+            "200",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sigma_cd"), "{text}");
+    assert!(text.contains("sigma_ic/wc") && text.contains("2 threads"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn rejects_bad_usage() {
     // No command.
     let out = cdim().output().unwrap();

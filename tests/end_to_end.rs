@@ -39,7 +39,7 @@ fn cd_selection_equals_generic_greedy_on_exact_oracle() {
     // hand-built unit-test instances.
     let ds = dataset();
     let policy = CreditPolicy::Uniform;
-    let store = scan(&ds.graph, &ds.log, &policy, 0.0);
+    let store = scan(&ds.graph, &ds.log, &policy, 0.0).unwrap();
     let cd = CdSelector::new(store).select(4);
 
     let evaluator = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy);
@@ -58,7 +58,7 @@ fn truncation_trades_accuracy_for_memory_monotonically() {
     let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
     let mut prev_entries = usize::MAX;
     for lambda in [0.0, 0.0001, 0.001, 0.01, 0.1] {
-        let store = scan(&ds.graph, &ds.log, &policy, lambda);
+        let store = scan(&ds.graph, &ds.log, &policy, lambda).unwrap();
         assert!(store.total_entries() <= prev_entries, "entries must shrink as λ grows");
         prev_entries = store.total_entries();
     }
