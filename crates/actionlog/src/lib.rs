@@ -20,6 +20,8 @@ pub mod split;
 pub mod stats;
 pub mod storage;
 
-pub use log::{ActionId, ActionLog, ActionLogBuilder, ActionTuple, Timestamp, UserId};
+pub use log::{
+    ActionId, ActionLog, ActionLogBuilder, ActionTuple, LogBuildError, Timestamp, UserId,
+};
 pub use propagation::PropagationDag;
 pub use split::{train_test_split, TrainTestSplit};

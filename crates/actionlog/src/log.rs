@@ -193,6 +193,47 @@ impl HeapSize for ActionLog {
     }
 }
 
+/// Why [`ActionLogBuilder::try_push`] rejected a tuple.
+///
+/// Non-finite times are the dangerous case: `"NaN"` and `"inf"` parse
+/// fine via `f64::from_str`, but a NaN timestamp has no total order, so
+/// admitting one would silently corrupt the chronological-order invariant
+/// every downstream scan relies on (`build` sorts with `partial_cmp`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LogBuildError {
+    /// The timestamp was NaN or ±infinity.
+    NonFiniteTime {
+        /// Acting user.
+        user: UserId,
+        /// External action id.
+        action: u32,
+        /// The offending timestamp.
+        time: f64,
+    },
+    /// The user id does not fit the declared universe.
+    UserOutOfRange {
+        /// The offending user id.
+        user: UserId,
+        /// Size of the user universe the builder was created with.
+        num_users: usize,
+    },
+}
+
+impl std::fmt::Display for LogBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogBuildError::NonFiniteTime { user, action, time } => {
+                write!(f, "non-finite timestamp {time} for user {user} on action {action}")
+            }
+            LogBuildError::UserOutOfRange { user, num_users } => {
+                write!(f, "user {user} out of range for {num_users} users")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogBuildError {}
+
 /// Accumulates raw tuples and produces a sanitized [`ActionLog`].
 #[derive(Clone, Debug)]
 pub struct ActionLogBuilder {
@@ -212,15 +253,32 @@ impl ActionLogBuilder {
     /// Adds a tuple. `action` is an arbitrary external id.
     ///
     /// # Panics
-    /// Panics if `user` is out of range or `time` is not finite.
+    /// Panics if `user` is out of range or `time` is not finite. Use
+    /// [`Self::try_push`] where malformed records must surface as values
+    /// (e.g. when ingesting untrusted files).
     pub fn push(&mut self, user: UserId, action: u32, time: Timestamp) {
-        assert!(
-            (user as usize) < self.num_users,
-            "user {user} out of range for {} users",
-            self.num_users
-        );
-        assert!(time.is_finite(), "non-finite timestamp {time}");
+        if let Err(e) = self.try_push(user, action, time) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`Self::push`]: rejects out-of-range users and
+    /// non-finite timestamps with a typed [`LogBuildError`] instead of
+    /// panicking. On error the builder is unchanged.
+    pub fn try_push(
+        &mut self,
+        user: UserId,
+        action: u32,
+        time: Timestamp,
+    ) -> Result<(), LogBuildError> {
+        if (user as usize) >= self.num_users {
+            return Err(LogBuildError::UserOutOfRange { user, num_users: self.num_users });
+        }
+        if !time.is_finite() {
+            return Err(LogBuildError::NonFiniteTime { user, action, time });
+        }
         self.raw.push((action, time, user));
+        Ok(())
     }
 
     /// Adds a tuple whose dense id is pre-assigned (`action`) while keeping
@@ -397,6 +455,43 @@ mod tests {
     fn rejects_unknown_user() {
         let mut b = ActionLogBuilder::new(1);
         b.push(3, 0, 1.0);
+    }
+
+    #[test]
+    fn try_push_rejects_bad_tuples_as_values() {
+        let mut b = ActionLogBuilder::new(2);
+        // NaN != NaN, so match structurally rather than with assert_eq!.
+        assert!(matches!(
+            b.try_push(0, 7, f64::NAN),
+            Err(LogBuildError::NonFiniteTime { user: 0, action: 7, time }) if time.is_nan()
+        ));
+        assert_eq!(
+            b.try_push(1, 7, f64::INFINITY),
+            Err(LogBuildError::NonFiniteTime { user: 1, action: 7, time: f64::INFINITY })
+        );
+        assert_eq!(
+            b.try_push(1, 7, f64::NEG_INFINITY),
+            Err(LogBuildError::NonFiniteTime { user: 1, action: 7, time: f64::NEG_INFINITY })
+        );
+        assert_eq!(
+            b.try_push(5, 7, 1.0),
+            Err(LogBuildError::UserOutOfRange { user: 5, num_users: 2 })
+        );
+        // Rejected tuples leave the builder untouched; good ones land.
+        assert!(b.is_empty());
+        assert_eq!(b.try_push(1, 7, 1.0), Ok(()));
+        let log = b.build();
+        assert_eq!(log.num_tuples(), 1);
+        assert_eq!(log.time_of(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn build_error_messages_name_the_problem() {
+        let nan = LogBuildError::NonFiniteTime { user: 3, action: 9, time: f64::NAN };
+        assert!(nan.to_string().contains("non-finite"));
+        assert!(nan.to_string().contains("action 9"));
+        let oor = LogBuildError::UserOutOfRange { user: 8, num_users: 4 };
+        assert!(oor.to_string().contains("out of range"));
     }
 
     #[test]

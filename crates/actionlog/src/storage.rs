@@ -94,19 +94,13 @@ pub fn read_action_log<R: io::Read>(input: R, num_users: usize) -> Result<Action
         let user: u32 = parse_field(fields.next(), line_no, "user")?;
         let action: u32 = parse_field(fields.next(), line_no, "action")?;
         let time: f64 = parse_field(fields.next(), line_no, "time")?;
-        if (user as usize) >= num_users {
-            return Err(StorageError::Parse {
-                line: line_no,
-                message: format!("user {user} out of range (num_users = {num_users})"),
-            });
-        }
-        if !time.is_finite() {
-            return Err(StorageError::Parse {
-                line: line_no,
-                message: format!("non-finite time {time}"),
-            });
-        }
-        builder.push(user, action, time);
+        // `"NaN"`/`"inf"` parse fine via `f64::from_str`; the builder's
+        // typed validation is what keeps them out of the log (they would
+        // silently corrupt the chronological-order invariant the scan
+        // relies on). Same for out-of-range users.
+        builder
+            .try_push(user, action, time)
+            .map_err(|e| StorageError::Parse { line: line_no, message: e.to_string() })?;
     }
     Ok(builder.build())
 }
@@ -233,8 +227,20 @@ mod tests {
 
     #[test]
     fn rejects_non_finite_time() {
-        let data = "0\t1\tinf\n";
-        assert!(read_action_log(data.as_bytes(), 2).is_err());
+        // `f64::from_str` happily parses every one of these spellings, so
+        // the reader must reject them itself — with the line number and a
+        // message naming the problem.
+        for (raw, line) in [("0\t1\tinf\n", 1), ("0\t1\t1.0\n0\t2\tNaN\n", 2)] {
+            let err = read_action_log(raw.as_bytes(), 2).unwrap_err();
+            match err {
+                StorageError::Parse { line: l, message } => {
+                    assert_eq!(l, line, "{raw:?}");
+                    assert!(message.contains("non-finite"), "{message}");
+                }
+                other => panic!("expected parse error, got {other}"),
+            }
+        }
+        assert!(read_action_log("0\t1\t-inf\n".as_bytes(), 2).is_err());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Criterion bench: Algorithm 2 scan throughput (underpins Fig 8 left and
-//! Table 4's runtime column).
+//! Table 4's runtime column), single- and multi-threaded.
 
-use cdim_core::{scan, CreditPolicy};
+use cdim_core::{scan_with, CreditPolicy, Parallelism};
 use cdim_datagen::presets;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_scan(c: &mut Criterion) {
     let ds = presets::flixster_small().scaled_down(4).generate();
     let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let single = Parallelism::single();
 
     let mut group = c.benchmark_group("scan");
     group.sample_size(10);
@@ -17,7 +18,7 @@ fn bench_scan(c: &mut Criterion) {
             BenchmarkId::new("lambda", format!("{lambda}")),
             &lambda,
             |b, &lambda| {
-                b.iter(|| scan(&ds.graph, &ds.log, &policy, lambda).unwrap());
+                b.iter(|| scan_with(&ds.graph, &ds.log, &policy, lambda, single).unwrap());
             },
         );
     }
@@ -26,11 +27,27 @@ fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan_policy");
     group.sample_size(10);
     group.bench_function("uniform", |b| {
-        b.iter(|| scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.001).unwrap());
+        b.iter(|| scan_with(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.001, single).unwrap());
     });
     group.bench_function("time_aware", |b| {
-        b.iter(|| scan(&ds.graph, &ds.log, &policy, 0.001).unwrap());
+        b.iter(|| scan_with(&ds.graph, &ds.log, &policy, 0.001, single).unwrap());
     });
+    group.finish();
+
+    // The parallel driver at fixed thread counts. Output is bit-identical
+    // across the whole group (the pipeline's determinism guarantee); only
+    // the wall clock moves. `bench-scan` in the experiments runner records
+    // the same sweep machine-readably as BENCH_scan.json.
+    let mut group = c.benchmark_group("scan_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.log.num_tuples() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                scan_with(&ds.graph, &ds.log, &policy, 0.001, Parallelism::fixed(threads)).unwrap()
+            });
+        });
+    }
     group.finish();
 }
 

@@ -1,5 +1,7 @@
 //! Scaling knobs shared by all experiments.
 
+use cdim_util::Parallelism;
+
 /// How hard to push each experiment.
 ///
 /// `full` matches the DESIGN.md preset sizes; `quick` shrinks everything
@@ -15,7 +17,8 @@ pub struct ExperimentScale {
     /// Number of test propagations to evaluate in prediction experiments
     /// (0 = all).
     pub max_test_traces: usize,
-    /// Monte-Carlo worker threads (0 = available parallelism).
+    /// Worker threads for every parallel stage — the credit scan and
+    /// Monte-Carlo estimation (0 = available parallelism).
     pub threads: usize,
 }
 
@@ -42,12 +45,21 @@ impl ExperimentScale {
         }
     }
 
+    /// The worker-pool view of [`Self::threads`], handed to the credit
+    /// scan and the MC estimator alike.
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::fixed(self.threads)
+    }
+
     /// Describes the scale in the experiment output.
     pub fn describe(&self) -> String {
-        let threads = if self.threads == 0 { "auto".to_string() } else { self.threads.to_string() };
         format!(
-            "scale: dataset 1/{}, {} MC sims (paper: 10k), k = {}, ≤{} test traces, {threads} MC threads",
-            self.dataset_divisor, self.mc_simulations, self.k, self.max_test_traces
+            "scale: dataset 1/{}, {} MC sims (paper: 10k), k = {}, ≤{} test traces, {} worker threads",
+            self.dataset_divisor,
+            self.mc_simulations,
+            self.k,
+            self.max_test_traces,
+            self.parallelism()
         )
     }
 }

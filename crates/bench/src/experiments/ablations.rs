@@ -4,7 +4,7 @@ use crate::config::ExperimentScale;
 use crate::methods::Workbench;
 use cdim_core::model::PolicyKind;
 use cdim_core::{
-    scan, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator, CreditPolicy, MgMode,
+    scan_with, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator, CreditPolicy, MgMode,
 };
 use cdim_datagen::presets;
 use cdim_maxim::{celf_select, greedy_select};
@@ -24,7 +24,11 @@ pub fn credit_policy(scale: ExperimentScale) {
     let uniform = CdModel::train(
         graph,
         &wb.split.train,
-        CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.001 },
+        CdModelConfig {
+            policy: PolicyKind::Uniform,
+            lambda: 0.001,
+            parallelism: scale.parallelism(),
+        },
     );
     let time_aware = &wb.cd; // the workbench default
 
@@ -109,7 +113,9 @@ pub fn mg_formula(scale: ExperimentScale) {
     let wb = Workbench::prepare(presets::flixster_small(), scale);
     let k = scale.k;
     let policy = CreditPolicy::time_aware(&wb.dataset.graph, &wb.split.train);
-    let make_store = || scan(&wb.dataset.graph, &wb.split.train, &policy, 0.001).unwrap();
+    let make_store = || {
+        scan_with(&wb.dataset.graph, &wb.split.train, &policy, 0.001, scale.parallelism()).unwrap()
+    };
 
     let theorem3 = CdSelector::new(make_store()).select_with_mode(k, MgMode::Theorem3);
     let pseudo = CdSelector::new(make_store()).select_with_mode(k, MgMode::Pseudocode);

@@ -9,7 +9,7 @@
 
 use crate::config::ExperimentScale;
 use crate::methods::Workbench;
-use cdim_core::{scan, CdSelector, CreditPolicy};
+use cdim_core::{scan_with, CdSelector, CreditPolicy};
 use cdim_datagen::presets;
 use cdim_metrics::Table;
 use cdim_util::Timer;
@@ -47,7 +47,9 @@ pub fn run(scale: ExperimentScale) {
         // CD time includes the scan, as the paper's reported time does.
         let t = Timer::start();
         let policy = CreditPolicy::time_aware(&wb.dataset.graph, &wb.split.train);
-        let store = scan(&wb.dataset.graph, &wb.split.train, &policy, 0.001).unwrap();
+        let store =
+            scan_with(&wb.dataset.graph, &wb.split.train, &policy, 0.001, scale.parallelism())
+                .unwrap();
         let _ = CdSelector::new(store).select(k);
         let cd_s = t.secs();
 

@@ -5,7 +5,7 @@
 //! the scan, not the seed selection.
 
 use crate::config::ExperimentScale;
-use cdim_core::{scan, CdSelector, CreditPolicy};
+use cdim_core::{scan_with, CdSelector, CreditPolicy};
 use cdim_datagen::presets;
 use cdim_metrics::Table;
 use cdim_util::mem::fmt_bytes;
@@ -38,7 +38,7 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale) {
 
         let t = Timer::start();
         let policy = CreditPolicy::time_aware(&ds.graph, &log);
-        let store = scan(&ds.graph, &log, &policy, 0.001).unwrap();
+        let store = scan_with(&ds.graph, &log, &policy, 0.001, scale.parallelism()).unwrap();
         let scan_s = t.secs();
         let entries = store.total_entries();
         let bytes = store.memory_bytes();

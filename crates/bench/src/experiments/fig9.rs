@@ -6,7 +6,7 @@
 //! suffices.
 
 use crate::config::ExperimentScale;
-use cdim_core::{scan, CdSelector, CdSpreadEvaluator, CreditPolicy};
+use cdim_core::{scan_with, CdSelector, CdSpreadEvaluator, CreditPolicy};
 use cdim_datagen::presets;
 use cdim_metrics::{intersection_size, Table};
 
@@ -28,7 +28,8 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale) {
 
     // "True seeds" and the reference evaluator come from the full log.
     let policy_full = CreditPolicy::time_aware(&ds.graph, &ds.log);
-    let store_full = scan(&ds.graph, &ds.log, &policy_full, 0.001).unwrap();
+    let store_full =
+        scan_with(&ds.graph, &ds.log, &policy_full, 0.001, scale.parallelism()).unwrap();
     let true_seeds = CdSelector::new(store_full).select(k).seeds;
     let evaluator = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy_full);
 
@@ -40,7 +41,7 @@ fn run_dataset(spec: cdim_datagen::DatasetSpec, scale: ExperimentScale) {
         let budget = ((ds.log.num_tuples() as f64) * fraction) as usize;
         let log = ds.log.take_tuples(budget);
         let policy = CreditPolicy::time_aware(&ds.graph, &log);
-        let store = scan(&ds.graph, &log, &policy, 0.001).unwrap();
+        let store = scan_with(&ds.graph, &log, &policy, 0.001, scale.parallelism()).unwrap();
         let seeds = CdSelector::new(store).select(k).seeds;
         let spread = evaluator.spread(&seeds);
         let overlap = intersection_size(&seeds, &true_seeds);

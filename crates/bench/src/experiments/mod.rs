@@ -9,14 +9,15 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scan_scaling;
 pub mod table1;
 pub mod table2;
 pub mod table4;
 
 use crate::config::ExperimentScale;
 
-/// All experiment ids, in paper order.
-pub const ALL_IDS: [&str; 15] = [
+/// All experiment ids, in paper order (engineering artifacts last).
+pub const ALL_IDS: [&str; 16] = [
     "table1",
     "table2",
     "fig2",
@@ -31,6 +32,7 @@ pub const ALL_IDS: [&str; 15] = [
     "ablate-credit",
     "ablate-celf",
     "ablate-mg",
+    "bench-scan",
     "all",
 ];
 
@@ -51,6 +53,7 @@ pub fn run(id: &str, scale: ExperimentScale) -> bool {
         "ablate-credit" => ablations::credit_policy(scale),
         "ablate-celf" => ablations::celf_vs_greedy(scale),
         "ablate-mg" => ablations::mg_formula(scale),
+        "bench-scan" => scan_scaling::run(scale),
         "all" => {
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
                 run(id, scale);

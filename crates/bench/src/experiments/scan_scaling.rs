@@ -1,0 +1,140 @@
+//! bench-scan — multi-threaded credit-scan scaling, machine-readably.
+//!
+//! Not a paper artifact: this records how the action-sharded parallel
+//! scan (the three-stage pipeline in `cdim_core::scan`) scales with the
+//! worker count on the large preset, and emits the sweep as
+//! `BENCH_scan.json` so CI can track the speedup curve across commits.
+//!
+//! The run also re-checks the pipeline's core guarantee on the spot:
+//! every thread count must produce a credit store whose canonical dump is
+//! byte-identical to the single-threaded scan's.
+
+use crate::config::ExperimentScale;
+use cdim_core::{scan_with, CreditPolicy, Parallelism};
+use cdim_datagen::presets;
+use cdim_metrics::Table;
+use cdim_util::Timer;
+use std::io::Write as _;
+
+/// Thread counts the sweep measures.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Where the JSON record lands by default: `$CDIM_BENCH_JSON` if set (CI
+/// points this at the workspace), otherwise `BENCH_scan.json` in the temp
+/// directory (so plain `cargo test` runs never litter the repo).
+fn json_path() -> std::path::PathBuf {
+    match std::env::var_os("CDIM_BENCH_JSON") {
+        Some(path) => path.into(),
+        None => std::env::temp_dir().join("BENCH_scan.json"),
+    }
+}
+
+/// Runs the sweep; the JSON lands at `$CDIM_BENCH_JSON` or, when unset,
+/// `BENCH_scan.json` in the temp directory.
+pub fn run(scale: ExperimentScale) {
+    run_with_output(scale, &json_path());
+}
+
+/// Runs the sweep and writes the JSON record to `path` (the explicit-path
+/// variant tests use — no process-global environment involved).
+pub fn run_with_output(scale: ExperimentScale, path: &std::path::Path) {
+    super::banner(
+        "bench-scan — parallel credit-scan scaling (threads → wall time)",
+        "engineering artifact (not in the paper): Algorithm 2 on the shared worker pool",
+        scale,
+    );
+    let ds = presets::flixster_large().scaled_down(scale.dataset_divisor).generate();
+    let lambda = 0.001;
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    println!(
+        "--- {} ({} users, {} tuples, {} cores on this host) ---",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.log.num_tuples(),
+        Parallelism::auto().effective()
+    );
+
+    // Warm-up untimed pass (page-cache/allocator noise), and the
+    // determinism baseline every thread count is checked against.
+    let baseline =
+        scan_with(&ds.graph, &ds.log, &policy, lambda, Parallelism::single()).unwrap().dump();
+
+    let mut table = Table::new(["threads", "scan (s)", "speedup", "tuples/s"]);
+    let mut runs: Vec<(usize, f64, f64)> = Vec::new();
+    let mut single_thread_secs = 0.0;
+    for threads in THREAD_COUNTS {
+        let t = Timer::start();
+        let store =
+            scan_with(&ds.graph, &ds.log, &policy, lambda, Parallelism::fixed(threads)).unwrap();
+        let secs = t.secs();
+        assert!(store.dump() == baseline, "thread count {threads} changed the scan output");
+        if threads == 1 {
+            single_thread_secs = secs;
+        }
+        let speedup = single_thread_secs / secs.max(1e-9);
+        runs.push((threads, secs, speedup));
+        table.row([
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", ds.log.num_tuples() as f64 / secs.max(1e-9)),
+        ]);
+    }
+    println!("{table}");
+
+    match write_json(path, ds.name, ds.log.num_tuples(), lambda, &runs) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serialization dependency).
+fn write_json(
+    path: &std::path::Path,
+    dataset: &str,
+    tuples: usize,
+    lambda: f64,
+    runs: &[(usize, f64, f64)],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"bench-scan\",\n");
+    out.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    out.push_str(&format!("  \"tuples\": {tuples},\n"));
+    out.push_str(&format!("  \"lambda\": {lambda},\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", Parallelism::auto().effective()));
+    out.push_str("  \"runs\": [\n");
+    for (i, &(threads, secs, speedup)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"threads\": {threads}, \"wall_secs\": {secs:.6}, \"speedup\": {speedup:.3}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_is_parseable_shape() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchjson_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scan.json");
+        write_json(&path, "flixster_large", 1234, 0.001, &[(1, 0.5, 1.0), (4, 0.2, 2.5)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"bench-scan\""));
+        assert!(text.contains("\"tuples\": 1234"));
+        assert!(text.contains("\"threads\": 4"));
+        assert!(text.contains("\"speedup\": 2.500"));
+        // Crude structural sanity: balanced braces/brackets, no trailing
+        // comma before a closer.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(!text.contains(",\n  ]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -5,7 +5,7 @@
 //! everywhere else). "True seeds" are those found at the smallest λ.
 
 use crate::config::ExperimentScale;
-use cdim_core::{scan, CdSelector, CdSpreadEvaluator, CreditPolicy};
+use cdim_core::{scan_with, CdSelector, CdSpreadEvaluator, CreditPolicy};
 use cdim_datagen::presets;
 use cdim_metrics::{intersection_size, Table};
 use cdim_util::mem::fmt_bytes;
@@ -27,7 +27,9 @@ pub fn run(scale: ExperimentScale) {
     let evaluator = CdSpreadEvaluator::build(&ds.graph, &ds.log, &policy);
 
     // Reference ("true") seeds at the smallest λ, as the paper defines.
-    let store_ref = scan(&ds.graph, &ds.log, &policy, *LAMBDAS.last().unwrap()).unwrap();
+    let store_ref =
+        scan_with(&ds.graph, &ds.log, &policy, *LAMBDAS.last().unwrap(), scale.parallelism())
+            .unwrap();
     let true_seeds = CdSelector::new(store_ref).select(k).seeds;
 
     let mut table = Table::new([
@@ -41,7 +43,7 @@ pub fn run(scale: ExperimentScale) {
     let mut spreads = Vec::new();
     for &lambda in &LAMBDAS {
         let t = Timer::start();
-        let store = scan(&ds.graph, &ds.log, &policy, lambda).unwrap();
+        let store = scan_with(&ds.graph, &ds.log, &policy, lambda, scale.parallelism()).unwrap();
         let entries = store.total_entries();
         let bytes = store.memory_bytes();
         let seeds = CdSelector::new(store).select(k).seeds;

@@ -40,9 +40,10 @@ pub mod scan;
 pub mod spread;
 pub mod store;
 
+pub use cdim_util::Parallelism;
 pub use celf::{select_seeds, CdSelector, MgMode, SelectorDump};
 pub use model::{CdModel, CdModelConfig};
 pub use policy::CreditPolicy;
-pub use scan::{scan, ScanError};
+pub use scan::{scan, scan_action, scan_with, ScanError};
 pub use spread::CdSpreadEvaluator;
 pub use store::{CreditStore, CreditStoreDump};

@@ -6,13 +6,13 @@
 
 use crate::celf::CdSelector;
 use crate::policy::CreditPolicy;
-use crate::scan::{scan, ScanError};
+use crate::scan::{scan_with, ScanError};
 use crate::spread::CdSpreadEvaluator;
 use crate::store::CreditStore;
 use cdim_actionlog::{ActionLog, UserId};
 use cdim_graph::DirectedGraph;
 use cdim_maxim::Selection;
-use cdim_util::HeapSize;
+use cdim_util::{HeapSize, Parallelism};
 
 /// Which direct-credit policy to train.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,11 +31,32 @@ pub struct CdModelConfig {
     /// Truncation threshold λ for the selection store (§5.3; the paper
     /// uses `0.001` in all experiments).
     pub lambda: f64,
+    /// Worker threads for the credit scan (the dominant training cost).
+    /// Never affects the trained model — the scan is bit-identical for
+    /// every thread count — only how fast training finishes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CdModelConfig {
     fn default() -> Self {
-        CdModelConfig { policy: PolicyKind::TimeAware, lambda: 0.001 }
+        CdModelConfig {
+            policy: PolicyKind::TimeAware,
+            lambda: 0.001,
+            parallelism: Parallelism::auto(),
+        }
+    }
+}
+
+impl CdModelConfig {
+    /// Instantiates the configured credit policy (learning temporal
+    /// parameters from `train_log` when the kind requires them). The one
+    /// place the [`PolicyKind`] → [`CreditPolicy`] mapping lives; every
+    /// training entry point (model, snapshot build) goes through it.
+    pub fn build_policy(&self, graph: &DirectedGraph, train_log: &ActionLog) -> CreditPolicy {
+        match self.policy {
+            PolicyKind::Uniform => CreditPolicy::Uniform,
+            PolicyKind::TimeAware => CreditPolicy::time_aware(graph, train_log),
+        }
     }
 }
 
@@ -76,11 +97,8 @@ impl CdModel {
         train_log: &ActionLog,
         config: CdModelConfig,
     ) -> Result<Self, ScanError> {
-        let policy = match config.policy {
-            PolicyKind::Uniform => CreditPolicy::Uniform,
-            PolicyKind::TimeAware => CreditPolicy::time_aware(graph, train_log),
-        };
-        let store = scan(graph, train_log, &policy, config.lambda)?;
+        let policy = config.build_policy(graph, train_log);
+        let store = scan_with(graph, train_log, &policy, config.lambda, config.parallelism)?;
         let evaluator = CdSpreadEvaluator::build(graph, train_log, &policy);
         Ok(CdModel { policy, store, evaluator })
     }
@@ -167,10 +185,25 @@ mod tests {
     #[test]
     fn uniform_policy_lambda_zero_is_exact() {
         let (graph, log) = instance();
-        let config = CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.0 };
+        let config =
+            CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.0, ..Default::default() };
         let model = CdModel::train(&graph, &log, config);
         let sel = model.select(2);
         assert!((model.spread(&sel.seeds) - sel.total_gain()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_parallelism_never_changes_the_model() {
+        let (graph, log) = instance();
+        let dump = |threads: usize| {
+            let config =
+                CdModelConfig { parallelism: Parallelism::fixed(threads), ..Default::default() };
+            CdModel::train(&graph, &log, config).store().dump()
+        };
+        let baseline = dump(1);
+        for threads in [2usize, 8] {
+            assert_eq!(dump(threads), baseline, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -14,11 +14,33 @@
 //! node only receives credit at its own activation — so a single pass
 //! computes the full recursive total credit of Eq 5 exactly (up to the λ
 //! truncation, whose accuracy/memory trade-off Table 4 quantifies).
+//!
+//! ## The three-stage pipeline
+//!
+//! Credit assignment never crosses an action boundary: each action's
+//! [`PropagationDag`] and [`ActionCredits`] touch no shared state. The
+//! scan exploits that as a pipeline:
+//!
+//! 1. **kernel** — [`scan_action`] computes one action's full
+//!    [`ActionCredits`], a pure function of `(graph, log, policy, λ, a)`;
+//! 2. **parallel driver** — [`scan_with`] shards the action range over
+//!    [`cdim_util::pool`] workers ([`Parallelism`] controls how many),
+//!    each shard writing its `ActionCredits` values into their slots;
+//! 3. **merge** — the slots are concatenated in action order into the
+//!    [`CreditStore`].
+//!
+//! Because every slot is produced by the same kernel with the same
+//! accumulation order, and the merge is a plain ordered concatenation,
+//! the resulting store — and its canonical [`CreditStoreDump`] — is
+//! **bit-identical for every thread count**.
+//!
+//! [`CreditStoreDump`]: crate::store::CreditStoreDump
 
 use crate::policy::CreditPolicy;
-use crate::store::CreditStore;
-use cdim_actionlog::{ActionLog, PropagationDag};
+use crate::store::{ActionCredits, CreditStore};
+use cdim_actionlog::{ActionId, ActionLog, PropagationDag};
 use cdim_graph::DirectedGraph;
+use cdim_util::pool::{parallel_map_shards, Parallelism};
 
 /// Input validation failures of [`scan`].
 ///
@@ -58,16 +80,100 @@ impl std::fmt::Display for ScanError {
 
 impl std::error::Error for ScanError {}
 
-/// Scans `log` and builds the [`CreditStore`].
+/// Stage-1 kernel: computes the full credits of a single action.
+///
+/// A pure function of its arguments — it reads no state outside the
+/// action `a` and builds the [`ActionCredits`] from scratch, which is
+/// what makes the action-sharded parallel scan of [`scan_with`] exact:
+/// running this kernel on any thread, in any order, yields the same
+/// credits as the sequential loop, down to the f64 accumulation order.
+///
+/// `scratch` is a reusable buffer for the transitive-relay collection
+/// (callers iterating many actions pass the same buffer to avoid
+/// reallocating per action; its contents on entry are irrelevant).
+pub fn scan_action(
+    graph: &DirectedGraph,
+    log: &ActionLog,
+    policy: &CreditPolicy,
+    lambda: f64,
+    a: ActionId,
+    scratch: &mut Vec<(u32, f64)>,
+) -> ActionCredits {
+    let dag = PropagationDag::build(log, graph, a);
+    let gammas = policy.edge_credits(graph, &dag);
+    let mut credits = ActionCredits::default();
+    let mut edge_idx = 0usize;
+    for i in 0..dag.len() {
+        let u = dag.user(i);
+        for &pj in dag.parents_of(i) {
+            let v = dag.user(pj as usize);
+            let gamma = gammas[edge_idx];
+            edge_idx += 1;
+            if gamma <= 0.0 {
+                continue;
+            }
+            if gamma >= lambda {
+                credits.add(v, u, gamma);
+            }
+            // Transitive credit: everyone upstream of v relays through
+            // this activation. Skip the whole collection when v holds no
+            // incoming credit (the common case for shallow DAGs).
+            if !credits.has_sources(v) {
+                continue;
+            }
+            // Truncation predicate, hoisted: `c ≥ λ/γ` with one division
+            // per edge instead of one multiply per source. In exact
+            // arithmetic this equals `c·γ ≥ λ`; in f64 the two can differ
+            // by one ulp at the λ boundary, which truncation tolerates by
+            // design (λ itself is a coarse accuracy/memory dial, §5.3).
+            // What matters is that the predicate is a pure function of
+            // `(c, γ, λ)` — identical on every thread.
+            let bound = lambda / gamma;
+            // Collect first — we cannot mutate while iterating the same
+            // action's map.
+            scratch.clear();
+            scratch.extend(credits.sources_of(v).filter(|&(w, c)| w != u && c >= bound));
+            for &(w, c) in scratch.iter() {
+                credits.add(w, u, c * gamma);
+            }
+        }
+    }
+    credits
+}
+
+/// Scans `log` and builds the [`CreditStore`] using all available cores.
 ///
 /// `lambda` is the truncation threshold (§5.3): credit increments below it
 /// are discarded, bounding memory at a quantified cost in accuracy. Pass
 /// `0.0` for the exact store.
+///
+/// Equivalent to [`scan_with`] under [`Parallelism::auto`] — the result
+/// does not depend on the thread count.
 pub fn scan(
     graph: &DirectedGraph,
     log: &ActionLog,
     policy: &CreditPolicy,
     lambda: f64,
+) -> Result<CreditStore, ScanError> {
+    scan_with(graph, log, policy, lambda, Parallelism::auto())
+}
+
+/// Scans `log` with an explicit thread budget.
+///
+/// Stage 2 of the pipeline: the action range is split into one contiguous
+/// chunk per worker (deterministically — see
+/// [`cdim_util::pool::split_ranges`]), each worker runs the
+/// [`scan_action`] kernel over its chunk with a thread-local scratch
+/// buffer, and the per-action results are concatenated in action order.
+/// Since actions share no credit state, the merged store is **bit-identical
+/// to the sequential scan for every `parallelism`** — callers choose a
+/// thread count for speed, never for semantics.
+pub fn scan_with(
+    graph: &DirectedGraph,
+    log: &ActionLog,
+    policy: &CreditPolicy,
+    lambda: f64,
+    parallelism: Parallelism,
 ) -> Result<CreditStore, ScanError> {
     if lambda.is_nan() || lambda < 0.0 {
         return Err(ScanError::InvalidLambda { lambda });
@@ -91,38 +197,18 @@ pub fn scan(
         store.inv_au[u] = if au > 0 { 1.0 / f64::from(au) } else { 0.0 };
     }
 
-    // Scratch reused across actions: credit sources of each in-action user.
-    let mut sources_scratch: Vec<(u32, f64)> = Vec::new();
-
-    for a in log.actions() {
-        let dag = PropagationDag::build(log, graph, a);
-        let gammas = policy.edge_credits(graph, &dag);
-        let credits = store.action_mut(a);
-        let mut edge_idx = 0usize;
-        for i in 0..dag.len() {
-            let u = dag.user(i);
-            for &pj in dag.parents_of(i) {
-                let v = dag.user(pj as usize);
-                let gamma = gammas[edge_idx];
-                edge_idx += 1;
-                if gamma <= 0.0 {
-                    continue;
-                }
-                if gamma >= lambda {
-                    credits.add(v, u, gamma);
-                }
-                // Transitive credit: everyone upstream of v relays through
-                // this activation. Collect first — we cannot mutate while
-                // iterating the same action's map.
-                sources_scratch.clear();
-                sources_scratch
-                    .extend(credits.sources_of(v).filter(|&(w, c)| w != u && c * gamma >= lambda));
-                for &(w, c) in &sources_scratch {
-                    credits.add(w, u, c * gamma);
-                }
-            }
-        }
+    // Stages 2 + 3: fan the kernel out over action chunks, merge in order.
+    let shards = parallel_map_shards(parallelism, log.num_actions(), |_, range| {
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        range
+            .map(|a| scan_action(graph, log, policy, lambda, a as ActionId, &mut scratch))
+            .collect::<Vec<_>>()
+    });
+    let mut actions = Vec::with_capacity(log.num_actions());
+    for shard in shards {
+        actions.extend(shard);
     }
+    store.actions = actions;
 
     Ok(store)
 }
@@ -224,6 +310,46 @@ mod tests {
         assert_eq!(store.total_entries(), 0);
         assert_eq!(store.num_actions(), 0);
         assert_eq!(store.inv_au(0), 0.0);
+        // The parallel driver must also accept a zero-action log.
+        let store =
+            scan_with(&graph, &log, &CreditPolicy::Uniform, 0.0, Parallelism::fixed(4)).unwrap();
+        assert_eq!(store.num_actions(), 0);
+    }
+
+    #[test]
+    fn kernel_matches_full_scan_per_action() {
+        let (graph, log) = figure1();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
+        let mut scratch = Vec::new();
+        let credits = scan_action(&graph, &log, &CreditPolicy::Uniform, 0.0, 0, &mut scratch);
+        let mut from_kernel: Vec<_> = credits.entries().collect();
+        let mut from_scan: Vec<_> = store.action(0).entries().collect();
+        from_kernel.sort_by_key(|&(v, u, _)| (v, u));
+        from_scan.sort_by_key(|&(v, u, _)| (v, u));
+        assert_eq!(from_kernel, from_scan);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_dump() {
+        let (graph, log) = figure1();
+        for lambda in [0.0, 0.3] {
+            let baseline =
+                scan_with(&graph, &log, &CreditPolicy::Uniform, lambda, Parallelism::single())
+                    .unwrap()
+                    .dump();
+            for threads in [2usize, 3, 8] {
+                let dump = scan_with(
+                    &graph,
+                    &log,
+                    &CreditPolicy::Uniform,
+                    lambda,
+                    Parallelism::fixed(threads),
+                )
+                .unwrap()
+                .dump();
+                assert_eq!(dump, baseline, "threads = {threads}, lambda = {lambda}");
+            }
+        }
     }
 
     #[test]
@@ -318,6 +444,52 @@ mod proptests {
                     prop_assert!(
                         (incoming - expected).abs() < 1e-9,
                         "action {a} user {u}: initiator credit {incoming}"
+                    );
+                }
+            }
+        }
+
+        /// The determinism guarantee of the parallel driver: for every
+        /// tested thread count, both credit policies and λ ∈ {0, 0.001},
+        /// the canonical dump is byte-identical to the single-threaded
+        /// scan's. (CreditStoreDump comparison is exact f64 equality on
+        /// entries emitted in canonical sorted order — the same bytes the
+        /// snapshot codec would write.)
+        #[test]
+        fn parallel_scan_is_bit_identical_for_every_thread_count(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..60),
+            events in proptest::collection::vec((0u32..10, 0u32..6, 0u64..24), 1..80),
+            time_aware in proptest::bool::ANY,
+        ) {
+            let graph = GraphBuilder::new(10).edges(edges).build();
+            let mut b = ActionLogBuilder::new(10);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let policy = if time_aware {
+                CreditPolicy::time_aware(&graph, &log)
+            } else {
+                CreditPolicy::Uniform
+            };
+            for lambda in [0.0, 0.001] {
+                let baseline =
+                    scan_with(&graph, &log, &policy, lambda, Parallelism::single())
+                        .unwrap()
+                        .dump();
+                for threads in [1usize, 2, 3, 8] {
+                    let dump = scan_with(
+                        &graph,
+                        &log,
+                        &policy,
+                        lambda,
+                        Parallelism::fixed(threads),
+                    )
+                    .unwrap()
+                    .dump();
+                    prop_assert!(
+                        dump == baseline,
+                        "threads {threads}, lambda {lambda}: dump diverged"
                     );
                 }
             }

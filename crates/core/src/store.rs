@@ -75,6 +75,19 @@ impl ActionCredits {
             .filter_map(move |&u| self.credit.get(&pair_key(v, u)).map(|&c| (u, c)))
     }
 
+    /// Fast check: has `u` ever received credit from anyone?
+    ///
+    /// May report `true` for rows whose entries were all lazily deleted
+    /// (conservative, like the adjacency indexes themselves); never
+    /// reports `false` when [`Self::sources_of`] would yield items. The
+    /// scan uses it to skip the transitive-relay collection for nodes
+    /// that hold no incoming credit — during a scan nothing is ever
+    /// deleted, so there the check is exact.
+    #[inline]
+    pub fn has_sources(&self, u: u32) -> bool {
+        self.inc.get(&u).is_some_and(|vs| !vs.is_empty())
+    }
+
     /// Live `(v, Γ_{v,u})` pairs for target `u`.
     pub fn sources_of(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.inc
@@ -338,6 +351,21 @@ mod tests {
         // Lazy-deleted adjacency must not resurrect entries.
         assert_eq!(ac.targets_of(1).count(), 0);
         assert_eq!(ac.sources_of(1).count(), 0);
+    }
+
+    #[test]
+    fn has_sources_tracks_incoming_credit() {
+        let mut ac = ActionCredits::default();
+        assert!(!ac.has_sources(2));
+        ac.add(1, 2, 0.5);
+        assert!(ac.has_sources(2));
+        assert!(!ac.has_sources(1));
+        // Conservative under lazy deletion: subtract removes the entry but
+        // the adjacency row may keep reporting true — never false when
+        // live entries exist.
+        ac.add(3, 2, 0.25);
+        ac.subtract(1, 2, 0.5);
+        assert!(ac.has_sources(2));
     }
 
     #[test]

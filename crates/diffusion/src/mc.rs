@@ -6,13 +6,17 @@
 //! MC-greedy take tens of hours in Fig 7.
 //!
 //! Simulations are embarrassingly parallel: the estimator shards them over
-//! threads with independently seeded generators, so results are
-//! deterministic for a fixed `(base_seed, threads)` pair.
+//! the shared [`cdim_util::pool`] worker primitives with independently
+//! seeded generators, so results are deterministic for a fixed
+//! `(base_seed, threads)` pair. Shard 0's generator is seeded with
+//! `base_seed` itself, so a single-threaded run reproduces the historical
+//! sequential estimates exactly.
 
 use crate::ic::IcModel;
 use crate::lt::{LtModel, LtScratch};
 use cdim_graph::traversal::BfsScratch;
 use cdim_graph::NodeId;
+use cdim_util::pool::{parallel_map_shards, Parallelism};
 use cdim_util::Rng;
 
 /// A propagation model from which single cascades can be sampled.
@@ -85,13 +89,17 @@ impl McConfig {
         McConfig { simulations, threads: 1, base_seed: 0xC0FFEE }
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        }
+    /// The worker-pool view of [`Self::threads`] (`0` = auto).
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::fixed(self.threads)
     }
+}
+
+/// The RNG seed of simulation shard `shard`: `base_seed` itself for shard
+/// 0 (preserving single-threaded estimates), a golden-ratio-mixed stream
+/// for every later shard.
+fn shard_seed(base_seed: u64, shard: usize) -> u64 {
+    base_seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Reusable spread estimator binding a sampler and a configuration.
@@ -118,48 +126,30 @@ impl<M: CascadeSampler> MonteCarloEstimator<M> {
     }
 
     /// Estimates σ(S) by averaging sampled cascade sizes.
+    ///
+    /// Simulations are sharded over the shared worker pool: shard `s`
+    /// runs its deterministic quota with the generator stream
+    /// `shard_seed(base_seed, s)` and a thread-local scratch, so the
+    /// estimate is a pure function of `(base_seed, threads, seeds)`. One
+    /// worker runs inline on the calling thread — the sequential path is
+    /// the same code, not a special case.
     pub fn spread(&self, seeds: &[NodeId]) -> f64 {
         if seeds.is_empty() || self.config.simulations == 0 {
             return 0.0;
         }
         let sims = self.config.simulations;
-        let threads = self.config.effective_threads().min(sims).max(1);
-
-        if threads == 1 {
-            let mut rng = Rng::seed_from_u64(self.config.base_seed);
-            let mut scratch = self.sampler.make_scratch();
-            let total: u64 =
-                (0..sims).map(|_| self.sampler.sample(seeds, &mut rng, &mut scratch) as u64).sum();
-            return total as f64 / sims as f64;
-        }
-
-        let per = sims / threads;
-        let extra = sims % threads;
         let sampler = &self.sampler;
         let base_seed = self.config.base_seed;
-        let total: u64 = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let quota = per + usize::from(t < extra);
-                    scope.spawn(move || {
-                        let mut rng = Rng::seed_from_u64(
-                            base_seed
-                                ^ (t as u64)
-                                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                                    .wrapping_add(t as u64 + 1),
-                        );
-                        let mut scratch = sampler.make_scratch();
-                        let mut sum = 0u64;
-                        for _ in 0..quota {
-                            sum += sampler.sample(seeds, &mut rng, &mut scratch) as u64;
-                        }
-                        sum
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        let shard_sums = parallel_map_shards(self.config.parallelism(), sims, |shard, range| {
+            let mut rng = Rng::seed_from_u64(shard_seed(base_seed, shard));
+            let mut scratch = sampler.make_scratch();
+            let mut sum = 0u64;
+            for _ in range {
+                sum += sampler.sample(seeds, &mut rng, &mut scratch) as u64;
+            }
+            sum
         });
-        total as f64 / sims as f64
+        shard_sums.into_iter().sum::<u64>() as f64 / sims as f64
     }
 }
 
@@ -214,6 +204,30 @@ mod tests {
         let a = MonteCarloEstimator::new(model, cfg).spread(&[0]);
         let b = MonteCarloEstimator::new(model, cfg).spread(&[0]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_matches_hand_rolled_sequential_loop() {
+        // Shard 0 is seeded with base_seed itself, so one worker must
+        // reproduce the plain sequential estimate bit-for-bit.
+        let (g, p) = chain(0.4);
+        let model = IcModel::new(&g, &p);
+        let cfg = McConfig { simulations: 500, threads: 1, base_seed: 42 };
+        let est = MonteCarloEstimator::new(model, cfg).spread(&[0]);
+        let mut rng = Rng::seed_from_u64(42);
+        let mut scratch = IcModel::make_scratch(&model);
+        let total: u64 =
+            (0..500).map(|_| model.simulate(&[0], &mut rng, &mut scratch) as u64).sum();
+        assert_eq!(est, total as f64 / 500.0);
+    }
+
+    #[test]
+    fn more_threads_than_simulations_is_fine() {
+        let (g, p) = chain(1.0);
+        let model = IcModel::new(&g, &p);
+        let cfg = McConfig { simulations: 3, threads: 16, base_seed: 1 };
+        let s = MonteCarloEstimator::new(model, cfg).spread(&[0]);
+        assert_eq!(s, 3.0); // p = 1 chain of 3 nodes always fully activates
     }
 
     #[test]

@@ -128,6 +128,24 @@ impl ModelSnapshot {
         ModelSnapshot { selector: CdSelector::new(store) }
     }
 
+    /// The full snapshot build path: trains the credit policy, runs the
+    /// parallel credit scan under `config.parallelism`, and freezes the
+    /// result (empty seed set).
+    ///
+    /// The snapshot bytes are independent of the thread count — the scan
+    /// is bit-identical for every [`cdim_util::Parallelism`], and the
+    /// encoding is canonical — so snapshots built on different machines
+    /// with different core counts are comparable byte-for-byte.
+    pub fn build(
+        graph: &cdim_graph::DirectedGraph,
+        log: &cdim_actionlog::ActionLog,
+        config: cdim_core::CdModelConfig,
+    ) -> Result<Self, cdim_core::ScanError> {
+        let policy = config.build_policy(graph, log);
+        let store = cdim_core::scan_with(graph, log, &policy, config.lambda, config.parallelism)?;
+        Ok(Self::from_store(store))
+    }
+
     /// Wraps an arbitrary selector state (e.g. mid-campaign, with seeds
     /// already committed).
     pub fn from_selector(selector: CdSelector) -> Self {
@@ -493,6 +511,21 @@ mod tests {
         let ds = cdim_datagen::presets::tiny().generate();
         let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
         CdSelector::new(scan(&ds.graph, &ds.log, &policy, 0.001).unwrap())
+    }
+
+    #[test]
+    fn build_is_byte_identical_for_every_thread_count() {
+        let ds = cdim_datagen::presets::tiny().generate();
+        let config = |threads: usize| cdim_core::CdModelConfig {
+            parallelism: cdim_util::Parallelism::fixed(threads),
+            ..Default::default()
+        };
+        let baseline = ModelSnapshot::build(&ds.graph, &ds.log, config(1)).unwrap().to_bytes();
+        for threads in [2usize, 8] {
+            let bytes =
+                ModelSnapshot::build(&ds.graph, &ds.log, config(threads)).unwrap().to_bytes();
+            assert_eq!(bytes, baseline, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -18,12 +18,16 @@
 //! * [`lru`] — an O(1) least-recently-used cache (the query service's
 //!   answer cache).
 //! * [`checksum`] — CRC-32 for the snapshot file trailer.
+//! * [`pool`] — the scoped worker pool: [`Parallelism`] plus
+//!   deterministic `parallel_map` primitives every parallel stage (credit
+//!   scan, Monte-Carlo estimation) is built on.
 
 pub mod checksum;
 pub mod hash;
 pub mod lru;
 pub mod mem;
 pub mod ord;
+pub mod pool;
 pub mod rng;
 pub mod timer;
 pub mod topk;
@@ -33,5 +37,6 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use lru::LruCache;
 pub use mem::HeapSize;
 pub use ord::OrdF64;
+pub use pool::{parallel_map_indexed, parallel_map_shards, Parallelism};
 pub use rng::Rng;
 pub use timer::Timer;

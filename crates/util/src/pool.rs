@@ -1,0 +1,273 @@
+//! Scoped worker pool with deterministic work splitting.
+//!
+//! Every parallel stage in the workspace — the credit scan's per-action
+//! fan-out, the Monte-Carlo estimator's simulation shards — runs on the
+//! primitives in this module instead of hand-rolled `thread::scope`
+//! blocks, so "how cdim uses cores" has exactly one answer.
+//!
+//! ## Design
+//!
+//! * **Std-only.** Workers are `std::thread::scope` threads; there is no
+//!   global pool, no channels, no work stealing. A parallel call spawns at
+//!   most [`Parallelism::effective`] threads, each owning a contiguous,
+//!   pre-computed slice of the work, and joins them before returning.
+//! * **Deterministic splitting.** [`split_ranges`] divides `n` items over
+//!   `w` workers into contiguous ranges whose sizes differ by at most one,
+//!   a pure function of `(n, w)`. Shard `s` always receives the same range
+//!   for the same inputs, which is what lets callers derive per-shard RNG
+//!   streams ([`cdim_diffusion`]'s estimator) or guarantee bit-identical
+//!   merged output for every thread count (the credit scan).
+//! * **Slot writing, ordered merge.** Each shard writes its result into
+//!   its own pre-allocated slot; the merge is a plain in-order
+//!   concatenation. No locks, no atomics, no nondeterministic reduction
+//!   order.
+//!
+//! [`cdim_diffusion`]: ../../cdim_diffusion/index.html
+//!
+//! ## Example
+//!
+//! ```
+//! use cdim_util::pool::{parallel_map_indexed, Parallelism};
+//!
+//! let squares = parallel_map_indexed(Parallelism::fixed(4), 6, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25]);
+//! ```
+
+use std::ops::Range;
+
+/// How many worker threads a parallel stage may use.
+///
+/// `0` means "ask the OS" ([`std::thread::available_parallelism`]); any
+/// other value is taken literally, even when it exceeds the core count
+/// (useful for tests and for reproducing a specific sharding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Requested thread count; `0` = auto.
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Use every core the OS reports.
+    pub const fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// Run sequentially on the calling thread.
+    pub const fn single() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// Use exactly `threads` workers (`0` means [`Self::auto`]).
+    pub const fn fixed(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// Whether the thread count is resolved at run time.
+    pub const fn is_auto(self) -> bool {
+        self.threads == 0
+    }
+
+    /// The resolved thread count (auto → available parallelism, min 1).
+    pub fn effective(self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Worker count for a job of `items` units: never more workers than
+    /// items, never fewer than one.
+    pub fn workers_for(self, items: usize) -> usize {
+        self.effective().min(items).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl From<usize> for Parallelism {
+    /// The workspace-wide CLI convention: `--threads 0` = auto.
+    fn from(threads: usize) -> Self {
+        Parallelism::fixed(threads)
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_auto() {
+            f.write_str("auto")
+        } else {
+            write!(f, "{}", self.threads)
+        }
+    }
+}
+
+/// Splits `0..len` into `shards` contiguous ranges whose sizes differ by
+/// at most one (the first `len % shards` ranges get the extra item).
+///
+/// Pure in `(len, shards)` — the deterministic-splitting contract every
+/// pool caller relies on. Returns no ranges for `len == 0` and panics if
+/// `shards == 0` with work to split.
+pub fn split_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    assert!(shards > 0, "cannot split {len} items over zero shards");
+    let shards = shards.min(len);
+    let per = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = per + usize::from(s < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// Runs `f(shard_index, range)` once per shard of `0..len` and returns the
+/// results in shard order.
+///
+/// The shard layout comes from [`split_ranges`] with
+/// [`Parallelism::workers_for`] shards, so it is a pure function of
+/// `(len, parallelism)`. With one shard (or one worker) `f` runs inline on
+/// the calling thread — no spawn, no allocation beyond the result vector —
+/// which is why callers need no sequential special case.
+///
+/// This is the right primitive when each worker wants per-shard state (a
+/// scratch buffer, an RNG stream): allocate it once inside `f` and loop
+/// over the range.
+pub fn parallel_map_shards<T, F>(parallelism: Parallelism, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let ranges = split_ranges(len, parallelism.workers_for(len));
+    if ranges.len() <= 1 {
+        return ranges.into_iter().enumerate().map(|(s, r)| f(s, r)).collect();
+    }
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = slots.as_mut_slice();
+        for (shard, range) in ranges.into_iter().enumerate() {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per shard");
+            rest = tail;
+            scope.spawn(move || *slot = Some(f(shard, range)));
+        }
+    });
+    slots.into_iter().map(|s| s.expect("joined worker filled its slot")).collect()
+}
+
+/// Applies `f` to every index in `0..len` on up to
+/// [`Parallelism::effective`] workers and returns `vec![f(0), … f(len-1)]`
+/// — output identical to the sequential map for every thread count, since
+/// each slot depends only on its index.
+pub fn parallel_map_indexed<T, F>(parallelism: Parallelism, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut shards =
+        parallel_map_shards(parallelism, len, |_, range| range.map(&f).collect::<Vec<T>>());
+    if shards.len() == 1 {
+        return shards.pop().expect("one shard");
+    }
+    let mut out = Vec::with_capacity(len);
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_all_items_contiguously() {
+        for len in [0usize, 1, 2, 7, 100] {
+            for shards in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(len, shards);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "len {len} shards {shards}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                // Balanced: sizes differ by at most one.
+                if let (Some(max), Some(min)) =
+                    (ranges.iter().map(|r| r.len()).max(), ranges.iter().map(|r| r.len()).min())
+                {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(split_ranges(10, 4), split_ranges(10, 4));
+        assert_eq!(split_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(split_ranges(0, 4).is_empty());
+        let out: Vec<u32> = parallel_map_indexed(Parallelism::fixed(4), 0, |_| unreachable!());
+        assert!(out.is_empty());
+        let shards: Vec<u32> = parallel_map_shards(Parallelism::auto(), 0, |_, _| unreachable!());
+        assert!(shards.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = parallel_map_indexed(Parallelism::fixed(8), 1, |i| i + 41);
+        assert_eq!(out, vec![41]);
+        let shards = parallel_map_shards(Parallelism::fixed(8), 1, |s, r| (s, r));
+        assert_eq!(shards, vec![(0, 0..1)]);
+    }
+
+    #[test]
+    fn more_threads_than_items_caps_at_items() {
+        assert_eq!(Parallelism::fixed(16).workers_for(3), 3);
+        let out = parallel_map_indexed(Parallelism::fixed(16), 3, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn output_order_matches_sequential_for_every_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8, 128] {
+            let got = parallel_map_indexed(Parallelism::fixed(threads), 97, |i| i * 3 + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn shard_indices_are_stable_and_ordered() {
+        let shards = parallel_map_shards(Parallelism::fixed(3), 10, |s, r| (s, r));
+        assert_eq!(shards, vec![(0, 0..4), (1, 4..7), (2, 7..10)]);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert!(Parallelism::auto().is_auto());
+        assert!(Parallelism::fixed(0).is_auto());
+        assert!(!Parallelism::single().is_auto());
+        assert_eq!(Parallelism::fixed(5).effective(), 5);
+        assert!(Parallelism::auto().effective() >= 1);
+        assert_eq!(Parallelism::from(3), Parallelism::fixed(3));
+        assert_eq!(Parallelism::auto().to_string(), "auto");
+        assert_eq!(Parallelism::fixed(4).to_string(), "4");
+        // A zero-length job still resolves to one (idle) worker.
+        assert_eq!(Parallelism::fixed(4).workers_for(0), 1);
+    }
+}

@@ -67,7 +67,7 @@ fn main() {
     let retrained = CdModel::train(
         &ds.graph,
         &ds.log,
-        CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.001 },
+        CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.001, ..Default::default() },
     );
     service.publish(ModelSnapshot::from_store(retrained.store().clone()));
     let mut client = QueryClient::connect(addr).expect("reconnecting");

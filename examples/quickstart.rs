@@ -33,7 +33,7 @@ fn main() {
     let model = CdModel::train(
         &dataset.graph,
         &split.train,
-        CdModelConfig { policy: PolicyKind::TimeAware, lambda: 0.001 },
+        CdModelConfig { policy: PolicyKind::TimeAware, lambda: 0.001, ..Default::default() },
     );
     println!(
         "credit store: {} entries, ~{} of memory",

@@ -64,9 +64,9 @@ fn usage() {
         "usage:\n  \
          cdim generate --preset <name>|tiny --out <dir> [--scale N]\n  \
          cdim stats    --graph <g.tsv> --log <l.tsv>\n  \
-         cdim select   --graph <g.tsv> --log <l.tsv> [--k N] [--lambda F] [--policy uniform|time-aware]\n  \
+         cdim select   --graph <g.tsv> --log <l.tsv> [--k N] [--lambda F] [--policy uniform|time-aware] [--threads N]\n  \
          cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...] [--mc ic|lt] [--sims N] [--threads N]\n  \
-         cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F]\n  \
+         cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
          cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N]\n  \
          cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]"
     );
@@ -126,7 +126,10 @@ fn policy_config(flags: &Flags) -> Result<CdModelConfig, String> {
     if !(0.0..=1.0).contains(&lambda) {
         return Err(format!("--lambda must be in [0, 1], got {lambda}"));
     }
-    Ok(CdModelConfig { policy, lambda })
+    // One thread budget for every parallel stage of the invocation
+    // (credit scan and, in `predict`, the MC cross-check): 0 = auto.
+    let parallelism = Parallelism::fixed(flags.get_parsed("threads", 0usize)?);
+    Ok(CdModelConfig { policy, lambda, parallelism })
 }
 
 fn cmd_generate(flags: &Flags) -> Result<(), String> {
@@ -246,13 +249,8 @@ fn cmd_snapshot(flags: &Flags) -> Result<(), String> {
     let config = policy_config(flags)?;
     let out: PathBuf = flags.require("out")?.into();
     let timer = cdim::util::Timer::start();
-    let policy = match config.policy {
-        PolicyKind::Uniform => CreditPolicy::Uniform,
-        PolicyKind::TimeAware => CreditPolicy::time_aware(&graph, &log),
-    };
-    let store = scan(&graph, &log, &policy, config.lambda).map_err(|e| e.to_string())?;
-    let entries = store.total_entries();
-    let snapshot = ModelSnapshot::from_store(store);
+    let snapshot = ModelSnapshot::build(&graph, &log, config).map_err(|e| e.to_string())?;
+    let entries = snapshot.selector().store().total_entries();
     snapshot.save(&out).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&out).map_err(|e| e.to_string())?.len();
     println!(

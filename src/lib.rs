@@ -61,7 +61,7 @@ pub mod prelude {
         train_test_split, ActionLog, ActionLogBuilder, PropagationDag, TrainTestSplit,
     };
     pub use cdim_core::{
-        model::PolicyKind, scan, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator,
+        model::PolicyKind, scan, scan_with, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator,
         CreditPolicy, CreditStore, ScanError,
     };
     pub use cdim_datagen::{Dataset, DatasetSpec};
@@ -70,5 +70,5 @@ pub mod prelude {
     pub use cdim_learning::{learn_lt_weights, EmConfig, EmLearner, TemporalModel};
     pub use cdim_maxim::{celf_select, greedy_select, Selection, SpreadOracle};
     pub use cdim_serve::{InfluenceService, ModelSnapshot, QueryClient};
-    pub use cdim_util::Rng;
+    pub use cdim_util::{Parallelism, Rng};
 }

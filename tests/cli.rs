@@ -44,6 +44,8 @@ fn generate_stats_select_predict_pipeline() {
             log.to_str().unwrap(),
             "--k",
             "3",
+            "--threads",
+            "2",
         ])
         .output()
         .unwrap();
@@ -83,7 +85,7 @@ fn snapshot_serve_query_pipeline() {
     let log = dir.join("log.tsv");
     let snap = dir.join("model.snap");
 
-    // Train + persist.
+    // Train + persist (on an explicit thread budget).
     let out = cdim()
         .args([
             "snapshot",
@@ -93,16 +95,37 @@ fn snapshot_serve_query_pipeline() {
             log.to_str().unwrap(),
             "--out",
             snap.to_str().unwrap(),
+            "--threads",
+            "2",
         ])
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(snap.exists());
 
-    // The snapshot reloads bit-identically.
+    // The snapshot reloads bit-identically, and the scan's thread-count
+    // invariance makes the file itself reproducible: retraining the same
+    // data single-threaded yields the exact same bytes.
     let bytes = std::fs::read(&snap).unwrap();
     let restored = cdim::serve::ModelSnapshot::from_bytes(&bytes).unwrap();
     assert_eq!(restored.to_bytes(), bytes);
+    let snap1 = dir.join("model_t1.snap");
+    let out = cdim()
+        .args([
+            "snapshot",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--out",
+            snap1.to_str().unwrap(),
+            "--threads",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&snap1).unwrap(), bytes, "snapshot bytes depend on --threads");
 
     // Serve on an ephemeral port; the CLI prints the bound address.
     let mut server = cdim()

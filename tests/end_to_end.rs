@@ -53,6 +53,28 @@ fn cd_selection_equals_generic_greedy_on_exact_oracle() {
 }
 
 #[test]
+fn parallel_scan_is_deterministic_on_generated_data() {
+    // The facade-level version of the pipeline guarantee: on a realistic
+    // generated dataset, every thread budget produces the same canonical
+    // dump — the property that makes `--threads` a pure speed knob.
+    let ds = dataset();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    for lambda in [0.0, 0.001] {
+        let baseline =
+            scan_with(&ds.graph, &ds.log, &policy, lambda, Parallelism::single()).unwrap().dump();
+        for threads in [2usize, 3, 8] {
+            let dump = scan_with(&ds.graph, &ds.log, &policy, lambda, Parallelism::fixed(threads))
+                .unwrap()
+                .dump();
+            assert!(dump == baseline, "threads {threads}, lambda {lambda}");
+        }
+        // The auto default is the same scan, so it obeys the same law.
+        let auto = scan(&ds.graph, &ds.log, &policy, lambda).unwrap().dump();
+        assert!(auto == baseline, "auto parallelism diverged at lambda {lambda}");
+    }
+}
+
+#[test]
 fn truncation_trades_accuracy_for_memory_monotonically() {
     let ds = dataset();
     let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);

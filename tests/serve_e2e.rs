@@ -114,7 +114,7 @@ fn hot_swap_under_load_never_drops_a_query() {
     let uniform = CdModel::train(
         &ds.graph,
         &ds.log,
-        CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.0 },
+        CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.0, ..Default::default() },
     );
     let time_aware = CdModel::train(&ds.graph, &ds.log, CdModelConfig::default());
     let snap_a = ModelSnapshot::from_store(uniform.store().clone());
