@@ -1,0 +1,295 @@
+//! Append-only action-log deltas — the unit of incremental retraining.
+//!
+//! A production deployment never retrains from a frozen log: new
+//! propagation traces keep arriving. Because the credit assignment of
+//! Algorithm 2 never crosses an action boundary, a batch of *new* actions
+//! can be scanned on its own and appended to an existing credit store
+//! without touching anything already learned. [`ActionLogDelta`] is that
+//! batch: a self-contained [`ActionLog`] of the new actions plus the
+//! number of actions the consumer has already scanned, which pins where
+//! the new dense ids start.
+//!
+//! The split/apply pair round-trips exactly:
+//!
+//! ```
+//! use cdim_actionlog::ActionLogBuilder;
+//!
+//! let mut b = ActionLogBuilder::new(3);
+//! b.push(0, 10, 0.0);
+//! b.push(1, 10, 1.0);
+//! b.push(2, 20, 0.5);
+//! let log = b.build();
+//!
+//! let (prefix, delta) = log.split_at_action(1);
+//! assert_eq!(prefix.num_actions(), 1);
+//! assert_eq!(delta.num_new_actions(), 1);
+//! assert_eq!(delta.base_actions(), 1);
+//! // Re-applying the delta reconstructs the original log exactly.
+//! assert_eq!(delta.apply_to(&prefix).unwrap(), log);
+//! ```
+
+use crate::log::{ActionId, ActionLog, ActionLogBuilder};
+
+/// Why a delta could not be combined with a base log or model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta was cut for a different number of already-scanned actions
+    /// than the base provides — applying it would assign wrong dense ids.
+    BaseMismatch {
+        /// Actions the delta expects the base to hold.
+        expected: usize,
+        /// Actions the base actually holds.
+        got: usize,
+    },
+    /// Base and delta disagree on the user universe.
+    UserUniverseMismatch {
+        /// Users in the base.
+        expected: usize,
+        /// Users in the delta.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BaseMismatch { expected, got } => {
+                write!(f, "delta expects a base of {expected} actions, found {got}")
+            }
+            DeltaError::UserUniverseMismatch { expected, got } => {
+                write!(f, "delta user universe mismatch ({expected} vs {got} users)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// An append-only batch of new actions on top of an already-scanned log.
+///
+/// The batch is an ordinary [`ActionLog`] whose dense ids run `0..d`
+/// locally; globally the actions take ids `base_actions..base_actions + d`,
+/// appended after everything the consumer has scanned. Deltas carry whole
+/// new actions only — they never add tuples to an action that was already
+/// scanned (credit into a user is final at its activation, so extending an
+/// old trace would invalidate stored credits; ship such data as a fresh
+/// trace or do a full retrain).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionLogDelta {
+    base_actions: usize,
+    additions: ActionLog,
+}
+
+impl ActionLogDelta {
+    /// Wraps `additions` as the batch appended after `base_actions`
+    /// already-scanned actions.
+    pub fn new(base_actions: usize, additions: ActionLog) -> Self {
+        ActionLogDelta { base_actions, additions }
+    }
+
+    /// Dense actions the consumer must already hold before this delta.
+    #[inline]
+    pub fn base_actions(&self) -> usize {
+        self.base_actions
+    }
+
+    /// Number of new actions in the batch.
+    #[inline]
+    pub fn num_new_actions(&self) -> usize {
+        self.additions.num_actions()
+    }
+
+    /// Number of new `(user, action, time)` tuples in the batch.
+    #[inline]
+    pub fn num_new_tuples(&self) -> usize {
+        self.additions.num_tuples()
+    }
+
+    /// Users in the delta's id space (shared with the base log and graph).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.additions.num_users()
+    }
+
+    /// Whether the batch holds no new actions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.additions.num_actions() == 0
+    }
+
+    /// The new actions as a standalone log (dense ids `0..d`).
+    #[inline]
+    pub fn additions(&self) -> &ActionLog {
+        &self.additions
+    }
+
+    /// Global dense id of local delta action `local`.
+    #[inline]
+    pub fn global_id(&self, local: ActionId) -> ActionId {
+        (self.base_actions + local as usize) as ActionId
+    }
+
+    /// Dense action count after the delta is applied.
+    #[inline]
+    pub fn end_actions(&self) -> usize {
+        self.base_actions + self.additions.num_actions()
+    }
+
+    /// Concatenates `prefix` and the delta into one combined log — the log
+    /// a from-scratch retrain would scan. Action order is exactly prefix
+    /// actions followed by delta actions, so the incremental-equivalence
+    /// contract ("extend = full scan of `apply_to(prefix)`") is
+    /// well-defined. External ids are carried through for provenance.
+    pub fn apply_to(&self, prefix: &ActionLog) -> Result<ActionLog, DeltaError> {
+        if prefix.num_actions() != self.base_actions {
+            return Err(DeltaError::BaseMismatch {
+                expected: self.base_actions,
+                got: prefix.num_actions(),
+            });
+        }
+        if prefix.num_users() != self.additions.num_users() {
+            return Err(DeltaError::UserUniverseMismatch {
+                expected: prefix.num_users(),
+                got: self.additions.num_users(),
+            });
+        }
+        let mut builder = ActionLogBuilder::new(prefix.num_users());
+        for a in prefix.actions() {
+            let users = prefix.users_of(a);
+            let times = prefix.times_of(a);
+            for (&u, &t) in users.iter().zip(times) {
+                builder.push_with_external(u, a, prefix.external_id(a), t);
+            }
+        }
+        for a in self.additions.actions() {
+            let users = self.additions.users_of(a);
+            let times = self.additions.times_of(a);
+            for (&u, &t) in users.iter().zip(times) {
+                builder.push_with_external(u, self.global_id(a), self.additions.external_id(a), t);
+            }
+        }
+        Ok(builder.build())
+    }
+}
+
+impl ActionLog {
+    /// Extracts dense actions `start..end` as an [`ActionLogDelta`] based
+    /// on the first `start` actions. Tuples are carried over verbatim
+    /// (same users, times, external ids, per-action order), so scanning
+    /// the delta locally is identical to scanning those actions in place.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > num_actions()`.
+    pub fn delta_range(&self, start: usize, end: usize) -> ActionLogDelta {
+        assert!(
+            start <= end && end <= self.num_actions(),
+            "delta range {start}..{end} out of bounds for {} actions",
+            self.num_actions()
+        );
+        let keep: Vec<ActionId> = (start..end).map(|a| a as ActionId).collect();
+        ActionLogDelta::new(start, self.project_actions(&keep))
+    }
+
+    /// Splits the log into the first `split` actions and a delta holding
+    /// the rest: `(prefix, delta)` with `delta.apply_to(&prefix)`
+    /// reconstructing `self` exactly.
+    ///
+    /// # Panics
+    /// Panics if `split > num_actions()`.
+    pub fn split_at_action(&self, split: usize) -> (ActionLog, ActionLogDelta) {
+        let keep: Vec<ActionId> = (0..split).map(|a| a as ActionId).collect();
+        (self.project_actions(&keep), self.delta_range(split, self.num_actions()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ActionLog {
+        let mut b = ActionLogBuilder::new(4);
+        b.push(0, 10, 1.0);
+        b.push(1, 10, 2.0);
+        b.push(2, 20, 0.5);
+        b.push(0, 20, 1.5);
+        b.push(3, 30, 0.0);
+        b.build()
+    }
+
+    #[test]
+    fn split_then_apply_round_trips() {
+        let log = sample_log();
+        for split in 0..=log.num_actions() {
+            let (prefix, delta) = log.split_at_action(split);
+            assert_eq!(prefix.num_actions(), split);
+            assert_eq!(delta.base_actions(), split);
+            assert_eq!(delta.num_new_actions(), log.num_actions() - split);
+            assert_eq!(delta.end_actions(), log.num_actions());
+            assert_eq!(delta.apply_to(&prefix).unwrap(), log, "split = {split}");
+        }
+    }
+
+    #[test]
+    fn delta_actions_match_source_slices() {
+        let log = sample_log();
+        let delta = log.delta_range(1, 3);
+        assert_eq!(delta.num_new_actions(), 2);
+        assert_eq!(delta.num_new_tuples(), 3);
+        for local in 0..2u32 {
+            let global = delta.global_id(local);
+            assert_eq!(delta.additions().users_of(local), log.users_of(global));
+            assert_eq!(delta.additions().times_of(local), log.times_of(global));
+            assert_eq!(delta.additions().external_id(local), log.external_id(global));
+        }
+    }
+
+    #[test]
+    fn empty_and_full_deltas() {
+        let log = sample_log();
+        let (prefix, empty) = log.split_at_action(log.num_actions());
+        assert!(empty.is_empty());
+        assert_eq!(empty.apply_to(&prefix).unwrap(), log);
+
+        let (nothing, everything) = log.split_at_action(0);
+        assert_eq!(nothing.num_actions(), 0);
+        assert_eq!(everything.num_new_actions(), log.num_actions());
+        assert_eq!(everything.apply_to(&nothing).unwrap(), log);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let log = sample_log();
+        let (_, delta) = log.split_at_action(2);
+        let (short_prefix, _) = log.split_at_action(1);
+        assert_eq!(
+            delta.apply_to(&short_prefix),
+            Err(DeltaError::BaseMismatch { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn apply_rejects_wrong_universe() {
+        let log = sample_log();
+        let (prefix, _) = log.split_at_action(2);
+        let foreign = ActionLogBuilder::new(9).build();
+        let delta = ActionLogDelta::new(2, foreign);
+        assert_eq!(
+            delta.apply_to(&prefix),
+            Err(DeltaError::UserUniverseMismatch { expected: 4, got: 9 })
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let base = DeltaError::BaseMismatch { expected: 5, got: 3 };
+        assert!(base.to_string().contains("5 actions"));
+        let users = DeltaError::UserUniverseMismatch { expected: 4, got: 9 };
+        assert!(users.to_string().contains("user universe"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn delta_range_checks_bounds() {
+        sample_log().delta_range(1, 99);
+    }
+}

@@ -9,17 +9,21 @@
 //!
 //! Modules:
 //! * [`log`] — the columnar, action-partitioned [`ActionLog`] store;
+//! * [`delta`] — append-only [`ActionLogDelta`] batches for incremental
+//!   retraining;
 //! * [`propagation`] — per-action propagation DAGs and initiators;
 //! * [`split`] — the paper's 80/20 size-stratified train/test split;
 //! * [`stats`] — the action-log half of Table 1;
 //! * [`storage`] — buffered TSV persistence.
 
+pub mod delta;
 pub mod log;
 pub mod propagation;
 pub mod split;
 pub mod stats;
 pub mod storage;
 
+pub use delta::{ActionLogDelta, DeltaError};
 pub use log::{
     ActionId, ActionLog, ActionLogBuilder, ActionTuple, LogBuildError, Timestamp, UserId,
 };

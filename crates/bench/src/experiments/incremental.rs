@@ -1,0 +1,211 @@
+//! bench-incremental — delta-apply vs full-rescan wall time.
+//!
+//! Not a paper artifact: this measures the payoff of the incremental
+//! training subsystem. A live deployment refreshes its model as new
+//! actions arrive; before PR 4 every refresh paid a full Algorithm-2
+//! rescan. Here we split the large preset's log into a prefix plus an
+//! append-only delta at shrinking delta fractions and record, for each
+//! fraction, the wall time of (a) a from-scratch rescan of the combined
+//! log and (b) `CreditStore::apply_delta` on the prefix store — asserting
+//! on the spot that both produce byte-identical canonical dumps.
+//!
+//! The sweep lands machine-readably in `BENCH_incremental.json` so CI can
+//! track the refresh-cost curve across commits.
+
+use crate::config::ExperimentScale;
+use cdim_core::{scan_with, CreditPolicy, Parallelism};
+use cdim_datagen::presets;
+use cdim_metrics::Table;
+use cdim_util::Timer;
+use std::io::Write as _;
+
+/// Fractions of the log arriving as the delta, largest first.
+const DELTA_FRACTIONS: [f64; 5] = [0.5, 0.25, 0.10, 0.05, 0.02];
+
+/// Where the JSON record lands by default: `$CDIM_BENCH_JSON_INCREMENTAL`
+/// if set (CI points this at the workspace), otherwise the temp directory
+/// (so plain `cargo test` runs never litter the repo).
+fn json_path() -> std::path::PathBuf {
+    match std::env::var_os("CDIM_BENCH_JSON_INCREMENTAL") {
+        Some(path) => path.into(),
+        None => std::env::temp_dir().join("BENCH_incremental.json"),
+    }
+}
+
+/// One measured refresh.
+struct Run {
+    fraction: f64,
+    delta_actions: usize,
+    delta_tuples: usize,
+    rescan_secs: f64,
+    apply_secs: f64,
+}
+
+/// Runs the sweep; the JSON lands at `$CDIM_BENCH_JSON_INCREMENTAL` or,
+/// when unset, `BENCH_incremental.json` in the temp directory.
+pub fn run(scale: ExperimentScale) {
+    run_with_output(scale, &json_path());
+}
+
+/// Runs the sweep and writes the JSON record to `path` (the explicit-path
+/// variant tests use — no process-global environment involved).
+pub fn run_with_output(scale: ExperimentScale, path: &std::path::Path) {
+    super::banner(
+        "bench-incremental — append-only retraining vs full rescan",
+        "engineering artifact (not in the paper): incremental Algorithm 2 via ActionLogDelta",
+        scale,
+    );
+    let ds = presets::flixster_large().scaled_down(scale.dataset_divisor).generate();
+    let lambda = 0.001;
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let par = scale.parallelism();
+    let n = ds.log.num_actions();
+    println!(
+        "--- {} ({} users, {} actions, {} tuples, {} threads) ---",
+        ds.name,
+        ds.graph.num_nodes(),
+        n,
+        ds.log.num_tuples(),
+        par.effective()
+    );
+
+    // The refresh target every path must reproduce byte-for-byte — also
+    // the warm-up pass.
+    let baseline = scan_with(&ds.graph, &ds.log, &policy, lambda, par).unwrap().dump();
+
+    let mut table = Table::new(["delta", "actions", "rescan (s)", "apply (s)", "speedup"]);
+    let mut runs: Vec<Run> = Vec::new();
+    for fraction in DELTA_FRACTIONS {
+        let split = ((n as f64) * (1.0 - fraction)).round() as usize;
+        let split = split.min(n);
+        let (prefix, delta) = ds.log.split_at_action(split);
+
+        // (a) what a naive refresh pays: rescan everything.
+        let t = Timer::start();
+        let rescan = scan_with(&ds.graph, &ds.log, &policy, lambda, par).unwrap();
+        let rescan_secs = t.secs();
+        assert!(rescan.dump() == baseline, "rescan diverged at fraction {fraction}");
+
+        // (b) what the incremental path pays: scan the delta, append.
+        // (The prefix store exists already in a deployment; building it
+        // here is untimed setup.)
+        let mut store = scan_with(&ds.graph, &prefix, &policy, lambda, par).unwrap();
+        let t = Timer::start();
+        store.apply_delta(&ds.graph, &delta, &policy, par).unwrap();
+        let apply_secs = t.secs();
+        assert!(
+            store.dump() == baseline,
+            "delta-apply diverged from the full rescan at fraction {fraction}"
+        );
+
+        let speedup = rescan_secs / apply_secs.max(1e-9);
+        table.row([
+            format!("{:.0}%", fraction * 100.0),
+            delta.num_new_actions().to_string(),
+            format!("{rescan_secs:.3}"),
+            format!("{apply_secs:.3}"),
+            format!("{speedup:.1}x"),
+        ]);
+        runs.push(Run {
+            fraction,
+            delta_actions: delta.num_new_actions(),
+            delta_tuples: delta.num_new_tuples(),
+            rescan_secs,
+            apply_secs,
+        });
+    }
+    println!("{table}");
+    println!("(equivalence checked: every path dumped byte-identically to the full rescan)");
+
+    match write_json(path, ds.name, n, ds.log.num_tuples(), lambda, par.effective(), &runs) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serialization dependency).
+fn write_json(
+    path: &std::path::Path,
+    dataset: &str,
+    actions: usize,
+    tuples: usize,
+    lambda: f64,
+    threads: usize,
+    runs: &[Run],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"bench-incremental\",\n");
+    out.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    out.push_str(&format!("  \"actions\": {actions},\n"));
+    out.push_str(&format!("  \"tuples\": {tuples},\n"));
+    out.push_str(&format!("  \"lambda\": {lambda},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", Parallelism::auto().effective()));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let speedup = run.rescan_secs / run.apply_secs.max(1e-9);
+        out.push_str(&format!(
+            "    {{\"delta_fraction\": {}, \"delta_actions\": {}, \"delta_tuples\": {}, \
+             \"rescan_secs\": {:.6}, \"apply_secs\": {:.6}, \"speedup\": {speedup:.3}}}{comma}\n",
+            run.fraction, run.delta_actions, run.delta_tuples, run.rescan_secs, run.apply_secs
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_is_parseable_shape() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchincr_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_incremental.json");
+        let runs = vec![
+            Run {
+                fraction: 0.5,
+                delta_actions: 100,
+                delta_tuples: 900,
+                rescan_secs: 0.8,
+                apply_secs: 0.5,
+            },
+            Run {
+                fraction: 0.1,
+                delta_actions: 20,
+                delta_tuples: 180,
+                rescan_secs: 0.8,
+                apply_secs: 0.1,
+            },
+        ];
+        write_json(&path, "flixster_large", 200, 1800, 0.001, 4, &runs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"bench-incremental\""));
+        assert!(text.contains("\"delta_fraction\": 0.1"));
+        assert!(text.contains("\"speedup\": 8.000"));
+        // Crude structural sanity: balanced braces/brackets, no trailing
+        // comma before a closer.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(!text.contains(",\n  ]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quick_sweep_runs_and_reports() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchincr_run_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_incremental.json");
+        let mut scale = ExperimentScale::quick();
+        scale.dataset_divisor = scale.dataset_divisor.max(64);
+        run_with_output(scale, &path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"runs\""));
+        assert!(text.contains("\"apply_secs\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod incremental;
 pub mod scan_scaling;
 pub mod table1;
 pub mod table2;
@@ -17,7 +18,7 @@ pub mod table4;
 use crate::config::ExperimentScale;
 
 /// All experiment ids, in paper order (engineering artifacts last).
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "table1",
     "table2",
     "fig2",
@@ -33,6 +34,7 @@ pub const ALL_IDS: [&str; 16] = [
     "ablate-celf",
     "ablate-mg",
     "bench-scan",
+    "bench-incremental",
     "all",
 ];
 
@@ -54,6 +56,7 @@ pub fn run(id: &str, scale: ExperimentScale) -> bool {
         "ablate-celf" => ablations::celf_vs_greedy(scale),
         "ablate-mg" => ablations::mg_formula(scale),
         "bench-scan" => scan_scaling::run(scale),
+        "bench-incremental" => incremental::run(scale),
         "all" => {
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
                 run(id, scale);

@@ -33,10 +33,10 @@ fn sc_key(a: u32, u: u32) -> u64 {
 /// Stateful CD seed selector (Algorithm 3).
 #[derive(Clone, Debug)]
 pub struct CdSelector {
-    store: CreditStore,
+    pub(crate) store: CreditStore,
     /// `SC[x][a] = Γ_{S,x}(a)` for the current seed set.
     sc: FxHashMap<u64, f64>,
-    seeds: Vec<u32>,
+    pub(crate) seeds: Vec<u32>,
 }
 
 impl CdSelector {
@@ -133,23 +133,31 @@ impl CdSelector {
         // per-user action index bounds the walk.
         let actions: Vec<u32> = self.store.actions_of_user(x).to_vec();
         for a in actions {
-            let sc_xa = self.sc.get(&sc_key(a, x)).copied().unwrap_or(0.0);
-            let one_minus = (1.0 - sc_xa).max(0.0);
-            let (gout, gin) = self.store.action_mut(a).retire(x);
-            // Lemma 3: Γ_{S+x,u} = Γ_{S,u} + Γ^{V−S}_{x,u}·(1 − Γ_{S,x}).
-            for &(u, cxu) in &gout {
-                let e = self.sc.entry(sc_key(a, u)).or_insert(0.0);
-                *e = (*e + cxu * one_minus).min(1.0);
-            }
-            // Lemma 2: Γ^{W−x}_{v,u} = Γ^W_{v,u} − Γ^W_{v,x}·Γ^W_{x,u}.
-            let ac = self.store.action_mut(a);
-            for &(v, cvx) in &gin {
-                for &(u, cxu) in &gout {
-                    ac.subtract(v, u, cvx * cxu);
-                }
-            }
+            self.apply_seed_to_action(a, x);
         }
         self.seeds.push(x);
+    }
+
+    /// One action's worth of [`Self::update`]: retires `x` from action `a`
+    /// and applies the Lemma 2/3 credit algebra. Actions are independent,
+    /// which is what lets the incremental path (`extend`) replay already
+    /// committed seeds over freshly appended actions only.
+    pub(crate) fn apply_seed_to_action(&mut self, a: u32, x: u32) {
+        let sc_xa = self.sc.get(&sc_key(a, x)).copied().unwrap_or(0.0);
+        let one_minus = (1.0 - sc_xa).max(0.0);
+        let (gout, gin) = self.store.action_mut(a).retire(x);
+        // Lemma 3: Γ_{S+x,u} = Γ_{S,u} + Γ^{V−S}_{x,u}·(1 − Γ_{S,x}).
+        for &(u, cxu) in &gout {
+            let e = self.sc.entry(sc_key(a, u)).or_insert(0.0);
+            *e = (*e + cxu * one_minus).min(1.0);
+        }
+        // Lemma 2: Γ^{W−x}_{v,u} = Γ^W_{v,u} − Γ^W_{v,x}·Γ^W_{x,u}.
+        let ac = self.store.action_mut(a);
+        for &(v, cvx) in &gin {
+            for &(u, cxu) in &gout {
+                ac.subtract(v, u, cvx * cxu);
+            }
+        }
     }
 
     /// Runs CELF until `k` seeds are chosen; returns the selection and

@@ -1,0 +1,488 @@
+//! Incremental (append-only) retraining — the streaming half of
+//! Algorithm 2.
+//!
+//! The credit assignment of the one-pass scan never crosses an action
+//! boundary, so a batch of *new* actions ([`ActionLogDelta`]) can be
+//! scanned in isolation and appended to an existing [`CreditStore`]:
+//!
+//! * the new actions' [`ActionCredits`] come from the very same
+//!   [`scan_action`] kernel the full scan runs, fanned out over the
+//!   shared worker pool ([`parallel_map_shards`]) — incremental updates
+//!   parallelize exactly like full training;
+//! * per-user action memberships gain the new dense ids at the tail
+//!   (ids only grow, so the vectors stay in full-scan order);
+//! * `1/A_u` is re-derived for touched users with the same single
+//!   division the full scan performs.
+//!
+//! **Equivalence contract.** For any prefix/delta split of a log, any
+//! thread count and a fixed credit policy, extending the prefix's store
+//! produces a [`CreditStoreDump`] *byte-identical* to a from-scratch
+//! [`scan`](crate::scan::scan) of the combined log. The same holds one
+//! level up: extending a [`CdSelector`] with committed seeds equals
+//! scanning the combined log and replaying the seed updates in order
+//! (per-action seed algebra is action-local, see
+//! [`CdSelector::update`]). The `tests/golden.rs` suite and the
+//! proptests below enforce the contract.
+//!
+//! What a delta deliberately does **not** do: re-learn the time-aware
+//! policy parameters (`τ`, `infl`). The policy a model was trained with
+//! stays fixed across [`CdModel::extend`](crate::CdModel::extend) calls —
+//! refreshing it changes credits of *old* actions too and therefore
+//! requires a full retrain. Production deployments interleave cheap delta
+//! refreshes with occasional full retrains.
+//!
+//! [`ActionCredits`]: crate::store::ActionCredits
+//! [`CreditStoreDump`]: crate::store::CreditStoreDump
+
+use crate::celf::CdSelector;
+use crate::policy::CreditPolicy;
+use crate::scan::scan_action;
+use crate::store::CreditStore;
+use cdim_actionlog::{ActionId, ActionLogDelta};
+use cdim_graph::DirectedGraph;
+use cdim_util::pool::{parallel_map_shards, Parallelism};
+
+/// Why an append-only delta could not be applied to a trained state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtendError {
+    /// The delta was cut against a different action count than the store
+    /// holds — applying it would mis-assign dense action ids.
+    BaseMismatch {
+        /// Actions already in the store.
+        store_actions: usize,
+        /// Actions the delta expects the store to hold.
+        delta_base: usize,
+    },
+    /// Store and delta disagree on the user universe.
+    UserUniverseMismatch {
+        /// Users in the trained store.
+        store_users: usize,
+        /// Users in the delta's log.
+        delta_users: usize,
+    },
+    /// Graph and store disagree on the user universe.
+    GraphMismatch {
+        /// Nodes in the social graph.
+        graph_nodes: usize,
+        /// Users in the trained store.
+        store_users: usize,
+    },
+}
+
+impl std::fmt::Display for ExtendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtendError::BaseMismatch { store_actions, delta_base } => write!(
+                f,
+                "delta base mismatch: store holds {store_actions} actions, delta expects \
+                 {delta_base}"
+            ),
+            ExtendError::UserUniverseMismatch { store_users, delta_users } => write!(
+                f,
+                "store and delta must share a user universe ({store_users} vs {delta_users} users)"
+            ),
+            ExtendError::GraphMismatch { graph_nodes, store_users } => write!(
+                f,
+                "graph and store must share a user universe ({graph_nodes} nodes vs \
+                 {store_users} users)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExtendError {}
+
+/// Validates that `delta` lines up with a trained state of
+/// `(num_users, num_actions)`.
+fn validate(
+    graph: &DirectedGraph,
+    delta: &ActionLogDelta,
+    num_users: usize,
+    num_actions: usize,
+) -> Result<(), ExtendError> {
+    if graph.num_nodes() != num_users {
+        return Err(ExtendError::GraphMismatch {
+            graph_nodes: graph.num_nodes(),
+            store_users: num_users,
+        });
+    }
+    if delta.num_users() != num_users {
+        return Err(ExtendError::UserUniverseMismatch {
+            store_users: num_users,
+            delta_users: delta.num_users(),
+        });
+    }
+    if delta.base_actions() != num_actions {
+        return Err(ExtendError::BaseMismatch {
+            store_actions: num_actions,
+            delta_base: delta.base_actions(),
+        });
+    }
+    Ok(())
+}
+
+impl CreditStore {
+    /// Appends an action batch to the store: scans each new action with
+    /// the [`scan_action`] kernel (in parallel, under `parallelism`) and
+    /// updates the per-user membership index and `1/A_u` — without
+    /// touching any already-scanned action.
+    ///
+    /// `policy` must be the policy the store was trained with for the
+    /// byte-identity contract to be meaningful (the store itself retains
+    /// only λ). The resulting [`dump`](CreditStore::dump) is
+    /// byte-identical to a from-scratch scan of the combined log for
+    /// every `parallelism`.
+    pub fn apply_delta(
+        &mut self,
+        graph: &DirectedGraph,
+        delta: &ActionLogDelta,
+        policy: &CreditPolicy,
+        parallelism: Parallelism,
+    ) -> Result<(), ExtendError> {
+        validate(graph, delta, self.num_users(), self.num_actions())?;
+        let additions = delta.additions();
+        let lambda = self.lambda();
+
+        // The same stage-2/3 shape as the full scan: kernel over action
+        // chunks, ordered concatenation — bit-identical for every thread
+        // count because each action's credits are computed wholesale.
+        let shards = parallel_map_shards(parallelism, additions.num_actions(), |_, range| {
+            let mut scratch: Vec<(u32, f64)> = Vec::new();
+            range
+                .map(|a| scan_action(graph, additions, policy, lambda, a as ActionId, &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        self.actions.reserve(additions.num_actions());
+        for shard in shards {
+            self.actions.extend(shard);
+        }
+
+        // Membership + 1/A_u. New ids exceed every stored id, so pushing
+        // in delta order reproduces the full scan's per-user vectors; the
+        // division matches the full scan's `1.0 / f64::from(A_u)` bit for
+        // bit.
+        for a in additions.actions() {
+            let global = delta.global_id(a);
+            for &u in additions.users_of(a) {
+                let row = &mut self.user_actions[u as usize];
+                row.push(global);
+                self.inv_au[u as usize] = 1.0 / f64::from(row.len() as u32);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CdSelector {
+    /// Extends the selector's trained state with an action batch,
+    /// preserving any committed seeds: the store is extended via
+    /// [`CreditStore::apply_delta`], then every committed seed is
+    /// replayed — in commitment order — over the *new* actions only
+    /// (old actions already reflect the seeds; the per-action Lemma 2/3
+    /// algebra never crosses an action boundary).
+    ///
+    /// Equivalent, dump-for-dump, to scanning the combined log from
+    /// scratch and calling [`CdSelector::update`] for each seed in the
+    /// original order.
+    pub fn extend(
+        &mut self,
+        graph: &DirectedGraph,
+        delta: &ActionLogDelta,
+        policy: &CreditPolicy,
+        parallelism: Parallelism,
+    ) -> Result<(), ExtendError> {
+        let base = self.store.num_actions();
+        self.store.apply_delta(graph, delta, policy, parallelism)?;
+        let seeds = self.seeds.clone();
+        for x in seeds {
+            // Only actions appended by this delta; the membership index
+            // is sorted, so the new ids form a suffix.
+            let start = self.store.actions_of_user(x).partition_point(|&a| (a as usize) < base);
+            let fresh: Vec<u32> = self.store.actions_of_user(x)[start..].to_vec();
+            for a in fresh {
+                self.apply_seed_to_action(a, x);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan, scan_with};
+    use cdim_actionlog::{ActionLog, ActionLogBuilder};
+    use cdim_graph::{DirectedGraph, GraphBuilder};
+
+    fn instance() -> (DirectedGraph, ActionLog) {
+        let graph = GraphBuilder::new(6)
+            .edges([(0, 2), (1, 2), (0, 3), (2, 4), (0, 5), (2, 5), (3, 5), (4, 5), (5, 1)])
+            .build();
+        let mut b = ActionLogBuilder::new(6);
+        for a in 0..5u32 {
+            let mut t = 0.0;
+            for u in 0..6u32 {
+                if (u + a) % 5 != 4 {
+                    b.push(u, a, t);
+                    t += 0.5;
+                }
+            }
+        }
+        (graph, b.build())
+    }
+
+    #[test]
+    fn extend_matches_full_scan_at_every_split() {
+        let (graph, log) = instance();
+        for policy in [CreditPolicy::Uniform, CreditPolicy::time_aware(&graph, &log)] {
+            for lambda in [0.0, 0.001] {
+                let full = scan(&graph, &log, &policy, lambda).unwrap().dump();
+                for split in 0..=log.num_actions() {
+                    let (prefix, delta) = log.split_at_action(split);
+                    let mut store = scan(&graph, &prefix, &policy, lambda).unwrap();
+                    store.apply_delta(&graph, &delta, &policy, Parallelism::fixed(3)).unwrap();
+                    assert!(store.dump() == full, "split {split}, lambda {lambda}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_full_deltas_are_exact() {
+        let (graph, log) = instance();
+        let policy = CreditPolicy::Uniform;
+        let full = scan(&graph, &log, &policy, 0.0).unwrap().dump();
+
+        // Empty delta: a no-op extend.
+        let (prefix, empty) = log.split_at_action(log.num_actions());
+        let mut store = scan(&graph, &prefix, &policy, 0.0).unwrap();
+        store.apply_delta(&graph, &empty, &policy, Parallelism::auto()).unwrap();
+        assert!(store.dump() == full);
+
+        // All-in-delta: training entirely through the incremental path.
+        let (nothing, everything) = log.split_at_action(0);
+        let mut store = scan(&graph, &nothing, &policy, 0.0).unwrap();
+        store.apply_delta(&graph, &everything, &policy, Parallelism::fixed(2)).unwrap();
+        assert!(store.dump() == full);
+    }
+
+    #[test]
+    fn chained_deltas_compose() {
+        let (graph, log) = instance();
+        let policy = CreditPolicy::time_aware(&graph, &log);
+        let full = scan(&graph, &log, &policy, 0.001).unwrap().dump();
+        let (prefix, _) = log.split_at_action(1);
+        let mut store = scan(&graph, &prefix, &policy, 0.001).unwrap();
+        for (start, end) in [(1usize, 2usize), (2, 4), (4, 5)] {
+            let delta = log.delta_range(start, end);
+            store.apply_delta(&graph, &delta, &policy, Parallelism::fixed(2)).unwrap();
+        }
+        assert!(store.dump() == full);
+    }
+
+    #[test]
+    fn selector_extend_replays_committed_seeds() {
+        let (graph, log) = instance();
+        let policy = CreditPolicy::Uniform;
+        let (prefix, delta) = log.split_at_action(3);
+
+        // Incremental: commit two seeds on the prefix, then extend.
+        let mut incremental = CdSelector::new(scan(&graph, &prefix, &policy, 0.0).unwrap());
+        incremental.update(0);
+        incremental.update(2);
+        incremental.extend(&graph, &delta, &policy, Parallelism::fixed(2)).unwrap();
+
+        // Reference: full scan, then the same seed sequence.
+        let mut reference = CdSelector::new(scan(&graph, &log, &policy, 0.0).unwrap());
+        reference.update(0);
+        reference.update(2);
+
+        assert_eq!(incremental.dump(), reference.dump());
+        // And the next marginal gains agree bit-for-bit.
+        for x in 0..6u32 {
+            assert_eq!(
+                incremental.compute_mg(x).to_bits(),
+                reference.compute_mg(x).to_bits(),
+                "user {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn seedless_selector_extend_is_store_extend() {
+        let (graph, log) = instance();
+        let policy = CreditPolicy::Uniform;
+        let (prefix, delta) = log.split_at_action(2);
+        let mut sel = CdSelector::new(scan(&graph, &prefix, &policy, 0.0).unwrap());
+        sel.extend(&graph, &delta, &policy, Parallelism::single()).unwrap();
+        let full = scan(&graph, &log, &policy, 0.0).unwrap();
+        assert_eq!(sel.dump().store, full.dump());
+        assert!(sel.seeds().is_empty());
+    }
+
+    #[test]
+    fn mismatches_are_rejected_as_values() {
+        let (graph, log) = instance();
+        let policy = CreditPolicy::Uniform;
+        let (prefix, delta) = log.split_at_action(2);
+        let mut store = scan(&graph, &prefix, &policy, 0.0).unwrap();
+
+        // Wrong base: a delta cut for a longer prefix.
+        let late = log.delta_range(4, 5);
+        assert_eq!(
+            store.apply_delta(&graph, &late, &policy, Parallelism::auto()),
+            Err(ExtendError::BaseMismatch { store_actions: 2, delta_base: 4 })
+        );
+
+        // Wrong universe: a delta over a different user id space.
+        let foreign = ActionLogDelta::new(2, ActionLogBuilder::new(9).build());
+        assert_eq!(
+            store.apply_delta(&graph, &foreign, &policy, Parallelism::auto()),
+            Err(ExtendError::UserUniverseMismatch { store_users: 6, delta_users: 9 })
+        );
+
+        // Wrong graph.
+        let small_graph = GraphBuilder::new(3).edges([(0, 1)]).build();
+        assert_eq!(
+            store.apply_delta(&small_graph, &delta, &policy, Parallelism::auto()),
+            Err(ExtendError::GraphMismatch { graph_nodes: 3, store_users: 6 })
+        );
+
+        // Failed applies leave the store untouched.
+        let before = store.dump();
+        assert!(store.apply_delta(&graph, &late, &policy, Parallelism::auto()).is_err());
+        assert!(store.dump() == before);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = ExtendError::BaseMismatch { store_actions: 7, delta_base: 9 };
+        assert!(e.to_string().contains("7 actions"));
+        let e = ExtendError::UserUniverseMismatch { store_users: 2, delta_users: 3 };
+        assert!(e.to_string().contains("user universe"));
+        let e = ExtendError::GraphMismatch { graph_nodes: 4, store_users: 5 };
+        assert!(e.to_string().contains("4 nodes"));
+    }
+
+    #[test]
+    fn delta_parallelism_never_changes_the_dump() {
+        let (graph, log) = instance();
+        let policy = CreditPolicy::time_aware(&graph, &log);
+        let (prefix, delta) = log.split_at_action(2);
+        let baseline = {
+            let mut s = scan_with(&graph, &prefix, &policy, 0.001, Parallelism::single()).unwrap();
+            s.apply_delta(&graph, &delta, &policy, Parallelism::single()).unwrap();
+            s.dump()
+        };
+        for threads in [2usize, 3, 8] {
+            let mut s =
+                scan_with(&graph, &prefix, &policy, 0.001, Parallelism::fixed(threads)).unwrap();
+            s.apply_delta(&graph, &delta, &policy, Parallelism::fixed(threads)).unwrap();
+            assert!(s.dump() == baseline, "threads = {threads}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::scan::scan_with;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The load-bearing contract of the incremental subsystem: for a
+        /// random log split into a prefix plus 1..=4 append-only deltas
+        /// (empty segments — including an empty prefix — occur when
+        /// boundaries collide), and for every tested thread count, the
+        /// incrementally extended store dumps byte-identically to a
+        /// from-scratch scan of the full log. Both policies, λ ∈
+        /// {0, 0.001}.
+        #[test]
+        fn prefix_plus_deltas_equals_full_scan(
+            edges in proptest::collection::vec((0u32..9, 0u32..9), 0..45),
+            events in proptest::collection::vec((0u32..9, 0u32..6, 0u64..20), 1..70),
+            cuts in proptest::collection::vec(0usize..7, 1..5),
+            time_aware in proptest::bool::ANY,
+            lambda_on in proptest::bool::ANY,
+        ) {
+            let graph = GraphBuilder::new(9).edges(edges).build();
+            let mut b = ActionLogBuilder::new(9);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let policy = if time_aware {
+                CreditPolicy::time_aware(&graph, &log)
+            } else {
+                CreditPolicy::Uniform
+            };
+            let lambda = if lambda_on { 0.001 } else { 0.0 };
+
+            // Sorted, clamped segment boundaries over the action range.
+            let n = log.num_actions();
+            let mut bounds: Vec<usize> =
+                cuts.iter().map(|&c| c.min(n)).collect();
+            bounds.sort_unstable();
+
+            let full = scan_with(&graph, &log, &policy, lambda, Parallelism::single())
+                .unwrap()
+                .dump();
+            for threads in [1usize, 2, 8] {
+                let par = Parallelism::fixed(threads);
+                let (prefix, _) = log.split_at_action(bounds[0]);
+                let mut store = scan_with(&graph, &prefix, &policy, lambda, par).unwrap();
+                let mut done = bounds[0];
+                for &cut in &bounds[1..] {
+                    store
+                        .apply_delta(&graph, &log.delta_range(done, cut), &policy, par)
+                        .unwrap();
+                    done = cut;
+                }
+                store.apply_delta(&graph, &log.delta_range(done, n), &policy, par).unwrap();
+                prop_assert!(
+                    store.dump() == full,
+                    "threads {threads}, bounds {bounds:?}, lambda {lambda}: dump diverged"
+                );
+            }
+        }
+
+        /// Selector-level equivalence with committed seeds: extending a
+        /// mid-selection state equals a full scan plus an in-order seed
+        /// replay, down to the canonical dump.
+        #[test]
+        fn selector_extend_equals_rescan_plus_replay(
+            edges in proptest::collection::vec((0u32..7, 0u32..7), 0..30),
+            events in proptest::collection::vec((0u32..7, 0u32..4, 0u64..14), 1..45),
+            split in 0usize..5,
+            seeds in proptest::sample::subsequence((0u32..7).collect::<Vec<_>>(), 0..3),
+        ) {
+            let graph = GraphBuilder::new(7).edges(edges).build();
+            let mut b = ActionLogBuilder::new(7);
+            for &(u, a, t) in &events {
+                b.push(u, a, t as f64);
+            }
+            let log = b.build();
+            let policy = CreditPolicy::Uniform;
+            let split = split.min(log.num_actions());
+            let (prefix, delta) = log.split_at_action(split);
+
+            let mut incremental =
+                CdSelector::new(scan_with(&graph, &prefix, &policy, 0.0,
+                    Parallelism::single()).unwrap());
+            for &s in &seeds {
+                incremental.update(s);
+            }
+            incremental.extend(&graph, &delta, &policy, Parallelism::fixed(2)).unwrap();
+
+            let mut reference =
+                CdSelector::new(scan_with(&graph, &log, &policy, 0.0,
+                    Parallelism::single()).unwrap());
+            for &s in &seeds {
+                reference.update(s);
+            }
+            prop_assert_eq!(incremental.dump(), reference.dump());
+        }
+    }
+}

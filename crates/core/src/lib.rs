@@ -23,6 +23,9 @@
 //!   time-aware Eq 9 (`infl(u)`, `τ_{v,u}`, exponential decay);
 //! * [`store`] — the UC/SC credit structures of §5.3;
 //! * [`mod@scan`] — Algorithm 2 (one pass over the sorted log, truncation λ);
+//! * [`incremental`] — append-only retraining: extend a scanned store
+//!   with an [`cdim_actionlog::ActionLogDelta`], byte-identical to a full
+//!   rescan;
 //! * [`celf`] — Algorithms 3–5 (CELF selection, Theorem-3 marginal gains,
 //!   Lemma 2/3 incremental updates);
 //! * [`spread`] — exact σ_cd(S) evaluation for arbitrary seed sets (the
@@ -33,6 +36,7 @@
 //! * [`model`] — a convenience facade bundling train → select → evaluate.
 
 pub mod celf;
+pub mod incremental;
 pub mod model;
 pub mod policy;
 pub mod reference;
@@ -42,6 +46,7 @@ pub mod store;
 
 pub use cdim_util::Parallelism;
 pub use celf::{select_seeds, CdSelector, MgMode, SelectorDump};
+pub use incremental::ExtendError;
 pub use model::{CdModel, CdModelConfig};
 pub use policy::CreditPolicy;
 pub use scan::{scan, scan_action, scan_with, ScanError};

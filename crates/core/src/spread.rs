@@ -17,8 +17,9 @@
 //! run against exact σ_cd — the ablation baseline for the specialized
 //! Algorithm 3.
 
+use crate::incremental::ExtendError;
 use crate::policy::CreditPolicy;
-use cdim_actionlog::{ActionLog, PropagationDag, UserId};
+use cdim_actionlog::{ActionLog, ActionLogDelta, PropagationDag, UserId};
 use cdim_graph::{DirectedGraph, NodeId};
 use cdim_maxim::SpreadOracle;
 use cdim_util::HeapSize;
@@ -34,19 +35,39 @@ struct CompactDag {
     parents: Vec<u32>,
     /// Direct credit per parent edge.
     gammas: Vec<f64>,
-    /// `1/A_u` per local node.
-    inv_au: Vec<f64>,
 }
 
 /// Precompiled exact σ_cd evaluator.
 #[derive(Clone, Debug)]
 pub struct CdSpreadEvaluator {
     dags: Vec<CompactDag>,
+    /// `A_u` per user over the compiled log (kept alongside `inv_au` so
+    /// an append-only [`extend`](Self::extend) can bump counts exactly).
+    au: Vec<u32>,
+    /// `1/A_u` per user (0 when the user never acted).
+    inv_au: Vec<f64>,
     num_users: usize,
     max_dag_len: usize,
 }
 
 impl CdSpreadEvaluator {
+    /// Compiles one action's DAG + γ values.
+    fn compile_dag(
+        graph: &DirectedGraph,
+        dag: &PropagationDag,
+        policy: &CreditPolicy,
+    ) -> CompactDag {
+        let gammas = policy.edge_credits(graph, dag);
+        let mut parent_offsets = Vec::with_capacity(dag.len() + 1);
+        let mut parents = Vec::with_capacity(dag.num_edges());
+        parent_offsets.push(0u32);
+        for i in 0..dag.len() {
+            parents.extend_from_slice(dag.parents_of(i));
+            parent_offsets.push(parents.len() as u32);
+        }
+        CompactDag { users: dag.users().to_vec(), parent_offsets, parents, gammas }
+    }
+
     /// Precompiles every propagation DAG of `log` with its γ values.
     pub fn build(graph: &DirectedGraph, log: &ActionLog, policy: &CreditPolicy) -> Self {
         let mut max_dag_len = 0;
@@ -54,31 +75,58 @@ impl CdSpreadEvaluator {
             .actions()
             .map(|a| {
                 let dag = PropagationDag::build(log, graph, a);
-                let gammas = policy.edge_credits(graph, &dag);
-                let mut parent_offsets = Vec::with_capacity(dag.len() + 1);
-                let mut parents = Vec::with_capacity(dag.num_edges());
-                parent_offsets.push(0u32);
-                for i in 0..dag.len() {
-                    parents.extend_from_slice(dag.parents_of(i));
-                    parent_offsets.push(parents.len() as u32);
-                }
-                let inv_au = dag
-                    .users()
-                    .iter()
-                    .map(|&u| {
-                        let au = log.actions_performed_by(u);
-                        if au > 0 {
-                            1.0 / f64::from(au)
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect();
                 max_dag_len = max_dag_len.max(dag.len());
-                CompactDag { users: dag.users().to_vec(), parent_offsets, parents, gammas, inv_au }
+                Self::compile_dag(graph, &dag, policy)
             })
             .collect();
-        CdSpreadEvaluator { dags, num_users: log.num_users(), max_dag_len }
+        let au = log.actions_per_user().to_vec();
+        let inv_au = au.iter().map(|&n| if n > 0 { 1.0 / f64::from(n) } else { 0.0 }).collect();
+        CdSpreadEvaluator { dags, au, inv_au, num_users: log.num_users(), max_dag_len }
+    }
+
+    /// Appends an action batch: compiles the new DAGs (γ under the same
+    /// `policy` the evaluator was built with) and bumps the `A_u` counts
+    /// of users acting in the delta — already-compiled DAGs are reused
+    /// untouched. Spread answers afterwards are bit-identical to a
+    /// from-scratch [`build`](Self::build) over the combined log.
+    pub fn extend(
+        &mut self,
+        graph: &DirectedGraph,
+        delta: &ActionLogDelta,
+        policy: &CreditPolicy,
+    ) -> Result<(), ExtendError> {
+        if graph.num_nodes() != self.num_users {
+            return Err(ExtendError::GraphMismatch {
+                graph_nodes: graph.num_nodes(),
+                store_users: self.num_users,
+            });
+        }
+        if delta.num_users() != self.num_users {
+            return Err(ExtendError::UserUniverseMismatch {
+                store_users: self.num_users,
+                delta_users: delta.num_users(),
+            });
+        }
+        if delta.base_actions() != self.dags.len() {
+            return Err(ExtendError::BaseMismatch {
+                store_actions: self.dags.len(),
+                delta_base: delta.base_actions(),
+            });
+        }
+        let additions = delta.additions();
+        self.dags.reserve(additions.num_actions());
+        for a in additions.actions() {
+            let dag = PropagationDag::build(additions, graph, a);
+            self.max_dag_len = self.max_dag_len.max(dag.len());
+            self.dags.push(Self::compile_dag(graph, &dag, policy));
+        }
+        for (u, &n) in additions.actions_per_user().iter().enumerate() {
+            if n > 0 {
+                self.au[u] += n;
+                self.inv_au[u] = 1.0 / f64::from(self.au[u]);
+            }
+        }
+        Ok(())
     }
 
     /// Exact σ_cd(S).
@@ -107,7 +155,7 @@ impl CdSpreadEvaluator {
                     acc
                 };
                 credit.push(c);
-                total += c * dag.inv_au[i];
+                total += c * self.inv_au[dag.users[i] as usize];
             }
         }
         total
@@ -164,16 +212,18 @@ impl SpreadOracle for CdSpreadEvaluator {
 
 impl HeapSize for CdSpreadEvaluator {
     fn heap_bytes(&self) -> usize {
-        self.dags
-            .iter()
-            .map(|d| {
-                d.users.heap_bytes()
-                    + d.parent_offsets.heap_bytes()
-                    + d.parents.heap_bytes()
-                    + d.gammas.heap_bytes()
-                    + d.inv_au.heap_bytes()
-            })
-            .sum()
+        self.au.heap_bytes()
+            + self.inv_au.heap_bytes()
+            + self
+                .dags
+                .iter()
+                .map(|d| {
+                    d.users.heap_bytes()
+                        + d.parent_offsets.heap_bytes()
+                        + d.parents.heap_bytes()
+                        + d.gammas.heap_bytes()
+                })
+                .sum::<usize>()
     }
 }
 
@@ -222,6 +272,49 @@ mod tests {
         let mass = eval.per_action_credit(&[0, 1]);
         assert_eq!(mass.len(), 1);
         assert!((mass[0] - 6.0).abs() < 1e-12, "mass = {}", mass[0]);
+    }
+
+    #[test]
+    fn extend_matches_rebuild_bitwise() {
+        let (graph, log) = figure1();
+        // Duplicate the trace into three actions so splits are non-trivial.
+        let mut b = ActionLogBuilder::new(6);
+        for a in 0..3u32 {
+            for (u, t) in [(0u32, 0.0), (1, 0.5), (2, 1.0), (3, 1.5), (4, 2.0), (5, 2.5)] {
+                if (u + a) % 4 != 3 {
+                    b.push(u, a, t);
+                }
+            }
+        }
+        let log3 = b.build();
+        for policy in [CreditPolicy::Uniform, CreditPolicy::time_aware(&graph, &log)] {
+            let full = CdSpreadEvaluator::build(&graph, &log3, &policy);
+            for split in 0..=log3.num_actions() {
+                let (prefix, delta) = log3.split_at_action(split);
+                let mut eval = CdSpreadEvaluator::build(&graph, &prefix, &policy);
+                eval.extend(&graph, &delta, &policy).unwrap();
+                assert_eq!(eval.num_actions(), full.num_actions());
+                for seeds in [vec![0u32], vec![0, 4], vec![2, 3, 5]] {
+                    assert_eq!(
+                        eval.spread(&seeds).to_bits(),
+                        full.spread(&seeds).to_bits(),
+                        "split {split}, seeds {seeds:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_rejects_mismatched_deltas() {
+        let (graph, log) = figure1();
+        let mut eval = CdSpreadEvaluator::build(&graph, &log, &CreditPolicy::Uniform);
+        let late = log.delta_range(1, 1); // base 1, evaluator holds 1 action… use wrong base
+        let wrong = cdim_actionlog::ActionLogDelta::new(5, late.additions().clone());
+        assert!(matches!(
+            eval.extend(&graph, &wrong, &CreditPolicy::Uniform),
+            Err(crate::incremental::ExtendError::BaseMismatch { .. })
+        ));
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //!
 //! Layout notes. Per action we keep a hash map keyed by the packed `(v,u)`
 //! pair plus two adjacency indexes (`v → targets`, `u → sources`).
-//! Adjacency entries are *lazily deleted*: seed updates remove keys from
-//! the credit map but leave the adjacency vectors untouched (they are
-//! re-validated against the map on traversal). Seeds are added only `k`
-//! times, so this trades a tiny scan overhead for O(1) updates.
+//! Adjacency entries are pruned eagerly: when a seed update removes a key
+//! from the credit map, the matching ids are dropped from both adjacency
+//! vectors (order-preserving, so traversal order — and therefore every
+//! f64 summation order — is unchanged for the surviving entries). Seeds
+//! are added only `k` times and a removal walks only the two affected
+//! rows, so the cost is negligible — and `total_entries`/`memory_bytes`
+//! stay accurate as the selection shrinks the store.
 
 use cdim_util::{FxHashMap, HeapSize};
 
@@ -30,9 +33,9 @@ pub type RemovedCredits = Vec<(u32, f64)>;
 pub struct ActionCredits {
     /// `(v, u) → Γ_{v,u}(a)` for stored (≥ λ at insertion time) credits.
     credit: FxHashMap<u64, f64>,
-    /// `v → users u` that ever received credit from `v` (lazy-deleted).
+    /// `v → users u` currently receiving credit from `v`.
     out: FxHashMap<u32, Vec<u32>>,
-    /// `u → users v` that ever gave credit to `u` (lazy-deleted).
+    /// `u → users v` currently giving credit to `u`.
     inc: FxHashMap<u32, Vec<u32>>,
 }
 
@@ -59,11 +62,10 @@ impl ActionCredits {
         self.credit.get(&pair_key(v, u)).copied().unwrap_or(0.0)
     }
 
-    /// Whether `v` currently holds credit over anyone.
+    /// Whether `v` currently holds credit over anyone. Exact: adjacency
+    /// rows are pruned in lockstep with the credit map.
     pub fn has_influencer(&self, v: u32) -> bool {
-        self.out
-            .get(&v)
-            .is_some_and(|ts| ts.iter().any(|&u| self.credit.contains_key(&pair_key(v, u))))
+        self.out.get(&v).is_some_and(|ts| !ts.is_empty())
     }
 
     /// Live `(u, Γ_{v,u})` pairs for influencer `v`.
@@ -75,14 +77,13 @@ impl ActionCredits {
             .filter_map(move |&u| self.credit.get(&pair_key(v, u)).map(|&c| (u, c)))
     }
 
-    /// Fast check: has `u` ever received credit from anyone?
+    /// Fast check: does `u` currently hold credit from anyone?
     ///
-    /// May report `true` for rows whose entries were all lazily deleted
-    /// (conservative, like the adjacency indexes themselves); never
-    /// reports `false` when [`Self::sources_of`] would yield items. The
-    /// scan uses it to skip the transitive-relay collection for nodes
-    /// that hold no incoming credit — during a scan nothing is ever
-    /// deleted, so there the check is exact.
+    /// Exact: [`Self::subtract`] and [`Self::retire`] prune the adjacency
+    /// rows together with the credit map, so the row exists iff
+    /// [`Self::sources_of`] would yield at least one item. The scan uses
+    /// it to skip the transitive-relay collection for nodes without
+    /// incoming credit.
     #[inline]
     pub fn has_sources(&self, u: u32) -> bool {
         self.inc.get(&u).is_some_and(|vs| !vs.is_empty())
@@ -104,21 +105,45 @@ impl ActionCredits {
         self.credit.iter().map(|(&key, &c)| ((key >> 32) as u32, key as u32, c))
     }
 
-    /// Subtracts `amount` from `Γ_{v,u}` (Lemma 2), clamping at zero and
-    /// dropping entries that become negligible.
+    /// Subtracts `amount` from `Γ_{v,u}` (Lemma 2), clamping at zero.
+    /// Entries that become negligible are dropped from the credit map
+    /// *and* from both adjacency rows, so entry counts and memory
+    /// accounting stay accurate across selection updates. Pruning is
+    /// order-preserving: surviving entries keep their traversal (and
+    /// therefore f64 summation) order.
     pub fn subtract(&mut self, v: u32, u: u32, amount: f64) {
         let key = pair_key(v, u);
         if let Some(c) = self.credit.get_mut(&key) {
             *c -= amount;
             if *c <= 1e-15 {
                 self.credit.remove(&key);
+                self.unlink(v, u);
+            }
+        }
+    }
+
+    /// Removes `u` from `v`'s target row and `v` from `u`'s source row,
+    /// dropping rows that become empty (so `has_sources`/`has_influencer`
+    /// stay exact and [`HeapSize`] reflects only live structure).
+    fn unlink(&mut self, v: u32, u: u32) {
+        if let Some(targets) = self.out.get_mut(&v) {
+            targets.retain(|&t| t != u);
+            if targets.is_empty() {
+                self.out.remove(&v);
+            }
+        }
+        if let Some(sources) = self.inc.get_mut(&u) {
+            sources.retain(|&s| s != v);
+            if sources.is_empty() {
+                self.inc.remove(&u);
             }
         }
     }
 
     /// Retires user `x` from this action: removes every credit into or out
     /// of `x` and returns the removed `(targets, sources)` lists, each as
-    /// [`RemovedCredits`].
+    /// [`RemovedCredits`]. Counterparty adjacency rows are pruned too, so
+    /// no dead ids linger anywhere after the call.
     ///
     /// The paper's Algorithm 5 leaves these rows in place; retiring them is
     /// required for correctness of later `computeMG`/`update` calls (see
@@ -139,6 +164,14 @@ impl ActionCredits {
             .flatten()
             .filter_map(|v| self.credit.remove(&pair_key(v, x)).map(|c| (v, c)))
             .collect();
+        // Prune x from the counterparties' rows; the half of each pair
+        // already dropped by the `remove(&x)` calls above is a no-op.
+        for &(u, _) in &gout {
+            self.unlink(x, u);
+        }
+        for &(v, _) in &gin {
+            self.unlink(v, x);
+        }
         (gout, gin)
     }
 
@@ -348,7 +381,7 @@ mod tests {
         assert_eq!(ac.get(0, 1), 0.0);
         assert!((ac.get(3, 4) - 0.75).abs() < 1e-12);
         assert!(!ac.has_influencer(1));
-        // Lazy-deleted adjacency must not resurrect entries.
+        // Pruned adjacency must not resurrect entries.
         assert_eq!(ac.targets_of(1).count(), 0);
         assert_eq!(ac.sources_of(1).count(), 0);
     }
@@ -360,12 +393,59 @@ mod tests {
         ac.add(1, 2, 0.5);
         assert!(ac.has_sources(2));
         assert!(!ac.has_sources(1));
-        // Conservative under lazy deletion: subtract removes the entry but
-        // the adjacency row may keep reporting true — never false when
-        // live entries exist.
+        // Exact under pruning: removing one of two sources keeps the row,
+        // removing the last one drops it.
         ac.add(3, 2, 0.25);
         ac.subtract(1, 2, 0.5);
         assert!(ac.has_sources(2));
+        ac.subtract(3, 2, 0.25);
+        assert!(!ac.has_sources(2));
+    }
+
+    #[test]
+    fn subtract_and_retire_prune_adjacency_rows() {
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.add(1, 3, 0.25);
+        ac.add(4, 2, 0.125);
+        let populated = ac.heap_bytes();
+
+        // Zeroing (1, 2) prunes exactly that id from both rows.
+        ac.subtract(1, 2, 0.5);
+        assert_eq!(ac.targets_of(1).collect::<Vec<_>>(), vec![(3, 0.25)]);
+        assert_eq!(ac.sources_of(2).collect::<Vec<_>>(), vec![(4, 0.125)]);
+        assert!(ac.has_influencer(1));
+        assert!(ac.has_sources(2));
+
+        // Retiring 4 empties 2's source row entirely; retiring 1 empties
+        // everything. No dead ids or empty rows may linger.
+        ac.retire(4);
+        assert!(!ac.has_sources(2));
+        let (gout, gin) = ac.retire(1);
+        assert_eq!(gout, vec![(3, 0.25)]);
+        assert!(gin.is_empty());
+        assert!(ac.is_empty());
+        assert_eq!(ac.len(), 0);
+        assert!(!ac.has_influencer(1));
+        assert!(!ac.has_sources(3));
+        // The heap estimate no longer counts the removed rows' contents
+        // (map capacity may linger, row payloads must not).
+        assert!(ac.heap_bytes() <= populated);
+        assert_eq!(ac.entries().count(), 0);
+    }
+
+    #[test]
+    fn total_entries_stays_accurate_after_updates() {
+        let mut store = CreditStore::new(4, 1, 0.0);
+        store.action_mut(0).add(0, 1, 0.5);
+        store.action_mut(0).add(1, 2, 0.5);
+        store.action_mut(0).add(0, 3, 0.5);
+        assert_eq!(store.total_entries(), 3);
+        store.action_mut(0).retire(0);
+        assert_eq!(store.total_entries(), 1);
+        store.action_mut(0).subtract(1, 2, 0.5);
+        assert_eq!(store.total_entries(), 0);
+        assert_eq!(store.action(0).entries().count(), 0);
     }
 
     #[test]

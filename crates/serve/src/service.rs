@@ -171,6 +171,29 @@ impl InfluenceService {
         self.published.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Incremental hot-swap: extends the *currently served* snapshot with
+    /// an append-only action batch and publishes the result — a retrain
+    /// refresh priced at the delta, not the full log. Queries in flight
+    /// keep the old snapshot; once this returns, new queries see the
+    /// extended one. No query ever observes a half-updated model (the
+    /// swap is a single `Arc` replacement under the write lock).
+    ///
+    /// Concurrent `publish_delta`/`publish` calls are each atomic, but a
+    /// pair racing each other resolves to whichever swaps last — drive
+    /// refreshes from one place (the paper's pipeline is a single
+    /// training loop feeding many query threads).
+    pub fn publish_delta(
+        &self,
+        graph: &cdim_graph::DirectedGraph,
+        delta: &cdim_actionlog::ActionLogDelta,
+        policy: &cdim_core::CreditPolicy,
+        parallelism: cdim_util::Parallelism,
+    ) -> Result<(), cdim_core::ExtendError> {
+        let next = self.snapshot().extend(graph, delta, policy, parallelism)?;
+        self.publish(next);
+        Ok(())
+    }
+
     /// Cache and publish counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {

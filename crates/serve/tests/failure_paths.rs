@@ -1,0 +1,206 @@
+//! Serving failure paths: snapshot files that must be rejected, and the
+//! publish/query race — clients must always see a complete model, old or
+//! new, never a torn one.
+
+use cdim_core::{scan, CdSelector, CreditPolicy, Parallelism};
+use cdim_serve::{Answer, InfluenceService, ModelSnapshot, Query, SnapshotError};
+use cdim_util::checksum::crc32;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A trained snapshot over the deterministic tiny preset.
+fn snapshot() -> ModelSnapshot {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    ModelSnapshot::from_store(scan(&ds.graph, &ds.log, &policy, 0.001).unwrap())
+}
+
+/// Re-seals a mutated snapshot body with a valid CRC trailer, so the
+/// decoder exercises structural validation instead of the checksum.
+fn reseal(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let crc = crc32(&bytes[..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn future_version_is_rejected_with_both_versions_named() {
+    let mut bytes = snapshot().to_bytes();
+    // Version word sits right after the 8-byte magic.
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    reseal(&mut bytes);
+    match ModelSnapshot::from_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion(7)) => {}
+        other => panic!("expected UnsupportedVersion(7), got {other:?}"),
+    }
+    let message = ModelSnapshot::from_bytes(&bytes).unwrap_err().to_string();
+    assert!(message.contains('7'), "message must name the file version: {message}");
+    assert!(
+        message.contains(&cdim_serve::snapshot::FORMAT_VERSION.to_string()),
+        "message must name the supported version: {message}"
+    );
+}
+
+#[test]
+fn version_zero_is_rejected_too() {
+    let mut bytes = snapshot().to_bytes();
+    bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+    reseal(&mut bytes);
+    assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::UnsupportedVersion(0))));
+}
+
+#[test]
+fn mid_stream_corruption_is_always_detected() {
+    let bytes = snapshot().to_bytes();
+    // Flip one bit at every 97th offset past the magic — deep inside the
+    // CREDITS/SC payloads included — and demand a hard error every time.
+    // The CRC trailer covers every body byte, so nothing may slip through
+    // as a silently different model.
+    for at in (8..bytes.len()).step_by(97) {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x01;
+        match ModelSnapshot::from_bytes(&bad) {
+            Err(SnapshotError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed, "offset {at}");
+            }
+            // Corrupting the version word itself reports the version
+            // first (it is read before the payload is trusted).
+            Err(SnapshotError::UnsupportedVersion(_)) if (8..12).contains(&at) => {}
+            // Corrupting the CRC trailer still surfaces as a mismatch.
+            other => panic!("corruption at {at} must fail loudly, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupt_file_on_disk_fails_cleanly() {
+    let snap = snapshot();
+    let dir = std::env::temp_dir().join(format!("cdim_failpaths_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.snap");
+    snap.save(&path).unwrap();
+
+    // Truncate mid-stream (a crashed copy) and corrupt one byte in place.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(ModelSnapshot::load(&path).is_err());
+
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x80;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(ModelSnapshot::load(&path), Err(SnapshotError::ChecksumMismatch { .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The answer a fresh single-use service computes for `q` on `snap` —
+/// the bitwise ground truth a concurrent client must match exactly.
+fn expected_answer(snap: &ModelSnapshot, q: &Query) -> Answer {
+    InfluenceService::new(snap.clone(), 0).query(q).unwrap()
+}
+
+#[test]
+fn publish_delta_racing_queries_shows_old_or_new_never_torn() {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let policy = CreditPolicy::Uniform;
+    let split = ds.log.num_actions() * 4 / 5;
+    let (prefix, delta) = ds.log.split_at_action(split);
+
+    let old_snap = ModelSnapshot::from_store(scan(&ds.graph, &prefix, &policy, 0.001).unwrap());
+    let new_snap = old_snap.extend(&ds.graph, &delta, &policy, Parallelism::fixed(2)).unwrap();
+
+    // Queries whose answers genuinely differ across the refresh.
+    let queries: Vec<Query> = vec![
+        Query::Spread { seeds: vec![0, 1, 2, 3] },
+        Query::Spread { seeds: vec![5, 9, 17] },
+        Query::MarginalGain { seeds: vec![0, 1], candidate: 7 },
+    ];
+    let old_answers: Vec<Answer> = queries.iter().map(|q| expected_answer(&old_snap, q)).collect();
+    let new_answers: Vec<Answer> = queries.iter().map(|q| expected_answer(&new_snap, q)).collect();
+    assert_ne!(old_answers, new_answers, "refresh must change at least one answer");
+
+    let svc = Arc::new(InfluenceService::new(old_snap, 64));
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    for q in &queries {
+                        observed.push(svc.query(q).unwrap());
+                    }
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Let the readers warm up against the old model, then hot-swap.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    svc.publish_delta(&ds.graph, &delta, &policy, Parallelism::fixed(2)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+
+    for reader in readers {
+        let observed = reader.join().unwrap();
+        assert!(!observed.is_empty());
+        for (i, answer) in observed.into_iter().enumerate() {
+            let slot = i % queries.len();
+            assert!(
+                answer == old_answers[slot] || answer == new_answers[slot],
+                "query {slot} observed a torn answer: {answer:?}\n  old: {:?}\n  new: {:?}",
+                old_answers[slot],
+                new_answers[slot]
+            );
+        }
+    }
+
+    // After the swap the service answers from the new model only.
+    for (q, expect) in queries.iter().zip(&new_answers) {
+        assert_eq!(&svc.query(q).unwrap(), expect);
+    }
+    assert_eq!(svc.stats().snapshots_published, 1);
+}
+
+#[test]
+fn publish_delta_rejects_stale_deltas_and_keeps_serving() {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let policy = CreditPolicy::Uniform;
+    let split = ds.log.num_actions() / 2;
+    let (prefix, _) = ds.log.split_at_action(split);
+    let snap = ModelSnapshot::from_store(scan(&ds.graph, &prefix, &policy, 0.001).unwrap());
+    let svc = InfluenceService::new(snap, 8);
+
+    let q = Query::Spread { seeds: vec![0, 1] };
+    let before = svc.query(&q).unwrap();
+
+    // A delta cut against the wrong base must be refused atomically…
+    let stale = ds.log.delta_range(split + 1, ds.log.num_actions());
+    assert!(svc.publish_delta(&ds.graph, &stale, &policy, Parallelism::auto()).is_err());
+    // …leaving the served model untouched.
+    assert_eq!(svc.query(&q).unwrap(), before);
+    assert_eq!(svc.stats().snapshots_published, 0);
+}
+
+#[test]
+fn extended_snapshot_round_trips_through_the_file_format() {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let policy = CreditPolicy::Uniform;
+    let (prefix, delta) = ds.log.split_at_action(ds.log.num_actions() / 2);
+
+    // A mid-campaign snapshot (committed seed) extended by a delta must
+    // survive save/load byte-identically like any other snapshot.
+    let mut selector = CdSelector::new(scan(&ds.graph, &prefix, &policy, 0.001).unwrap());
+    let seed = CdSelector::new(selector.store().clone()).select(1).seeds[0];
+    selector.update(seed);
+    let snap = ModelSnapshot::from_selector(selector)
+        .extend(&ds.graph, &delta, &policy, Parallelism::fixed(3))
+        .unwrap();
+    let bytes = snap.to_bytes();
+    let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.to_bytes(), bytes);
+    assert_eq!(restored.selector().seeds(), snap.selector().seeds());
+}

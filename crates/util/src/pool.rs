@@ -37,17 +37,29 @@ use std::ops::Range;
 
 /// How many worker threads a parallel stage may use.
 ///
-/// `0` means "ask the OS" ([`std::thread::available_parallelism`]); any
-/// other value is taken literally, even when it exceeds the core count
-/// (useful for tests and for reproducing a specific sharding).
+/// `0` means "resolve at run time": the `CDIM_THREADS` environment
+/// variable if it holds a positive integer (the CI test matrix pins the
+/// whole workspace to one thread this way), otherwise
+/// [`std::thread::available_parallelism`]. Any other value is taken
+/// literally, even when it exceeds the core count (useful for tests and
+/// for reproducing a specific sharding). Since every parallel stage is
+/// bit-deterministic, none of this ever changes a result — only how fast
+/// it arrives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Parallelism {
     /// Requested thread count; `0` = auto.
     threads: usize,
 }
 
+/// Parses a `CDIM_THREADS`-style override: a positive integer, or `None`
+/// for anything else (absent, empty, zero, garbage — all fall through to
+/// the OS core count).
+fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
 impl Parallelism {
-    /// Use every core the OS reports.
+    /// Use every core the OS reports (or `$CDIM_THREADS`, when set).
     pub const fn auto() -> Self {
         Parallelism { threads: 0 }
     }
@@ -67,13 +79,16 @@ impl Parallelism {
         self.threads == 0
     }
 
-    /// The resolved thread count (auto → available parallelism, min 1).
+    /// The resolved thread count (auto → `$CDIM_THREADS` if set to a
+    /// positive integer, else available parallelism, min 1).
     pub fn effective(self) -> usize {
         if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            return self.threads;
         }
+        if let Some(n) = parse_thread_override(std::env::var("CDIM_THREADS").ok().as_deref()) {
+            return n;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 
     /// Worker count for a job of `items` units: never more workers than
@@ -255,6 +270,19 @@ mod tests {
     fn shard_indices_are_stable_and_ordered() {
         let shards = parallel_map_shards(Parallelism::fixed(3), 10, |s, r| (s, r));
         assert_eq!(shards, vec![(0, 0..4), (1, 4..7), (2, 7..10)]);
+    }
+
+    #[test]
+    fn thread_override_parses_positive_integers_only() {
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 16 ")), Some(16));
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("auto")), None);
+        assert_eq!(parse_thread_override(Some("-2")), None);
+        assert_eq!(parse_thread_override(None), None);
+        // A fixed count always wins over the environment.
+        assert_eq!(Parallelism::fixed(5).effective(), 5);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! cdim stats    --graph G.tsv --log L.tsv             Table-1-style statistics
 //! cdim select   --graph G.tsv --log L.tsv --k 50      influence maximization
 //! cdim predict  --graph G.tsv --log L.tsv --seeds 1,2 spread prediction
-//! cdim snapshot --graph G.tsv --log L.tsv --out M.snap   train + persist
+//! cdim train    --graph G.tsv --log L.tsv --out M.snap   full training
+//! cdim train    … --append D.tsv --base M.snap --policy P …   delta retrain
+//! cdim snapshot --graph G.tsv --log L.tsv --out M.snap   alias of full train
 //! cdim serve    --snapshot M.snap --addr 127.0.0.1:7171  query service
 //! cdim query    --addr 127.0.0.1:7171 --op topk --k 10   remote queries
 //! ```
@@ -13,7 +15,7 @@
 //! Graphs and logs are the TSV formats of `cdim::actionlog::storage`;
 //! snapshots are the binary format of `cdim::serve::snapshot`.
 
-use cdim::actionlog::{stats::log_stats, storage};
+use cdim::actionlog::{stats::log_stats, storage, ActionLogDelta};
 use cdim::graph::stats::graph_stats;
 use cdim::metrics::Table;
 use cdim::prelude::*;
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "select" => cmd_select(&flags),
         "predict" => cmd_predict(&flags),
+        "train" => cmd_train(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
@@ -66,6 +69,8 @@ fn usage() {
          cdim stats    --graph <g.tsv> --log <l.tsv>\n  \
          cdim select   --graph <g.tsv> --log <l.tsv> [--k N] [--lambda F] [--policy uniform|time-aware] [--threads N]\n  \
          cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...] [--mc ic|lt] [--sims N] [--threads N]\n  \
+         cdim train    --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
+         cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
          cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
          cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N]\n  \
          cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]"
@@ -241,6 +246,97 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
             if threads == 0 { "auto".to_string() } else { threads.to_string() }
         );
     }
+    Ok(())
+}
+
+/// `cdim train`: full training into a snapshot, or — with `--append` —
+/// incremental retraining that folds a TSV of new actions into an
+/// existing snapshot without rescanning the old log.
+///
+/// Snapshots persist credits, not the policy they were trained under, so
+/// append mode demands an explicit `--policy` matching the base's — a
+/// silently defaulted mismatch would corrupt the model without any
+/// diagnostic. `--log` is the *original* training log: it is read only
+/// to rebuild the time-aware policy parameters (`--policy uniform` skips
+/// loading it entirely), never rescanned. The result is byte-identical
+/// to full training on the combined log under the same policy.
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let config = policy_config(flags)?;
+    let out: PathBuf = flags.require("out")?.into();
+    let timer = cdim::util::Timer::start();
+
+    let Some(delta_path) = flags.get("append") else {
+        // Full training — same path as `cdim snapshot`.
+        let (graph, log) = load(flags)?;
+        let snapshot = ModelSnapshot::build(&graph, &log, config).map_err(|e| e.to_string())?;
+        snapshot.save(&out).map_err(|e| e.to_string())?;
+        println!(
+            "trained {} ({} actions, {} credit entries) in {:.2}s",
+            out.display(),
+            snapshot.num_actions(),
+            snapshot.selector().store().total_entries(),
+            timer.secs()
+        );
+        return Ok(());
+    };
+
+    if flags.get("policy").is_none() {
+        return Err("--append requires an explicit --policy: snapshots do not record the policy \
+             they were trained with, and extending uniform credits with time-aware ones \
+             (or vice versa) silently corrupts the model"
+            .to_string());
+    }
+    let graph_path = flags.require("graph")?;
+    let graph = storage::load_graph(Path::new(graph_path))
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let base_path: PathBuf = flags.require("base")?.into();
+    let base = ModelSnapshot::load(&base_path)
+        .map_err(|e| format!("loading base snapshot {}: {e}", base_path.display()))?;
+    if base.num_users() != graph.num_nodes() {
+        return Err(format!(
+            "base snapshot has {} users but the graph has {} nodes",
+            base.num_users(),
+            graph.num_nodes()
+        ));
+    }
+    let base_lambda = base.selector().store().lambda();
+    if flags.get("lambda").is_some() && config.lambda != base_lambda {
+        return Err(format!(
+            "--lambda {} conflicts with the base snapshot's lambda {base_lambda} \
+             (the truncation threshold is fixed at training time)",
+            config.lambda
+        ));
+    }
+    let delta_log = storage::load_action_log(Path::new(delta_path), graph.num_nodes())
+        .map_err(|e| format!("reading {delta_path}: {e}"))?;
+    let delta = ActionLogDelta::new(base.num_actions(), delta_log);
+    // The uniform policy is log-free; only time-aware needs the original
+    // training log — a 2% refresh must not pay a 100% log parse.
+    let policy = match config.policy {
+        PolicyKind::Uniform => CreditPolicy::Uniform,
+        PolicyKind::TimeAware => {
+            let log_path = flags.require("log")?;
+            let log = storage::load_action_log(Path::new(log_path), graph.num_nodes())
+                .map_err(|e| format!("reading {log_path}: {e}"))?;
+            config.build_policy(&graph, &log)
+        }
+    };
+    let apply = cdim::util::Timer::start();
+    let snapshot =
+        base.extend(&graph, &delta, &policy, config.parallelism).map_err(|e| e.to_string())?;
+    let apply_secs = apply.secs();
+    snapshot.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "appended {} actions ({} tuples) in {:.3}s -> {} ({} actions, {} credit entries, \
+         {:.2}s total)",
+        delta.num_new_actions(),
+        delta.num_new_tuples(),
+        apply_secs,
+        out.display(),
+        snapshot.num_actions(),
+        snapshot.selector().store().total_entries(),
+        timer.secs()
+    );
     Ok(())
 }
 

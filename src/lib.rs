@@ -58,11 +58,12 @@ pub use cdim_util as util;
 /// The most common imports in one line.
 pub mod prelude {
     pub use cdim_actionlog::{
-        train_test_split, ActionLog, ActionLogBuilder, PropagationDag, TrainTestSplit,
+        train_test_split, ActionLog, ActionLogBuilder, ActionLogDelta, PropagationDag,
+        TrainTestSplit,
     };
     pub use cdim_core::{
         model::PolicyKind, scan, scan_with, CdModel, CdModelConfig, CdSelector, CdSpreadEvaluator,
-        CreditPolicy, CreditStore, ScanError,
+        CreditPolicy, CreditStore, ExtendError, ScanError,
     };
     pub use cdim_datagen::{Dataset, DatasetSpec};
     pub use cdim_diffusion::{EdgeProbabilities, IcModel, LtModel, McConfig, MonteCarloEstimator};

@@ -164,6 +164,180 @@ fn snapshot_serve_query_pipeline() {
 }
 
 #[test]
+fn train_append_equals_full_training_byte_for_byte() {
+    let dir = tempdir("append");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let graph = dir.join("graph.tsv");
+    let log = dir.join("log.tsv");
+
+    // Split the generated log into a prefix TSV and a delta TSV of the
+    // last ~10% of actions, via the library.
+    let g = cdim::actionlog::storage::load_graph(&graph).unwrap();
+    let full_log = cdim::actionlog::storage::load_action_log(&log, g.num_nodes()).unwrap();
+    let split = full_log.num_actions() * 9 / 10;
+    let (prefix, delta) = full_log.split_at_action(split);
+    assert!(delta.num_new_actions() > 0);
+    let prefix_path = dir.join("prefix.tsv");
+    let delta_path = dir.join("delta.tsv");
+    cdim::actionlog::storage::save_action_log(&prefix, &prefix_path).unwrap();
+    cdim::actionlog::storage::save_action_log(delta.additions(), &delta_path).unwrap();
+
+    // Full training on the combined log (uniform policy: log-independent,
+    // so prefix- and full-trained models share it exactly).
+    let full_snap = dir.join("full.snap");
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--out",
+            full_snap.to_str().unwrap(),
+            "--policy",
+            "uniform",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Base training on the prefix, then the append-only refresh.
+    let base_snap = dir.join("base.snap");
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            prefix_path.to_str().unwrap(),
+            "--out",
+            base_snap.to_str().unwrap(),
+            "--policy",
+            "uniform",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let extended_snap = dir.join("extended.snap");
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            prefix_path.to_str().unwrap(),
+            "--append",
+            delta_path.to_str().unwrap(),
+            "--base",
+            base_snap.to_str().unwrap(),
+            "--out",
+            extended_snap.to_str().unwrap(),
+            "--policy",
+            "uniform",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("appended"), "{text}");
+
+    // The incremental snapshot is byte-identical to full retraining.
+    assert_eq!(
+        std::fs::read(&extended_snap).unwrap(),
+        std::fs::read(&full_snap).unwrap(),
+        "append-mode snapshot must equal the full-training snapshot"
+    );
+
+    // Append mode without an explicit --policy is refused: snapshots do
+    // not record the training policy, so a silently defaulted mismatch
+    // would corrupt the model.
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--append",
+            delta_path.to_str().unwrap(),
+            "--base",
+            base_snap.to_str().unwrap(),
+            "--out",
+            dir.join("nopolicy.snap").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--policy"));
+
+    // A conflicting --lambda is refused (λ is fixed at training time).
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--policy",
+            "uniform",
+            "--append",
+            delta_path.to_str().unwrap(),
+            "--base",
+            base_snap.to_str().unwrap(),
+            "--out",
+            extended_snap.to_str().unwrap(),
+            "--lambda",
+            "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("lambda"));
+
+    // Appending with a graph from a different universe is refused (the
+    // delta TSV's base is derived from the snapshot, so the universe
+    // check is the guard that catches mixed-up datasets).
+    let dir2 = tempdir("append_mismatch");
+    let gen = cdim()
+        .args([
+            "generate",
+            "--preset",
+            "flixster_small",
+            "--scale",
+            "8",
+            "--out",
+            dir2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            dir2.join("graph.tsv").to_str().unwrap(),
+            "--policy",
+            "uniform",
+            "--append",
+            delta_path.to_str().unwrap(),
+            "--base",
+            base_snap.to_str().unwrap(),
+            "--out",
+            dir.join("oops.snap").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("users"));
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
 fn predict_with_mc_crosscheck_and_threads() {
     let dir = tempdir("mcpredict");
     let gen = cdim()

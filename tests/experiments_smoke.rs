@@ -56,6 +56,22 @@ fn bench_scan_sweep_runs_and_records_json() {
 }
 
 #[test]
+fn bench_incremental_sweep_runs_and_records_json() {
+    let path =
+        std::env::temp_dir().join(format!("cdim_bench_incremental_{}.json", std::process::id()));
+    // Extra-small dataset: the sweep rescans the full log once per delta
+    // fraction, which would dominate this binary's runtime at divisor 16.
+    let mut scale = smoke();
+    scale.dataset_divisor = 64;
+    cdim_bench::experiments::incremental::run_with_output(scale, &path);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"experiment\": \"bench-incremental\""), "{text}");
+    assert!(text.contains("\"delta_fraction\": 0.02"), "{text}");
+    assert!(text.contains("\"apply_secs\""), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn ablations_run() {
     assert!(experiments::run("ablate-credit", smoke()));
     assert!(experiments::run("ablate-celf", smoke()));
