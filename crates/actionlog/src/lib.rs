@@ -29,3 +29,4 @@ pub use log::{
 };
 pub use propagation::PropagationDag;
 pub use split::{train_test_split, TrainTestSplit};
+pub use storage::{RawTuple, StorageError, TupleDecoder};

@@ -138,6 +138,27 @@ impl ActionLog {
         self.users[range.clone()].iter().position(|&x| x == u).map(|i| self.times[range.start + i])
     }
 
+    /// Returns the same log over a wider user universe (`num_users` ≥ the
+    /// current universe): ids gain headroom, `A_u` of the new users is 0.
+    /// A log built with [`ActionLogBuilder::growing`] knows only the
+    /// largest user it has *seen*; widening aligns it with the universe an
+    /// external artifact pins — typically the social graph's node count —
+    /// before the two are combined.
+    ///
+    /// # Panics
+    /// Panics if `num_users` is smaller than the current universe
+    /// (shrinking would orphan recorded tuples).
+    pub fn widen_users(mut self, num_users: usize) -> ActionLog {
+        assert!(
+            num_users >= self.num_users,
+            "cannot shrink the user universe from {} to {num_users}",
+            self.num_users
+        );
+        self.num_users = num_users;
+        self.actions_per_user.resize(num_users, 0);
+        self
+    }
+
     /// Restricts the log to the given dense action ids (in the given
     /// order), producing a new log with re-densified ids. External ids are
     /// carried over so provenance survives.
@@ -238,6 +259,8 @@ impl std::error::Error for LogBuildError {}
 #[derive(Clone, Debug)]
 pub struct ActionLogBuilder {
     num_users: usize,
+    /// Auto-grow the universe instead of rejecting unseen user ids.
+    growing: bool,
     // (external_action, time, user) triples; external ids are densified at
     // build time in ascending order.
     raw: Vec<(u32, Timestamp, UserId)>,
@@ -247,7 +270,39 @@ pub struct ActionLogBuilder {
 impl ActionLogBuilder {
     /// Starts a builder over a universe of `num_users` users.
     pub fn new(num_users: usize) -> Self {
-        ActionLogBuilder { num_users, raw: Vec::new(), external_override: Vec::new() }
+        ActionLogBuilder {
+            num_users,
+            growing: false,
+            raw: Vec::new(),
+            external_override: Vec::new(),
+        }
+    }
+
+    /// Starts a builder with an auto-growing user universe: every pushed
+    /// user id is admitted and the universe expands to `max id + 1`.
+    ///
+    /// This is the streaming-ingest mode — a live log introduces user ids
+    /// the consumer has never seen, and requiring `num_users` upfront
+    /// would force a pre-scan of a file that is still being written. The
+    /// built log's universe is the largest id actually seen; widen it to
+    /// an externally pinned universe (the graph's node count) with
+    /// [`ActionLog::widen_users`] before combining the two.
+    ///
+    /// Timestamp validation is unchanged: only the user-range check is
+    /// relaxed, and only because the range is what's being discovered.
+    pub fn growing() -> Self {
+        ActionLogBuilder {
+            num_users: 0,
+            growing: true,
+            raw: Vec::new(),
+            external_override: Vec::new(),
+        }
+    }
+
+    /// The current user universe (grows as tuples arrive in
+    /// [`growing`](Self::growing) mode).
+    pub fn num_users(&self) -> usize {
+        self.num_users
     }
 
     /// Adds a tuple. `action` is an arbitrary external id.
@@ -271,11 +326,16 @@ impl ActionLogBuilder {
         action: u32,
         time: Timestamp,
     ) -> Result<(), LogBuildError> {
-        if (user as usize) >= self.num_users {
-            return Err(LogBuildError::UserOutOfRange { user, num_users: self.num_users });
-        }
+        // Time first: a rejected tuple must leave the builder unchanged,
+        // including the auto-grown universe below.
         if !time.is_finite() {
             return Err(LogBuildError::NonFiniteTime { user, action, time });
+        }
+        if (user as usize) >= self.num_users {
+            if !self.growing {
+                return Err(LogBuildError::UserOutOfRange { user, num_users: self.num_users });
+            }
+            self.num_users = user as usize + 1;
         }
         self.raw.push((action, time, user));
         Ok(())
@@ -492,6 +552,54 @@ mod tests {
         assert!(nan.to_string().contains("action 9"));
         let oor = LogBuildError::UserOutOfRange { user: 8, num_users: 4 };
         assert!(oor.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn growing_builder_admits_unseen_users() {
+        let mut b = ActionLogBuilder::growing();
+        assert_eq!(b.num_users(), 0);
+        b.push(7, 0, 1.0);
+        b.push(2, 0, 2.0);
+        assert_eq!(b.num_users(), 8);
+        // Still rejects what fixed mode rejects for *values*, not range.
+        assert!(matches!(b.try_push(9, 0, f64::NAN), Err(LogBuildError::NonFiniteTime { .. })));
+        let log = b.build();
+        assert_eq!(log.num_users(), 8);
+        assert_eq!(log.actions_performed_by(7), 1);
+        assert_eq!(log.actions_performed_by(3), 0);
+    }
+
+    #[test]
+    fn fixed_builder_still_rejects_out_of_range_users() {
+        // Regression guard for the auto-growing mode: the fixed-universe
+        // constructor must keep rejecting ids beyond the declared range.
+        let mut b = ActionLogBuilder::new(4);
+        assert_eq!(
+            b.try_push(4, 0, 1.0),
+            Err(LogBuildError::UserOutOfRange { user: 4, num_users: 4 })
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn widen_users_adds_headroom() {
+        let mut b = ActionLogBuilder::growing();
+        b.push(1, 5, 1.0);
+        b.push(0, 5, 2.0);
+        let log = b.build().widen_users(6);
+        assert_eq!(log.num_users(), 6);
+        assert_eq!(log.num_tuples(), 2);
+        assert_eq!(log.actions_performed_by(5), 0);
+        assert_eq!(log.actions_per_user().len(), 6);
+        // Widening to the current size is a no-op.
+        let same = log.clone().widen_users(6);
+        assert_eq!(same, log);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn widen_users_rejects_shrinking() {
+        small_log().widen_users(2);
     }
 
     #[test]

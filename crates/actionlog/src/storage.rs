@@ -63,6 +63,68 @@ fn parse_field<T: std::str::FromStr>(
         .map_err(|_| StorageError::Parse { line, message: format!("invalid {what}: {raw:?}") })
 }
 
+/// One raw `(user, action, time)` line as parsed from the TSV grammar —
+/// syntactically valid, but not yet admitted into any log (user-universe
+/// and finiteness validation belong to [`ActionLogBuilder`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawTuple {
+    /// Acting user.
+    pub user: u32,
+    /// External action id.
+    pub action: u32,
+    /// Event time, exactly as written (may be non-finite — the builder
+    /// rejects it with a typed error).
+    pub time: f64,
+}
+
+/// Incremental line→tuple decoder: the action-log TSV grammar in exactly
+/// one place.
+///
+/// Both consumers drive the same decoder: [`read_action_log`] feeds it
+/// every line of a complete file, and the live-ingest follower feeds it
+/// complete `\n`-terminated lines as they appear at the end of a growing
+/// file. The decoder tracks the 1-based line number itself, so
+/// [`StorageError::Parse`] diagnostics stay line-addressed no matter how
+/// the lines arrive — and a restarted follower can resume the numbering
+/// from a checkpoint via [`TupleDecoder::resume`].
+#[derive(Clone, Debug, Default)]
+pub struct TupleDecoder {
+    line_no: usize,
+}
+
+impl TupleDecoder {
+    /// A decoder starting at line 1.
+    pub fn new() -> Self {
+        TupleDecoder { line_no: 0 }
+    }
+
+    /// A decoder that has already consumed `lines` lines (checkpoint
+    /// resume: diagnostics keep pointing at true file lines).
+    pub fn resume(lines: usize) -> Self {
+        TupleDecoder { line_no: lines }
+    }
+
+    /// Lines consumed so far (= the line number of the last decoded line).
+    pub fn lines_consumed(&self) -> usize {
+        self.line_no
+    }
+
+    /// Decodes one complete line (with or without its trailing newline).
+    /// Returns `Ok(None)` for blank lines and `#` comments.
+    pub fn decode_line(&mut self, line: &str) -> Result<Option<RawTuple>, StorageError> {
+        self.line_no += 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut fields = line.split('\t');
+        let user: u32 = parse_field(fields.next(), self.line_no, "user")?;
+        let action: u32 = parse_field(fields.next(), self.line_no, "action")?;
+        let time: f64 = parse_field(fields.next(), self.line_no, "time")?;
+        Ok(Some(RawTuple { user, action, time }))
+    }
+}
+
 /// Writes `log` as TSV (`user \t external_action_id \t time`).
 pub fn write_action_log<W: Write>(log: &ActionLog, out: W) -> Result<(), StorageError> {
     let mut w = BufWriter::new(out);
@@ -73,36 +135,46 @@ pub fn write_action_log<W: Write>(log: &ActionLog, out: W) -> Result<(), Storage
     Ok(())
 }
 
-/// Reads a TSV action log. `num_users` fixes the user-id universe.
-pub fn read_action_log<R: io::Read>(input: R, num_users: usize) -> Result<ActionLog, StorageError> {
-    let reader = BufReader::new(input);
-    let mut builder = ActionLogBuilder::new(num_users);
+/// Drives the shared [`TupleDecoder`] over a whole stream into `builder`.
+fn read_into_builder<R: io::Read>(
+    input: R,
+    mut builder: ActionLogBuilder,
+) -> Result<ActionLog, StorageError> {
+    let mut reader = BufReader::new(input);
+    let mut decoder = TupleDecoder::new();
     let mut line_buf = String::new();
-    let mut reader = reader;
-    let mut line_no = 0usize;
     loop {
         line_buf.clear();
         if reader.read_line(&mut line_buf)? == 0 {
             break;
         }
-        line_no += 1;
-        let line = line_buf.trim_end();
-        if line.is_empty() || line.starts_with('#') {
+        let Some(raw) = decoder.decode_line(&line_buf)? else {
             continue;
-        }
-        let mut fields = line.split('\t');
-        let user: u32 = parse_field(fields.next(), line_no, "user")?;
-        let action: u32 = parse_field(fields.next(), line_no, "action")?;
-        let time: f64 = parse_field(fields.next(), line_no, "time")?;
+        };
         // `"NaN"`/`"inf"` parse fine via `f64::from_str`; the builder's
         // typed validation is what keeps them out of the log (they would
         // silently corrupt the chronological-order invariant the scan
         // relies on). Same for out-of-range users.
-        builder
-            .try_push(user, action, time)
-            .map_err(|e| StorageError::Parse { line: line_no, message: e.to_string() })?;
+        builder.try_push(raw.user, raw.action, raw.time).map_err(|e| StorageError::Parse {
+            line: decoder.lines_consumed(),
+            message: e.to_string(),
+        })?;
     }
     Ok(builder.build())
+}
+
+/// Reads a TSV action log. `num_users` fixes the user-id universe.
+pub fn read_action_log<R: io::Read>(input: R, num_users: usize) -> Result<ActionLog, StorageError> {
+    read_into_builder(input, ActionLogBuilder::new(num_users))
+}
+
+/// Reads a TSV action log without a pre-declared user universe: the
+/// universe auto-grows to `max user id + 1` (see
+/// [`ActionLogBuilder::growing`]), so callers need not pre-scan the file
+/// just to size it. Widen the result with [`ActionLog::widen_users`] when
+/// an external artifact (the social graph) pins a larger universe.
+pub fn read_action_log_growing<R: io::Read>(input: R) -> Result<ActionLog, StorageError> {
+    read_into_builder(input, ActionLogBuilder::growing())
 }
 
 /// Writes a graph edge list as TSV (`src \t dst`), preceded by a header
@@ -241,6 +313,42 @@ mod tests {
             }
         }
         assert!(read_action_log("0\t1\t-inf\n".as_bytes(), 2).is_err());
+    }
+
+    #[test]
+    fn growing_reader_matches_fixed_reader() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_action_log(&log, &mut buf).unwrap();
+        let grown = read_action_log_growing(&buf[..]).unwrap();
+        // sample_log's universe is 4 but only ids 0..=2 appear; the
+        // growing reader discovers 3 and widening restores equality.
+        assert_eq!(grown.num_users(), 3);
+        assert_eq!(grown.widen_users(4), log);
+    }
+
+    #[test]
+    fn decoder_is_incremental_and_line_addressed() {
+        let mut d = TupleDecoder::new();
+        assert_eq!(d.decode_line("# header\n").unwrap(), None);
+        assert_eq!(
+            d.decode_line("3\t9\t1.5").unwrap(),
+            Some(RawTuple { user: 3, action: 9, time: 1.5 })
+        );
+        assert_eq!(d.decode_line("").unwrap(), None);
+        let err = d.decode_line("3\tnope\t1.0\n").unwrap_err();
+        match err {
+            StorageError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("action"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert_eq!(d.lines_consumed(), 4);
+        // Resuming from a checkpointed line count keeps diagnostics true.
+        let mut resumed = TupleDecoder::resume(10);
+        let err = resumed.decode_line("bogus").unwrap_err();
+        assert!(matches!(err, StorageError::Parse { line: 11, .. }));
     }
 
     #[test]

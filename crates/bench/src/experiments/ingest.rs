@@ -1,0 +1,264 @@
+//! bench-ingest — sustained throughput and batch→publish latency of the
+//! live-ingestion pipeline.
+//!
+//! Not a paper artifact: this measures the online subsystem (follower →
+//! micro-batcher → incremental extend → atomic publish) end to end. A
+//! producer appends the serialized preset log to a followed file in
+//! fixed-size byte chunks; the driver polls after each append, and every
+//! published batch's cut-to-swap wall time is recorded. The sweep varies
+//! the batch size (`--batch-actions N` in CLI terms) because it is *the*
+//! freshness/throughput dial: small batches publish sooner but pay the
+//! per-publish overhead more often.
+//!
+//! Each sweep point re-streams the same bytes and asserts on the spot
+//! that the final model is byte-identical to a one-shot offline train —
+//! the benchmark doubles as an equivalence check at scale. Results land
+//! machine-readably in `BENCH_ingest.json` (CI artifact, next to
+//! `BENCH_incremental.json`).
+
+use crate::config::ExperimentScale;
+use cdim_actionlog::storage::write_action_log;
+use cdim_core::{scan_with, CreditPolicy, Parallelism};
+use cdim_datagen::presets;
+use cdim_ingest::{BatchConfig, FollowConfig, IngestDriver};
+use cdim_metrics::Table;
+use cdim_serve::ModelSnapshot;
+use cdim_util::Timer;
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Batch sizes (in whole actions) swept, smallest first.
+const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+
+/// Bytes appended per producer write — small enough that records are
+/// regularly torn mid-line, which is the realistic case.
+const CHUNK_BYTES: usize = 4096;
+
+/// Where the JSON record lands: `$CDIM_BENCH_JSON_INGEST` if set (CI
+/// points this at the workspace), otherwise the temp directory.
+fn json_path() -> std::path::PathBuf {
+    match std::env::var_os("CDIM_BENCH_JSON_INGEST") {
+        Some(path) => path.into(),
+        None => std::env::temp_dir().join("BENCH_ingest.json"),
+    }
+}
+
+/// One measured sweep point.
+struct Run {
+    batch_actions: usize,
+    batches: usize,
+    records_per_sec: f64,
+    publish_p50_ms: f64,
+    publish_p99_ms: f64,
+}
+
+/// Quantile of a sorted sample (nearest-rank on the sorted copy).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the sweep; the JSON lands at `$CDIM_BENCH_JSON_INGEST` or, when
+/// unset, `BENCH_ingest.json` in the temp directory.
+pub fn run(scale: ExperimentScale) {
+    run_with_output(scale, &json_path());
+}
+
+/// Explicit-output variant (tests use this — no process-global env).
+pub fn run_with_output(scale: ExperimentScale, path: &std::path::Path) {
+    super::banner(
+        "bench-ingest — live-tail throughput and batch→publish latency",
+        "engineering artifact (not in the paper): follower → micro-batcher → publish pipeline",
+        scale,
+    );
+    let ds = presets::flixster_small().scaled_down(scale.dataset_divisor).generate();
+    let lambda = 0.001;
+    let policy = CreditPolicy::Uniform;
+    let par = scale.parallelism();
+    let mut serialized = Vec::new();
+    write_action_log(&ds.log, &mut serialized).expect("in-memory serialization");
+    println!(
+        "--- {} ({} users, {} actions, {} tuples, {} KiB serialized, {} threads) ---",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.log.num_actions(),
+        ds.log.num_tuples(),
+        serialized.len() / 1024,
+        par.effective()
+    );
+
+    // The offline target every streamed run must reproduce byte-for-byte.
+    let offline = {
+        let store = scan_with(&ds.graph, &ds.log, &policy, lambda, par).unwrap();
+        ModelSnapshot::from_store(store).to_bytes()
+    };
+
+    let dir = std::env::temp_dir().join(format!("cdim_bench_ingest_{}", std::process::id()));
+    let mut table =
+        Table::new(["batch", "batches", "records/s", "publish p50 (ms)", "publish p99 (ms)"]);
+    let mut runs: Vec<Run> = Vec::new();
+    for batch_actions in BATCH_SIZES {
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        let config = FollowConfig {
+            batch: BatchConfig {
+                max_actions: batch_actions,
+                max_age: Duration::from_secs(3600), // count-driven, deterministic
+            },
+            lambda: Some(lambda),
+            parallelism: par,
+            // Checkpoint cost is part of what a real deployment pays.
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let mut driver =
+            IngestDriver::open(ds.graph.clone(), policy.clone(), &log_path, &ckpt_path, config)
+                .unwrap();
+
+        let mut publish_secs: Vec<f64> = Vec::new();
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(&log_path).unwrap();
+        let timer = Timer::start();
+        for chunk in serialized.chunks(CHUNK_BYTES) {
+            file.write_all(chunk).unwrap();
+            file.flush().unwrap();
+            let report = driver.step().unwrap();
+            publish_secs.extend(report.batches.iter().map(|b| b.apply_secs));
+        }
+        let report = driver.finish().unwrap();
+        publish_secs.extend(report.batches.iter().map(|b| b.apply_secs));
+        let wall = timer.secs();
+
+        assert!(
+            driver.snapshot().to_bytes() == offline,
+            "streamed model diverged from offline at batch size {batch_actions}"
+        );
+
+        let mut sorted = publish_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let run = Run {
+            batch_actions,
+            batches: publish_secs.len(),
+            records_per_sec: ds.log.num_tuples() as f64 / wall.max(1e-9),
+            publish_p50_ms: quantile(&sorted, 0.50) * 1000.0,
+            publish_p99_ms: quantile(&sorted, 0.99) * 1000.0,
+        };
+        table.row([
+            run.batch_actions.to_string(),
+            run.batches.to_string(),
+            format!("{:.0}", run.records_per_sec),
+            format!("{:.3}", run.publish_p50_ms),
+            format!("{:.3}", run.publish_p99_ms),
+        ]);
+        runs.push(run);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    println!("{table}");
+    println!("(equivalence checked: every sweep point reproduced the offline snapshot bytes)");
+
+    match write_json(path, ds.name, ds.log.num_tuples(), lambda, par.effective(), &runs) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serialization dependency).
+fn write_json(
+    path: &std::path::Path,
+    dataset: &str,
+    tuples: usize,
+    lambda: f64,
+    threads: usize,
+    runs: &[Run],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"bench-ingest\",\n");
+    out.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    out.push_str(&format!("  \"tuples\": {tuples},\n"));
+    out.push_str(&format!("  \"lambda\": {lambda},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"chunk_bytes\": {CHUNK_BYTES},\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", Parallelism::auto().effective()));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"batch_actions\": {}, \"batches\": {}, \"records_per_sec\": {:.1}, \
+             \"publish_p50_ms\": {:.4}, \"publish_p99_ms\": {:.4}}}{comma}\n",
+            run.batch_actions,
+            run.batches,
+            run.records_per_sec,
+            run.publish_p50_ms,
+            run.publish_p99_ms
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 0.5), 3.0);
+        assert_eq!(quantile(&sorted, 1.0), 5.0);
+    }
+
+    #[test]
+    fn json_record_is_parseable_shape() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchingest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ingest.json");
+        let runs = vec![
+            Run {
+                batch_actions: 1,
+                batches: 50,
+                records_per_sec: 123456.7,
+                publish_p50_ms: 0.8,
+                publish_p99_ms: 2.5,
+            },
+            Run {
+                batch_actions: 8,
+                batches: 7,
+                records_per_sec: 654321.0,
+                publish_p50_ms: 3.1,
+                publish_p99_ms: 6.0,
+            },
+        ];
+        write_json(&path, "flixster_small", 9000, 0.001, 2, &runs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"bench-ingest\""));
+        assert!(text.contains("\"batch_actions\": 8"));
+        assert!(text.contains("\"records_per_sec\": 123456.7"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(!text.contains(",\n  ]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quick_sweep_runs_and_reports() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchingest_run_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ingest.json");
+        let mut scale = ExperimentScale::quick();
+        scale.dataset_divisor = scale.dataset_divisor.max(64);
+        run_with_output(scale, &path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"runs\""));
+        assert!(text.contains("\"publish_p99_ms\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

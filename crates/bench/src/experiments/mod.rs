@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod incremental;
+pub mod ingest;
 pub mod scan_scaling;
 pub mod table1;
 pub mod table2;
@@ -18,7 +19,7 @@ pub mod table4;
 use crate::config::ExperimentScale;
 
 /// All experiment ids, in paper order (engineering artifacts last).
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "table1",
     "table2",
     "fig2",
@@ -35,6 +36,7 @@ pub const ALL_IDS: [&str; 17] = [
     "ablate-mg",
     "bench-scan",
     "bench-incremental",
+    "bench-ingest",
     "all",
 ];
 
@@ -57,6 +59,7 @@ pub fn run(id: &str, scale: ExperimentScale) -> bool {
         "ablate-mg" => ablations::mg_formula(scale),
         "bench-scan" => scan_scaling::run(scale),
         "bench-incremental" => incremental::run(scale),
+        "bench-ingest" => ingest::run(scale),
         "all" => {
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
                 run(id, scale);

@@ -1,0 +1,206 @@
+//! The restart point: a model snapshot bound to a log position.
+//!
+//! A follower that restarts must not rescan the log — the whole point of
+//! the incremental pipeline is that training cost tracks the *delta*, not
+//! the history. The checkpoint is therefore a single atomically-replaced
+//! file holding everything a fresh process needs: the trained
+//! [`ModelSnapshot`] (self-validating, see [`cdim_serve::snapshot`]), the
+//! byte offset/line count of the first log record *not yet folded into
+//! that snapshot*, and the batcher's applied watermark (the highest
+//! external action id in the snapshot — snapshots store credits, not
+//! external ids, so the watermark must travel alongside).
+//!
+//! ## Layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "CDIMCKPT"
+//! 8       4     format version (u32) = 1
+//! 12      8     log byte offset (u64)
+//! 20      8     log lines consumed (u64)
+//! 28      8     watermark (u64): 0 = none, else external id + 1
+//! 36      8     snapshot length (u64)
+//! 44      …     embedded model snapshot (its own magic/CRC inside)
+//! end-4   4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! One file, written via temp + rename: a crash leaves either the old
+//! checkpoint or the new one, never a torn pair of snapshot and position.
+
+use crate::error::IngestError;
+use cdim_serve::ModelSnapshot;
+use cdim_util::checksum::crc32;
+use std::path::Path;
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"CDIMCKPT";
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A resumable follower state.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// The trained model at this point of the log.
+    pub snapshot: ModelSnapshot,
+    /// Byte offset of the first log record not covered by `snapshot`.
+    pub offset: u64,
+    /// Complete lines consumed up to `offset` (diagnostics continuity).
+    pub lines: u64,
+    /// Highest external action id folded into `snapshot`.
+    pub watermark: Option<u32>,
+}
+
+impl Checkpoint {
+    /// Serializes to the version-1 container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let snap = self.snapshot.to_bytes();
+        let mut out = Vec::with_capacity(48 + snap.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.lines.to_le_bytes());
+        let watermark = match self.watermark {
+            None => 0u64,
+            Some(id) => u64::from(id) + 1,
+        };
+        out.extend_from_slice(&watermark.to_le_bytes());
+        out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        out.extend_from_slice(&snap);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Deserializes and validates a checkpoint.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IngestError> {
+        let header = MAGIC.len() + 4 + 8 + 8 + 8 + 8;
+        if bytes.len() < header + 4 {
+            return Err(IngestError::Checkpoint(format!(
+                "file of {} bytes is too short to be a checkpoint",
+                bytes.len()
+            )));
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(IngestError::Checkpoint("bad magic".into()));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(IngestError::Checkpoint(format!(
+                "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            )));
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(IngestError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let offset = u64_at(12);
+        let lines = u64_at(20);
+        let watermark = match u64_at(28) {
+            0 => None,
+            id => Some(
+                u32::try_from(id - 1)
+                    .map_err(|_| IngestError::Checkpoint(format!("watermark {id} out of range")))?,
+            ),
+        };
+        let snap_len = u64_at(36) as usize;
+        if header + snap_len + 4 != bytes.len() {
+            return Err(IngestError::Checkpoint(format!(
+                "snapshot length {snap_len} does not match the file size"
+            )));
+        }
+        let snapshot = ModelSnapshot::from_bytes(&bytes[header..header + snap_len])?;
+        Ok(Checkpoint { snapshot, offset, lines, watermark })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), IngestError> {
+        let tmp = path.with_extension("ckpt_tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, IngestError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_actionlog::ActionLogBuilder;
+    use cdim_core::{scan, CreditPolicy};
+    use cdim_graph::GraphBuilder;
+
+    fn sample() -> Checkpoint {
+        let graph = GraphBuilder::new(4).edges([(0, 1), (1, 2), (0, 3)]).build();
+        let mut b = ActionLogBuilder::new(4);
+        b.push(0, 3, 0.0);
+        b.push(1, 3, 1.0);
+        b.push(2, 8, 0.5);
+        let log = b.build();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
+        Checkpoint {
+            snapshot: ModelSnapshot::from_store(store),
+            offset: 1234,
+            lines: 56,
+            watermark: Some(8),
+        }
+    }
+
+    #[test]
+    fn round_trips_bytes_and_fields() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let restored = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.offset, 1234);
+        assert_eq!(restored.lines, 56);
+        assert_eq!(restored.watermark, Some(8));
+        assert_eq!(restored.snapshot.to_bytes(), ckpt.snapshot.to_bytes());
+        assert_eq!(restored.to_bytes(), bytes);
+
+        let fresh = Checkpoint { watermark: None, ..ckpt };
+        assert_eq!(Checkpoint::from_bytes(&fresh.to_bytes()).unwrap().watermark, None);
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_write() {
+        let dir = std::env::temp_dir().join(format!("cdim_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        assert!(!path.with_extension("ckpt_tmp").exists(), "temp file renamed away");
+        let restored = Checkpoint::load(&path).unwrap();
+        assert_eq!(restored.to_bytes(), ckpt.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_typed_errors() {
+        let bytes = sample().to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(Checkpoint::from_bytes(&bad), Err(IngestError::Checkpoint(_))));
+
+        let mut bad = bytes.clone();
+        bad[20] ^= 0x10; // lines field → CRC mismatch
+        assert!(matches!(Checkpoint::from_bytes(&bad), Err(IngestError::Checkpoint(_))));
+
+        for len in [0, 10, 47, bytes.len() - 1] {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The online-retraining driver: poll → batch → extend → hot-swap.
+//!
+//! An [`IngestDriver`] owns the trained state (behind the same
+//! [`InfluenceService`] the TCP server shares, so queries and retraining
+//! never race on a half-updated model) and folds every cut batch through
+//! the incremental path — [`CreditStore::apply_delta`] +
+//! [`CdSelector::extend`] on the shared worker pool, published with
+//! [`InfluenceService::publish_delta`]'s atomic swap. Periodic
+//! [`Checkpoint`]s bind the snapshot to the log position of the first
+//! *unfolded* record, so a restarted driver resumes exactly where the
+//! model stopped — buffered-but-unshipped records are simply re-read.
+//! (Records quarantined after that position are re-quarantined on
+//! restart: the dead-letter sink may see duplicates across restarts,
+//! never losses.)
+//!
+//! [`CreditStore::apply_delta`]: cdim_core::CreditStore::apply_delta
+//! [`CdSelector::extend`]: cdim_core::CdSelector::extend
+
+use crate::batcher::{BatchConfig, DeadLetter, MicroBatcher};
+use crate::checkpoint::Checkpoint;
+use crate::error::IngestError;
+use crate::follower::{LogFollower, Record};
+use cdim_actionlog::{ActionLogBuilder, LogBuildError, StorageError};
+use cdim_core::{scan_with, CreditPolicy};
+use cdim_graph::DirectedGraph;
+use cdim_serve::{InfluenceService, ModelSnapshot};
+use cdim_util::{Parallelism, Timer};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for a follow session.
+#[derive(Clone, Copy, Debug)]
+pub struct FollowConfig {
+    /// Micro-batch cut thresholds.
+    pub batch: BatchConfig,
+    /// Sleep between polls that found nothing.
+    pub poll_interval: Duration,
+    /// Checkpoint after this many publishes (0 = only on
+    /// [`IngestDriver::finish`]).
+    pub checkpoint_every: u64,
+    /// Worker-pool budget for delta scans (and the initial empty scan).
+    pub parallelism: Parallelism,
+    /// Truncation threshold λ when starting fresh. `None` = 0.001 fresh,
+    /// or whatever the resumed checkpoint was trained with; `Some` must
+    /// match a resumed checkpoint or [`IngestDriver::open`] refuses.
+    pub lambda: Option<f64>,
+    /// Answer-cache capacity of the owned [`InfluenceService`].
+    pub cache_capacity: usize,
+    /// `run` exits cleanly (final flush + checkpoint) after this much
+    /// idleness; `None` follows forever.
+    pub idle_exit: Option<Duration>,
+}
+
+impl Default for FollowConfig {
+    fn default() -> Self {
+        FollowConfig {
+            batch: BatchConfig::default(),
+            poll_interval: Duration::from_millis(200),
+            checkpoint_every: 1,
+            parallelism: Parallelism::auto(),
+            lambda: None,
+            cache_capacity: 1024,
+            idle_exit: None,
+        }
+    }
+}
+
+/// One applied batch, as observed by the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchReport {
+    /// Whole actions in the batch.
+    pub actions: usize,
+    /// Tuples in the batch.
+    pub tuples: usize,
+    /// Wall seconds from batch cut to published model (extend + swap).
+    pub apply_secs: f64,
+    /// Actions in the model after the publish.
+    pub model_actions: usize,
+    /// Served model version after the publish.
+    pub model_version: u64,
+}
+
+/// What one [`IngestDriver::step`] did.
+#[derive(Clone, Debug, Default)]
+pub struct StepReport {
+    /// Complete records read this step.
+    pub records: usize,
+    /// Batches cut and published this step.
+    pub batches: Vec<BatchReport>,
+    /// Records quarantined this step (drained dead letters).
+    pub dead_letters: Vec<DeadLetter>,
+}
+
+impl std::fmt::Display for StepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} records", self.records)?;
+        for b in &self.batches {
+            write!(
+                f,
+                "; published {} actions ({} tuples) in {:.3}s -> v{} ({} actions)",
+                b.actions, b.tuples, b.apply_secs, b.model_version, b.model_actions
+            )?;
+        }
+        if !self.dead_letters.is_empty() {
+            write!(f, "; {} quarantined", self.dead_letters.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// The live-ingestion driver (see module docs).
+pub struct IngestDriver {
+    graph: DirectedGraph,
+    policy: CreditPolicy,
+    follower: LogFollower,
+    batcher: MicroBatcher,
+    service: Arc<InfluenceService>,
+    checkpoint_path: PathBuf,
+    config: FollowConfig,
+    /// Highest external action id folded into the served model.
+    applied_watermark: Option<u32>,
+    publishes_since_checkpoint: u64,
+}
+
+impl IngestDriver {
+    /// Opens a driver over `log_path`, resuming from `checkpoint_path` if
+    /// that file exists, otherwise starting from an empty model over
+    /// `graph`'s user universe.
+    ///
+    /// `policy` must be the policy every previous incarnation used (the
+    /// same contract as `cdim train --append`: checkpoints persist
+    /// credits, not policy parameters).
+    pub fn open(
+        graph: DirectedGraph,
+        policy: CreditPolicy,
+        log_path: &Path,
+        checkpoint_path: &Path,
+        config: FollowConfig,
+    ) -> Result<Self, IngestError> {
+        let (snapshot, follower, batcher, watermark) = if checkpoint_path.exists() {
+            let ckpt = Checkpoint::load(checkpoint_path)?;
+            if ckpt.snapshot.num_users() != graph.num_nodes() {
+                return Err(IngestError::Config(format!(
+                    "checkpoint has {} users but the graph has {} nodes",
+                    ckpt.snapshot.num_users(),
+                    graph.num_nodes()
+                )));
+            }
+            let trained_lambda = ckpt.snapshot.selector().store().lambda();
+            if let Some(lambda) = config.lambda {
+                if lambda != trained_lambda {
+                    return Err(IngestError::Config(format!(
+                        "--lambda {lambda} conflicts with the checkpoint's lambda \
+                         {trained_lambda} (the truncation threshold is fixed at training time)"
+                    )));
+                }
+            }
+            let follower = LogFollower::resume(log_path, ckpt.offset, ckpt.lines);
+            let batcher = MicroBatcher::resume(ckpt.watermark);
+            (ckpt.snapshot, follower, batcher, ckpt.watermark)
+        } else {
+            let lambda = config.lambda.unwrap_or(0.001);
+            let empty = ActionLogBuilder::new(graph.num_nodes()).build();
+            let store = scan_with(&graph, &empty, &policy, lambda, config.parallelism)?;
+            (
+                ModelSnapshot::from_store(store),
+                LogFollower::open(log_path),
+                MicroBatcher::new(),
+                None,
+            )
+        };
+        Ok(IngestDriver {
+            graph,
+            policy,
+            follower,
+            batcher,
+            service: Arc::new(InfluenceService::new(snapshot, config.cache_capacity)),
+            checkpoint_path: checkpoint_path.to_path_buf(),
+            config,
+            applied_watermark: watermark,
+            publishes_since_checkpoint: 0,
+        })
+    }
+
+    /// The query service the driver publishes into — share it with
+    /// [`cdim_serve::server::spawn`] to serve queries while following.
+    pub fn service(&self) -> &Arc<InfluenceService> {
+        &self.service
+    }
+
+    /// The currently served model.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.service.snapshot()
+    }
+
+    /// The follower's (byte offset, lines consumed) position.
+    pub fn position(&self) -> (u64, u64) {
+        (self.follower.offset(), self.follower.lines_consumed())
+    }
+
+    /// One poll → batch → publish cycle. Never blocks beyond file I/O.
+    pub fn step(&mut self) -> Result<StepReport, IngestError> {
+        let records = self.follower.poll()?;
+        for r in &records {
+            validate_record(r, self.graph.num_nodes())?;
+        }
+        for r in &records {
+            self.batcher.push(*r);
+        }
+        let mut batches = Vec::new();
+        if self.batcher.due(&self.config.batch) {
+            if let Some(report) = self.apply_pending()? {
+                batches.push(report);
+            }
+        }
+        Ok(StepReport {
+            records: records.len(),
+            batches,
+            dead_letters: self.batcher.drain_dead_letters(),
+        })
+    }
+
+    /// End of stream: drains the remaining backlog (a capped poll reads
+    /// at most [`crate::follower::MAX_POLL_BYTES`] at a time), seals the
+    /// open action, publishes everything pending, and checkpoints. After
+    /// this the model covers every complete record in the file.
+    pub fn finish(&mut self) -> Result<StepReport, IngestError> {
+        let mut report = StepReport::default();
+        loop {
+            let step = self.step()?;
+            let drained = step.records == 0;
+            report.records += step.records;
+            report.batches.extend(step.batches);
+            report.dead_letters.extend(step.dead_letters);
+            if drained {
+                break;
+            }
+        }
+        self.batcher.seal_open();
+        if let Some(batch) = self.apply_pending()? {
+            report.batches.push(batch);
+        }
+        report.dead_letters.extend(self.batcher.drain_dead_letters());
+        self.checkpoint()?;
+        Ok(report)
+    }
+
+    /// Cuts and applies whatever is sealed, regardless of thresholds.
+    fn apply_pending(&mut self) -> Result<Option<BatchReport>, IngestError> {
+        let base = self.service.snapshot().num_actions();
+        let Some((delta, meta)) = self.batcher.take_batch(base, self.graph.num_nodes()) else {
+            return Ok(None);
+        };
+        let timer = Timer::start();
+        self.service.publish_delta(&self.graph, &delta, &self.policy, self.config.parallelism)?;
+        let apply_secs = timer.secs();
+        self.applied_watermark = Some(meta.last_action);
+        self.publishes_since_checkpoint += 1;
+        let report = BatchReport {
+            actions: meta.actions,
+            tuples: meta.tuples,
+            apply_secs,
+            model_actions: self.service.snapshot().num_actions(),
+            model_version: self.service.model_version(),
+        };
+        if self.config.checkpoint_every > 0
+            && self.publishes_since_checkpoint >= self.config.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(Some(report))
+    }
+
+    /// Atomically writes the restart point: the served snapshot plus the
+    /// position of the first record it does not cover (buffered open or
+    /// sealed-but-unshipped records are deliberately *behind* the saved
+    /// offset, so a restart re-reads them).
+    pub fn checkpoint(&mut self) -> Result<(), IngestError> {
+        let (offset, lines) = self
+            .batcher
+            .durable_mark()
+            .unwrap_or((self.follower.offset(), self.follower.lines_consumed()));
+        let ckpt = Checkpoint {
+            snapshot: (*self.service.snapshot()).clone(),
+            offset,
+            lines,
+            watermark: self.applied_watermark,
+        };
+        ckpt.save(&self.checkpoint_path)?;
+        self.publishes_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// The blocking follow loop: steps forever (sleeping
+    /// `poll_interval` between empty polls), reporting each productive
+    /// step through `on_report`. With `idle_exit` set, a quiet log ends
+    /// the loop cleanly via [`finish`](Self::finish).
+    pub fn run(&mut self, mut on_report: impl FnMut(&StepReport)) -> Result<(), IngestError> {
+        let mut idle_since = Instant::now();
+        loop {
+            let report = self.step()?;
+            let progressed = report.records > 0 || !report.batches.is_empty();
+            if progressed {
+                idle_since = Instant::now();
+            }
+            if progressed || !report.dead_letters.is_empty() {
+                on_report(&report);
+            }
+            if let Some(limit) = self.config.idle_exit {
+                if idle_since.elapsed() >= limit {
+                    let last = self.finish()?;
+                    if !last.batches.is_empty() || !last.dead_letters.is_empty() {
+                        on_report(&last);
+                    }
+                    return Ok(());
+                }
+            }
+            if !progressed {
+                std::thread::sleep(self.config.poll_interval);
+            }
+        }
+    }
+}
+
+/// The same validation offline loading performs, with the same
+/// line-numbered diagnostic: non-finite times and users outside the
+/// graph's universe are data corruption, not stream reordering, so they
+/// are fatal rather than quarantined.
+fn validate_record(r: &Record, num_users: usize) -> Result<(), IngestError> {
+    let problem = if !r.time.is_finite() {
+        Some(LogBuildError::NonFiniteTime { user: r.user, action: r.action, time: r.time })
+    } else if (r.user as usize) >= num_users {
+        Some(LogBuildError::UserOutOfRange { user: r.user, num_users })
+    } else {
+        None
+    };
+    match problem {
+        Some(e) => Err(IngestError::Parse(StorageError::Parse {
+            line: r.line as usize,
+            message: e.to_string(),
+        })),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdim_graph::GraphBuilder;
+    use std::io::Write as _;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cdim_driver_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn append(path: &Path, data: &str) {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path).unwrap();
+        f.write_all(data.as_bytes()).unwrap();
+    }
+
+    fn graph() -> DirectedGraph {
+        GraphBuilder::new(5).edges([(0, 1), (1, 2), (0, 3), (3, 4), (2, 4)]).build()
+    }
+
+    fn offline(graph: &DirectedGraph, log_text: &str, lambda: f64) -> Vec<u8> {
+        let log = cdim_actionlog::storage::read_action_log(log_text.as_bytes(), graph.num_nodes())
+            .unwrap();
+        let store =
+            scan_with(graph, &log, &CreditPolicy::Uniform, lambda, Parallelism::single()).unwrap();
+        ModelSnapshot::from_store(store).to_bytes()
+    }
+
+    #[test]
+    fn follow_equals_offline_train() {
+        let dir = tempdir("equiv");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        let full = "0\t1\t0.0\n1\t1\t1.0\n2\t1\t2.0\n3\t2\t0.5\n4\t2\t1.5\n0\t3\t0.0\n";
+
+        let mut driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig { lambda: Some(0.0), ..Default::default() },
+        )
+        .unwrap();
+
+        // Feed the file in awkward pieces, stepping in between.
+        for chunk in ["0\t1\t0.0\n1\t1\t1.", "0\n2\t1\t2.0\n3\t2\t0.5\n", "4\t2\t1.5\n0\t3\t0.0\n"]
+        {
+            append(&log_path, chunk);
+            driver.step().unwrap();
+        }
+        let report = driver.finish().unwrap();
+        assert!(report.dead_letters.is_empty());
+        assert_eq!(driver.snapshot().num_actions(), 3);
+        assert_eq!(driver.snapshot().to_bytes(), offline(&graph(), full, 0.0));
+        // The checkpoint's position covers the whole file.
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        assert_eq!(ckpt.offset, full.len() as u64);
+        assert_eq!(ckpt.watermark, Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_resumes_from_checkpoint_without_rescan() {
+        let dir = tempdir("restart");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        let full = "0\t1\t0.0\n1\t1\t1.0\n3\t2\t0.5\n4\t2\t1.5\n0\t3\t0.0\n2\t3\t9.0\n";
+
+        // First incarnation sees the first two actions (the second still
+        // open), checkpoints implicitly per publish, and is dropped
+        // without finish() — simulating a crash.
+        {
+            let mut driver = IngestDriver::open(
+                graph(),
+                CreditPolicy::Uniform,
+                &log_path,
+                &ckpt_path,
+                FollowConfig { lambda: Some(0.001), ..Default::default() },
+            )
+            .unwrap();
+            append(&log_path, "0\t1\t0.0\n1\t1\t1.0\n3\t2\t0.5\n");
+            let report = driver.step().unwrap();
+            // Action 1 sealed (by action 2's record) and published.
+            assert_eq!(report.batches.len(), 1);
+            assert_eq!(driver.snapshot().num_actions(), 1);
+        }
+
+        // The checkpoint points at action 2's first record, not the EOF.
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        assert_eq!(ckpt.offset, 16);
+        assert_eq!(ckpt.lines, 2);
+        assert_eq!(ckpt.watermark, Some(1));
+
+        // Second incarnation resumes mid-file and reads the rest.
+        let mut driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig::default(),
+        )
+        .unwrap();
+        append(&log_path, "4\t2\t1.5\n0\t3\t0.0\n2\t3\t9.0\n");
+        driver.step().unwrap();
+        driver.finish().unwrap();
+        assert_eq!(driver.snapshot().to_bytes(), offline(&graph(), full, 0.001));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conflicting_lambda_on_resume_is_refused() {
+        let dir = tempdir("lambda");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        {
+            let mut driver = IngestDriver::open(
+                graph(),
+                CreditPolicy::Uniform,
+                &log_path,
+                &ckpt_path,
+                FollowConfig { lambda: Some(0.001), ..Default::default() },
+            )
+            .unwrap();
+            driver.checkpoint().unwrap();
+        }
+        match IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig { lambda: Some(0.5), ..Default::default() },
+        ) {
+            Err(IngestError::Config(why)) => assert!(why.contains("lambda"), "{why}"),
+            Err(other) => panic!("expected a config error, got {other}"),
+            Ok(_) => panic!("conflicting lambda accepted"),
+        }
+        // No explicit lambda adopts the checkpoint's.
+        let driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(driver.snapshot().selector().store().lambda(), 0.001);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_universe_user_is_the_offline_diagnostic() {
+        let dir = tempdir("baduser");
+        let log_path = dir.join("actions.tsv");
+        append(&log_path, "99\t1\t0.0\n");
+        let mut driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &dir.join("model.ckpt"),
+            FollowConfig::default(),
+        )
+        .unwrap();
+        match driver.step() {
+            Err(IngestError::Parse(StorageError::Parse { line, message })) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_idle_exit_finishes_cleanly() {
+        let dir = tempdir("idle");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        let text = "0\t1\t0.0\n1\t2\t1.0\n";
+        append(&log_path, text);
+        let mut driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig {
+                lambda: Some(0.0),
+                poll_interval: Duration::from_millis(1),
+                idle_exit: Some(Duration::from_millis(20)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut reports = 0;
+        driver.run(|_| reports += 1).unwrap();
+        assert!(reports >= 1);
+        assert_eq!(driver.snapshot().to_bytes(), offline(&graph(), text, 0.0));
+        assert!(ckpt_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! The ingest subsystem's typed failure surface.
+
+use cdim_actionlog::StorageError;
+use cdim_core::{ExtendError, ScanError};
+use cdim_serve::SnapshotError;
+
+/// Why the follower/driver pipeline stopped.
+///
+/// The split mirrors offline training on purpose: everything a one-shot
+/// `cdim train` over the same bytes would refuse (I/O failures, malformed
+/// records) is fatal here too, so the byte-identity contract stays
+/// honest. Only violations of the *append-only* contract — which offline
+/// training cannot even express — are non-fatal and land in the
+/// dead-letter sink instead (see
+/// [`QuarantineReason`](crate::QuarantineReason)).
+#[derive(Debug)]
+pub enum IngestError {
+    /// The log file (or checkpoint file) could not be read or written.
+    Io(std::io::Error),
+    /// The log shrank under the follower — it was truncated or rotated.
+    /// The follower never guesses at re-synchronization: the operator
+    /// decides whether to restart from the checkpoint or from scratch.
+    LogTruncated {
+        /// The follower's committed byte offset.
+        offset: u64,
+        /// The file length observed, smaller than `offset`.
+        len: u64,
+    },
+    /// A record failed the TSV grammar or log validation, with the same
+    /// line-numbered diagnostic offline loading produces.
+    Parse(StorageError),
+    /// The initial (empty-log) scan failed.
+    Scan(ScanError),
+    /// A delta could not be folded into the trained state.
+    Extend(ExtendError),
+    /// The checkpoint's embedded model snapshot failed to decode.
+    Snapshot(SnapshotError),
+    /// The checkpoint container itself is corrupt or mismatched.
+    Checkpoint(String),
+    /// The driver was configured inconsistently with the resumed state.
+    Config(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            IngestError::LogTruncated { offset, len } => write!(
+                f,
+                "action log truncated or rotated: follower is at byte {offset} but the file \
+                 holds {len} bytes"
+            ),
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Scan(e) => write!(f, "initial scan failed: {e}"),
+            IngestError::Extend(e) => write!(f, "applying delta: {e}"),
+            IngestError::Snapshot(e) => write!(f, "checkpoint snapshot: {e}"),
+            IngestError::Checkpoint(why) => write!(f, "bad checkpoint: {why}"),
+            IngestError::Config(why) => write!(f, "configuration error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Parse(e) => Some(e),
+            IngestError::Extend(e) => Some(e),
+            IngestError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<StorageError> for IngestError {
+    fn from(e: StorageError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+impl From<ExtendError> for IngestError {
+    fn from(e: ExtendError) -> Self {
+        IngestError::Extend(e)
+    }
+}
+
+impl From<SnapshotError> for IngestError {
+    fn from(e: SnapshotError) -> Self {
+        IngestError::Snapshot(e)
+    }
+}
+
+impl From<ScanError> for IngestError {
+    fn from(e: ScanError) -> Self {
+        IngestError::Scan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = IngestError::LogTruncated { offset: 100, len: 40 };
+        assert!(e.to_string().contains("truncated"));
+        assert!(e.to_string().contains("byte 100"));
+        let e = IngestError::Checkpoint("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e: IngestError = StorageError::Parse { line: 7, message: "invalid user".into() }.into();
+        assert!(e.to_string().contains("line 7"));
+    }
+}

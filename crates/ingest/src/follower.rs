@@ -1,0 +1,352 @@
+//! `tail -f` for the action-log TSV — poll-based, partial-line safe.
+//!
+//! The follower owns a byte offset into the file, always at a record
+//! boundary. Each [`poll`](LogFollower::poll) re-reads from that offset
+//! and consumes only complete `\n`-terminated records: a producer that
+//! was interrupted mid-record costs nothing — the partial tail is left in
+//! the file and re-read once its newline arrives. A file that *shrinks*
+//! (rotation, truncation) is never silently re-synchronized; it surfaces
+//! as [`IngestError::LogTruncated`] and the operator chooses a recovery.
+//!
+//! Parsing goes through the shared [`TupleDecoder`], so the TSV grammar
+//! and its line-numbered diagnostics are exactly the ones offline loading
+//! uses.
+
+use crate::error::IngestError;
+use cdim_actionlog::{StorageError, TupleDecoder};
+use std::fs::File;
+use std::io::{ErrorKind, Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+/// One parsed record with its position in the file — the position is what
+/// lets the batcher hand out a durable resume point that re-covers
+/// records not yet folded into the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Record {
+    /// Acting user.
+    pub user: u32,
+    /// External action id.
+    pub action: u32,
+    /// Event time (finiteness is validated downstream by the builder).
+    pub time: f64,
+    /// Byte offset of the first byte of this record's line.
+    pub offset: u64,
+    /// 1-based line number of this record.
+    pub line: u64,
+}
+
+/// Bytes consumed per poll at most: a cold start over a large backlog
+/// costs memory proportional to one poll window, never the whole file
+/// (the rest arrives on the following polls).
+pub const MAX_POLL_BYTES: u64 = 8 << 20;
+
+/// Poll-based tailer over an append-only TSV action log.
+#[derive(Debug)]
+pub struct LogFollower {
+    path: PathBuf,
+    /// Next unread byte; always at a line boundary.
+    offset: u64,
+    /// Complete lines consumed (== lines before `offset`).
+    lines: u64,
+    decoder: TupleDecoder,
+    poll_cap: u64,
+    /// A parse failure is terminal: the offset is parked at the bad
+    /// line and every later poll re-raises this diagnostic, so a caller
+    /// that ignores the error can neither skip nor double-read records.
+    pending_parse: Option<(usize, String)>,
+}
+
+impl LogFollower {
+    /// Follows `path` from the beginning. The file need not exist yet —
+    /// polls before the producer's first write are empty, not errors.
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        Self::resume(path, 0, 0)
+    }
+
+    /// Resumes at a checkpointed position: byte `offset` with `lines`
+    /// lines already consumed (diagnostics keep true line numbers).
+    pub fn resume(path: impl Into<PathBuf>, offset: u64, lines: u64) -> Self {
+        LogFollower {
+            path: path.into(),
+            offset,
+            lines,
+            decoder: TupleDecoder::resume(lines as usize),
+            poll_cap: MAX_POLL_BYTES,
+            pending_parse: None,
+        }
+    }
+
+    /// Shrinks the poll window (tests exercise the multi-poll backlog
+    /// path without multi-megabyte fixtures).
+    #[cfg(test)]
+    fn with_poll_cap(mut self, cap: u64) -> Self {
+        self.poll_cap = cap.max(1);
+        self
+    }
+
+    /// The byte offset of the next unread record.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Complete lines consumed so far.
+    pub fn lines_consumed(&self) -> u64 {
+        self.lines
+    }
+
+    /// One poll: the complete records appended since the last poll (at
+    /// most [`MAX_POLL_BYTES`] worth — a larger backlog spans several
+    /// polls), in file order. Returns an empty vector when nothing (or
+    /// only a partial line) arrived. Comments and blank lines are
+    /// consumed but yield no records.
+    ///
+    /// The offset advances per successfully decoded line, so a parse
+    /// failure mid-chunk still delivers every record before it exactly
+    /// once; the failure itself is raised on the *next* poll and sticks.
+    pub fn poll(&mut self) -> Result<Vec<Record>, IngestError> {
+        if let Some((line, message)) = &self.pending_parse {
+            return Err(IngestError::Parse(StorageError::Parse {
+                line: *line,
+                message: message.clone(),
+            }));
+        }
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            // The producer may not have created the log yet.
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            return Err(IngestError::LogTruncated { offset: self.offset, len });
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+
+        // Read exactly the bytes the length check promised (capped) —
+        // the file may keep growing underneath; anything past `len`
+        // waits for the next poll.
+        let want = (len - self.offset).min(self.poll_cap);
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut chunk = Vec::with_capacity(want as usize);
+        file.take(want).read_to_end(&mut chunk)?;
+
+        // Only bytes up to the last newline are complete records.
+        let Some(last_nl) = chunk.iter().rposition(|&b| b == b'\n') else {
+            if self.offset + want < len {
+                // A full poll window without a single newline is not a
+                // torn tail — it is a record longer than the window.
+                return Err(IngestError::Parse(StorageError::Parse {
+                    line: self.lines as usize + 1,
+                    message: format!("record exceeds the {}-byte poll window", self.poll_cap),
+                }));
+            }
+            return Ok(Vec::new());
+        };
+        let complete = &chunk[..=last_nl];
+        let text = std::str::from_utf8(complete).map_err(|_| {
+            IngestError::Io(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("non-UTF-8 bytes in the log near offset {}", self.offset),
+            ))
+        })?;
+
+        let mut records = Vec::new();
+        for line in text.split_inclusive('\n') {
+            match self.decoder.decode_line(line) {
+                Ok(Some(raw)) => records.push(Record {
+                    user: raw.user,
+                    action: raw.action,
+                    time: raw.time,
+                    offset: self.offset,
+                    line: self.decoder.lines_consumed() as u64,
+                }),
+                Ok(None) => {}
+                Err(StorageError::Parse { line, message }) => {
+                    // Park at the bad line; deliver the good prefix now
+                    // and the diagnostic on every poll from here on.
+                    self.pending_parse = Some((line, message));
+                    return Ok(records);
+                }
+                Err(e) => return Err(e.into()),
+            }
+            self.offset += line.len() as u64;
+            self.lines += 1;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::Path;
+
+    fn tempfile(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cdim_follower_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.tsv"))
+    }
+
+    fn append(path: &Path, data: &str) {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path).unwrap();
+        f.write_all(data.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn missing_file_polls_empty() {
+        let path = tempfile("missing");
+        std::fs::remove_file(&path).ok();
+        let mut follower = LogFollower::open(&path);
+        assert_eq!(follower.poll().unwrap(), Vec::new());
+        assert_eq!(follower.offset(), 0);
+    }
+
+    #[test]
+    fn partial_trailing_line_completes_across_polls() {
+        let path = tempfile("partial");
+        std::fs::remove_file(&path).ok();
+        let mut follower = LogFollower::open(&path);
+
+        // A complete record plus the torn head of the next one.
+        append(&path, "0\t5\t1.0\n1\t5\t2");
+        let records = follower.poll().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!((records[0].user, records[0].action, records[0].time), (0, 5, 1.0));
+        assert_eq!(records[0].offset, 0);
+        assert_eq!(records[0].line, 1);
+        let mid_offset = follower.offset();
+
+        // Nothing new: the torn record stays unconsumed.
+        assert!(follower.poll().unwrap().is_empty());
+        assert_eq!(follower.offset(), mid_offset);
+
+        // The rest of the record (and one more) arrives; the re-read
+        // stitches the torn line back together.
+        append(&path, ".5\n2\t6\t0.25\n");
+        let records = follower.poll().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!((records[0].user, records[0].time), (1, 2.5));
+        assert_eq!(records[0].line, 2);
+        assert_eq!((records[1].user, records[1].action), (2, 6));
+        assert_eq!(records[1].line, 3);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let path = tempfile("truncate");
+        std::fs::remove_file(&path).ok();
+        append(&path, "0\t1\t1.0\n1\t1\t2.0\n");
+        let mut follower = LogFollower::open(&path);
+        assert_eq!(follower.poll().unwrap().len(), 2);
+
+        // Rotation: the file is replaced by a shorter one.
+        std::fs::write(&path, "9\t9\t9.0\n").unwrap();
+        match follower.poll() {
+            Err(IngestError::LogTruncated { offset, len }) => {
+                assert_eq!(offset, 16);
+                assert_eq!(len, 8);
+            }
+            other => panic!("expected LogTruncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_polls_and_comments_cost_nothing() {
+        let path = tempfile("comments");
+        std::fs::remove_file(&path).ok();
+        append(&path, "# header\n\n");
+        let mut follower = LogFollower::open(&path);
+        assert!(follower.poll().unwrap().is_empty());
+        assert_eq!(follower.lines_consumed(), 2);
+        // Steady-state idle polls do not move the offset.
+        let offset = follower.offset();
+        for _ in 0..3 {
+            assert!(follower.poll().unwrap().is_empty());
+        }
+        assert_eq!(follower.offset(), offset);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_record_is_the_offline_diagnostic_and_sticks() {
+        let path = tempfile("malformed");
+        std::fs::remove_file(&path).ok();
+        append(&path, "0\t1\t1.0\nbogus line\n2\t2\t2.0\n");
+        let mut follower = LogFollower::open(&path);
+        // The good prefix is delivered exactly once…
+        let records = follower.poll().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].user, 0);
+        // …then the diagnostic is raised, and keeps being raised: the
+        // bad line is neither skipped nor the good one re-read.
+        for _ in 0..2 {
+            match follower.poll() {
+                Err(IngestError::Parse(cdim_actionlog::StorageError::Parse { line, .. })) => {
+                    assert_eq!(line, 2)
+                }
+                other => panic!("expected a line-2 parse error, got {other:?}"),
+            }
+        }
+        assert_eq!(follower.offset(), 8, "offset parked at the bad line");
+        assert_eq!(follower.lines_consumed(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capped_poll_drains_a_backlog_across_polls() {
+        let path = tempfile("capped");
+        std::fs::remove_file(&path).ok();
+        // Three 8-byte records, 16-byte poll window: two polls to drain.
+        append(&path, "0\t1\t1.0\n1\t1\t2.0\n2\t2\t3.0\n");
+        let mut follower = LogFollower::open(&path).with_poll_cap(16);
+        let first = follower.poll().unwrap();
+        assert_eq!(first.len(), 2);
+        let second = follower.poll().unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].line, 3);
+        assert!(follower.poll().unwrap().is_empty());
+        assert_eq!(follower.offset(), 24);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_longer_than_the_poll_window_is_a_parse_error() {
+        let path = tempfile("oversized");
+        std::fs::remove_file(&path).ok();
+        append(&path, "0\t1\t1.00000000000\n");
+        let mut follower = LogFollower::open(&path).with_poll_cap(4);
+        match follower.poll() {
+            Err(IngestError::Parse(cdim_actionlog::StorageError::Parse { line, message })) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("poll window"), "{message}");
+            }
+            other => panic!("expected an oversized-record error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_continues_offsets_and_lines() {
+        let path = tempfile("resume");
+        std::fs::remove_file(&path).ok();
+        append(&path, "0\t1\t1.0\n1\t1\t2.0\n");
+        let mut first = LogFollower::open(&path);
+        let records = first.poll().unwrap();
+        assert_eq!(records.len(), 2);
+
+        let mut resumed = LogFollower::resume(&path, first.offset(), first.lines_consumed());
+        assert!(resumed.poll().unwrap().is_empty());
+        append(&path, "2\t2\t0.5\n");
+        let records = resumed.poll().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].line, 3);
+        assert_eq!(records[0].offset, 16);
+        std::fs::remove_file(&path).ok();
+    }
+}

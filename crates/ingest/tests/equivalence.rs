@@ -1,0 +1,266 @@
+//! The ingest subsystem's load-bearing contract, end to end: tailing a
+//! log written in arbitrary increments — mid-record writes, any batch
+//! thresholds, any number of checkpoint/restart cycles — yields a trained
+//! snapshot **byte-identical** to one-shot offline training on the
+//! completed file, at every thread count.
+
+use cdim_actionlog::storage::{read_action_log, write_action_log};
+use cdim_actionlog::{ActionLog, ActionLogBuilder};
+use cdim_core::{scan_with, CreditPolicy};
+use cdim_graph::{DirectedGraph, GraphBuilder};
+use cdim_ingest::{BatchConfig, FollowConfig, IngestDriver, IngestError};
+use cdim_serve::ModelSnapshot;
+use cdim_util::Parallelism;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tempdir(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cdim_ingest_equiv_{tag}_{}_{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn append_bytes(path: &Path, data: &[u8]) {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path).unwrap();
+    f.write_all(data).unwrap();
+}
+
+/// Offline reference: parse the *serialized* bytes back (so both sides
+/// see the identical float spellings) and scan them one-shot.
+fn offline_snapshot(
+    graph: &DirectedGraph,
+    serialized: &[u8],
+    policy: &CreditPolicy,
+    lambda: f64,
+) -> Vec<u8> {
+    let log = read_action_log(serialized, graph.num_nodes()).unwrap();
+    let store = scan_with(graph, &log, policy, lambda, Parallelism::single()).unwrap();
+    ModelSnapshot::from_store(store).to_bytes()
+}
+
+/// Streams `serialized` into a followed file according to the given
+/// chunking/restart schedule and returns the final trained snapshot.
+#[allow(clippy::too_many_arguments)]
+fn follow_to_completion(
+    tag: &str,
+    graph: &DirectedGraph,
+    policy: &CreditPolicy,
+    serialized: &[u8],
+    cuts: &[usize],
+    restarts: &[bool],
+    batch: BatchConfig,
+    lambda: f64,
+    threads: usize,
+) -> Vec<u8> {
+    let dir = tempdir(tag);
+    let log_path = dir.join("actions.tsv");
+    let ckpt_path = dir.join("model.ckpt");
+    let config = FollowConfig {
+        batch,
+        lambda: Some(lambda),
+        parallelism: Parallelism::fixed(threads),
+        checkpoint_every: 1,
+        ..Default::default()
+    };
+    let open = |lambda_cfg: Option<f64>| {
+        IngestDriver::open(
+            graph.clone(),
+            policy.clone(),
+            &log_path,
+            &ckpt_path,
+            FollowConfig { lambda: lambda_cfg, ..config },
+        )
+        .unwrap()
+    };
+
+    let mut driver = open(Some(lambda));
+    // Chunk boundaries may fall anywhere, including mid-record.
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (serialized.len() + 1)).collect();
+    bounds.push(serialized.len());
+    bounds.sort_unstable();
+    let mut written = 0usize;
+    for (i, &end) in bounds.iter().enumerate() {
+        append_bytes(&log_path, &serialized[written..end]);
+        written = end;
+        driver.step().unwrap();
+        // A scheduled restart drops the driver cold — buffered records
+        // and all, NO parting checkpoint — and reopens from whatever the
+        // last publish-time auto-checkpoint recorded (or from scratch if
+        // nothing was ever published). This is the crash path: the
+        // durable mark must re-cover everything unfolded.
+        if restarts.get(i).copied().unwrap_or(false) {
+            drop(driver);
+            // The explicit λ matters when the crash predates the first
+            // publish (no checkpoint on disk → a fresh, empty start).
+            driver = open(Some(lambda));
+        }
+    }
+    let report = driver.finish().unwrap();
+    assert!(
+        report.dead_letters.is_empty(),
+        "a well-formed producer must quarantine nothing: {:?}",
+        report.dead_letters
+    );
+    let bytes = driver.snapshot().to_bytes();
+    std::fs::remove_dir_all(&dir).ok();
+    bytes
+}
+
+proptest! {
+    /// The acceptance-criterion property: random dataset, random byte
+    /// chunking, random batch size, random restart schedule, threads
+    /// 1 and 8, both policies, λ ∈ {0, 0.001}.
+    #[test]
+    fn streamed_training_is_byte_identical_to_offline(
+        edges in proptest::collection::vec((0u32..9, 0u32..9), 0..40),
+        events in proptest::collection::vec((0u32..9, 0u32..6, 0u64..20), 1..60),
+        cuts in proptest::collection::vec(0usize..4096, 0..8),
+        restarts in proptest::collection::vec(proptest::bool::ANY, 0..9),
+        batch_actions in 1usize..5,
+        time_aware in proptest::bool::ANY,
+        lambda_on in proptest::bool::ANY,
+    ) {
+        let graph = GraphBuilder::new(9).edges(edges).build();
+        let mut b = ActionLogBuilder::new(9);
+        for &(u, a, t) in &events {
+            b.push(u, a, t as f64);
+        }
+        let log = b.build();
+        let policy = if time_aware {
+            CreditPolicy::time_aware(&graph, &log)
+        } else {
+            CreditPolicy::Uniform
+        };
+        let lambda = if lambda_on { 0.001 } else { 0.0 };
+        let mut serialized = Vec::new();
+        write_action_log(&log, &mut serialized).unwrap();
+
+        let expected = offline_snapshot(&graph, &serialized, &policy, lambda);
+        let batch = BatchConfig { max_actions: batch_actions, ..Default::default() };
+        for threads in [1usize, 8] {
+            let got = follow_to_completion(
+                "prop", &graph, &policy, &serialized, &cuts, &restarts, batch, lambda, threads,
+            );
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "diverged at {} threads, batch {}, {} cuts, restarts {:?}",
+                threads,
+                batch_actions,
+                cuts.len(),
+                restarts
+            );
+        }
+    }
+}
+
+/// Deterministic rotation scenario: the log shrinks, the follower
+/// surfaces the typed error, and — once the file is made whole again — a
+/// fresh driver resumes from the checkpoint and still converges to the
+/// offline answer.
+#[test]
+fn rotation_surfaces_then_checkpoint_recovers() {
+    let dir = tempdir("rotation");
+    let log_path = dir.join("actions.tsv");
+    let ckpt_path = dir.join("model.ckpt");
+    let graph = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).build();
+    let full = "0\t1\t0.0\n1\t1\t1.0\n2\t2\t0.0\n3\t2\t1.0\n4\t3\t0.0\n";
+    let config = FollowConfig { lambda: Some(0.001), ..Default::default() };
+
+    // Phase 1: the first two actions arrive and the first is published.
+    append_bytes(&log_path, &full.as_bytes()[..32]);
+    let mut driver =
+        IngestDriver::open(graph.clone(), CreditPolicy::Uniform, &log_path, &ckpt_path, config)
+            .unwrap();
+    driver.step().unwrap();
+    assert!(driver.snapshot().num_actions() >= 1);
+
+    // Phase 2: rotation — the file is replaced by something shorter.
+    std::fs::write(&log_path, "0\t9\t0.0\n").unwrap();
+    match driver.step() {
+        Err(IngestError::LogTruncated { .. }) => {}
+        other => panic!("expected LogTruncated, got {other:?}"),
+    }
+    drop(driver);
+
+    // Phase 3: the operator restores the full file; a fresh driver
+    // resumes from the checkpoint, skipping everything already folded.
+    std::fs::write(&log_path, full).unwrap();
+    let mut driver = IngestDriver::open(
+        graph.clone(),
+        CreditPolicy::Uniform,
+        &log_path,
+        &ckpt_path,
+        FollowConfig::default(),
+    )
+    .unwrap();
+    driver.finish().unwrap();
+
+    let offline = {
+        let log = read_action_log(full.as_bytes(), graph.num_nodes()).unwrap();
+        let store =
+            scan_with(&graph, &log, &CreditPolicy::Uniform, 0.001, Parallelism::fixed(2)).unwrap();
+        ModelSnapshot::from_store(store).to_bytes()
+    };
+    assert_eq!(driver.snapshot().to_bytes(), offline);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Streaming a dataset-preset log (the same data the CLI pipeline uses)
+/// through small batches equals offline training — a heavier, fixed
+/// smoke on top of the random property.
+#[test]
+fn preset_log_streams_to_offline_bytes() {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let mut serialized = Vec::new();
+    write_action_log(&ds.log, &mut serialized).unwrap();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let expected = offline_snapshot(&ds.graph, &serialized, &policy, 0.001);
+    // Thirds of the byte stream, batches of 4 actions, one restart.
+    let cuts = [serialized.len() / 3, 2 * serialized.len() / 3];
+    let restarts = [false, true, false];
+    let batch = BatchConfig { max_actions: 4, ..Default::default() };
+    for threads in [1usize, 8] {
+        let got = follow_to_completion(
+            "preset",
+            &ds.graph,
+            &policy,
+            &serialized,
+            &cuts,
+            &restarts,
+            batch,
+            0.001,
+            threads,
+        );
+        assert_eq!(got, expected, "preset stream diverged at {threads} threads");
+    }
+}
+
+/// An `ActionLog` built through the growing-universe path and widened to
+/// the graph's node count trains identically to the fixed-universe path
+/// (the delta side of the auto-growing satellite).
+#[test]
+fn growing_universe_log_trains_identically() {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let mut serialized = Vec::new();
+    write_action_log(&ds.log, &mut serialized).unwrap();
+    let fixed = read_action_log(&serialized[..], ds.graph.num_nodes()).unwrap();
+    let grown = cdim_actionlog::storage::read_action_log_growing(&serialized[..])
+        .unwrap()
+        .widen_users(ds.graph.num_nodes());
+    assert_eq!(grown, fixed);
+    let scan = |log: &ActionLog| {
+        scan_with(&ds.graph, log, &CreditPolicy::Uniform, 0.0, Parallelism::single())
+            .unwrap()
+            .dump()
+    };
+    assert!(scan(&grown) == scan(&fixed));
+}

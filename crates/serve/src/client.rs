@@ -6,7 +6,7 @@
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
-    ServiceInfo,
+    ServiceInfo, StatsReply,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -102,6 +102,16 @@ impl QueryClient {
     pub fn info(&mut self) -> Result<ServiceInfo, ClientError> {
         match self.request(&Request::Info)? {
             Response::Info(info) => Ok(info),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Observability counters (queries served, cache hit/miss split,
+    /// publishes applied, current model version).
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
             Response::Error(message) => Err(ClientError::Server(message)),
             _ => Err(ClientError::UnexpectedResponse),
         }

@@ -42,7 +42,7 @@ pub mod service;
 pub mod snapshot;
 
 pub use client::{ClientError, QueryClient};
-pub use protocol::{Request, Response, ServiceInfo};
+pub use protocol::{Request, Response, ServiceInfo, StatsReply};
 pub use server::{spawn, ServerHandle};
 pub use service::{Answer, InfluenceService, Query, QueryError, ServiceStats};
 pub use snapshot::{ModelSnapshot, SnapshotError};

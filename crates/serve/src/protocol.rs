@@ -14,6 +14,7 @@
 //! | 2      | Spread        | `n u32 · n × u32 seed` |
 //! | 3      | MarginalGain  | `n u32 · n × u32 seed · candidate u32` |
 //! | 4      | Info          | — |
+//! | 5      | Stats         | — |
 //!
 //! ## Responses
 //!
@@ -23,6 +24,7 @@
 //! | 2      | Spread        | `sigma f64` |
 //! | 3      | MarginalGain  | `gain f64` |
 //! | 4      | Info          | `num_users u32 · num_actions u32 · seeds u32 · hits u64 · misses u64` |
+//! | 5      | Stats         | `queries u64 · hits u64 · misses u64 · publishes u64 · version u64` |
 //! | 255    | Error         | `len u32 · len × utf-8 byte` |
 //!
 //! Frames above [`MAX_FRAME_LEN`] are rejected before allocation, so a
@@ -39,6 +41,7 @@ const OP_TOPK: u8 = 1;
 const OP_SPREAD: u8 = 2;
 const OP_GAIN: u8 = 3;
 const OP_INFO: u8 = 4;
+const OP_STATS: u8 = 5;
 const OP_ERROR: u8 = 255;
 
 /// A wire request.
@@ -63,6 +66,9 @@ pub enum Request {
     },
     /// Snapshot dimensions and cache counters.
     Info,
+    /// Service observability counters (queries served, cache hits,
+    /// publishes applied, current model version).
+    Stats,
 }
 
 /// Snapshot and cache facts returned by [`Request::Info`].
@@ -78,6 +84,23 @@ pub struct ServiceInfo {
     pub cache_hits: u64,
     /// Answer-cache misses since the service started.
     pub cache_misses: u64,
+}
+
+/// Service counters returned by [`Request::Stats`] — the wire form of
+/// [`crate::service::ServiceStats`], kept separate so the protocol stays
+/// a closed, versioned surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Queries received by the service (including rejected ones).
+    pub queries: u64,
+    /// Queries answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Queries that had to be computed.
+    pub cache_misses: u64,
+    /// Snapshots published since the service started.
+    pub publishes: u64,
+    /// Version of the currently served model (0 = the startup snapshot).
+    pub model_version: u64,
 }
 
 /// A wire response.
@@ -96,6 +119,8 @@ pub enum Response {
     MarginalGain(f64),
     /// Answer to [`Request::Info`].
     Info(ServiceInfo),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
     /// The request was rejected; the payload explains why.
     Error(String),
 }
@@ -208,6 +233,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             push_u32(&mut out, *candidate);
         }
         Request::Info => out.push(OP_INFO),
+        Request::Stats => out.push(OP_STATS),
     }
     out
 }
@@ -240,6 +266,14 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             push_u32(&mut out, info.committed_seeds);
             push_u64(&mut out, info.cache_hits);
             push_u64(&mut out, info.cache_misses);
+        }
+        Response::Stats(stats) => {
+            out.push(OP_STATS);
+            push_u64(&mut out, stats.queries);
+            push_u64(&mut out, stats.cache_hits);
+            push_u64(&mut out, stats.cache_misses);
+            push_u64(&mut out, stats.publishes);
+            push_u64(&mut out, stats.model_version);
         }
         Response::Error(message) => {
             out.push(OP_ERROR);
@@ -312,6 +346,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             Request::MarginalGain { seeds, candidate }
         }
         OP_INFO => Request::Info,
+        OP_STATS => Request::Stats,
         op => return Err(ProtocolError::UnknownOpcode(op)),
     };
     r.done()?;
@@ -344,6 +379,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
         }),
+        OP_STATS => Response::Stats(StatsReply {
+            queries: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            publishes: r.u64()?,
+            model_version: r.u64()?,
+        }),
         OP_ERROR => {
             let len = r.u32()? as usize;
             let bytes = r.take(len)?;
@@ -369,6 +411,7 @@ mod tests {
             Request::Spread { seeds: vec![5, 1, 5, 9] },
             Request::MarginalGain { seeds: vec![2, 3], candidate: 4 },
             Request::Info,
+            Request::Stats,
         ];
         for request in requests {
             let payload = encode_request(&request);
@@ -389,6 +432,13 @@ mod tests {
                 committed_seeds: 2,
                 cache_hits: 5,
                 cache_misses: 9,
+            }),
+            Response::Stats(StatsReply {
+                queries: u64::MAX,
+                cache_hits: 12,
+                cache_misses: 3,
+                publishes: 4,
+                model_version: 4,
             }),
             Response::Error("user 9 out of range".to_string()),
         ];

@@ -11,7 +11,7 @@
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ProtocolError, Request, Response,
-    ServiceInfo,
+    ServiceInfo, StatsReply,
 };
 use crate::service::{Answer, InfluenceService, Query};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -175,6 +175,16 @@ fn handle(request: &Request, service: &InfluenceService) -> Response {
                 cache_misses: stats.cache_misses,
             });
         }
+        Request::Stats => {
+            let stats = service.stats();
+            return Response::Stats(StatsReply {
+                queries: stats.queries,
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
+                publishes: stats.snapshots_published,
+                model_version: stats.model_version,
+            });
+        }
     };
     match service.query(&query) {
         Ok(Answer::TopKSeeds { seeds, gains }) => Response::TopKSeeds { seeds, gains },
@@ -221,6 +231,33 @@ mod tests {
         let err = client.spread(&[u32::MAX]).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
         assert!(client.info().is_ok());
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_op_reports_live_counters() {
+        let service = test_service();
+        let server = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = QueryClient::connect(server.addr()).unwrap();
+
+        let before = client.stats().unwrap();
+        assert_eq!(before.queries, 0);
+        assert_eq!(before.model_version, 0);
+
+        client.spread(&[0]).unwrap();
+        client.spread(&[0]).unwrap();
+        let after = client.stats().unwrap();
+        assert_eq!(after.queries, 2);
+        assert_eq!(after.cache_hits, 1);
+        assert_eq!(after.cache_misses, 1);
+        assert_eq!(after.publishes, 0);
+
+        // A publish bumps the served model version visibly.
+        service.publish((*service.snapshot()).clone());
+        let bumped = client.stats().unwrap();
+        assert_eq!(bumped.publishes, 1);
+        assert_eq!(bumped.model_version, 1);
 
         server.shutdown();
     }

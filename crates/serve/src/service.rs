@@ -97,8 +97,17 @@ enum CacheKey {
 }
 
 /// Counters exposed for monitoring and tests.
+///
+/// A long-running follower + server pair is monitored through these (via
+/// the wire `Stats` op and `cdim stats`): `queries` says whether traffic
+/// is arriving, the hit/miss split says whether the cache is earning its
+/// memory, and `snapshots_published` / `model_version` say whether the
+/// online-retraining loop is actually refreshing the served model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
+    /// Queries received by [`InfluenceService::query`] (including ones
+    /// rejected with a [`QueryError`]).
+    pub queries: u64,
     /// Queries answered from the LRU cache.
     pub cache_hits: u64,
     /// Queries that had to be computed.
@@ -106,6 +115,10 @@ pub struct ServiceStats {
     /// Snapshots published over the service's lifetime (the initial one
     /// counts as zero).
     pub snapshots_published: u64,
+    /// Version of the currently served model: starts at 0 and increments
+    /// on every publish (equals `snapshots_published` unless stats are
+    /// read mid-publish).
+    pub model_version: u64,
 }
 
 /// Thread-safe influence-query service over an immutable model snapshot.
@@ -115,6 +128,7 @@ pub struct InfluenceService {
     /// before caching it.
     snapshot: RwLock<(u64, Arc<ModelSnapshot>)>,
     cache: Mutex<LruCache<CacheKey, Answer>>,
+    queries: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     published: AtomicU64,
@@ -127,6 +141,7 @@ impl InfluenceService {
         InfluenceService {
             snapshot: RwLock::new((0, Arc::new(snapshot))),
             cache: Mutex::new(LruCache::new(cache_capacity)),
+            queries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             published: AtomicU64::new(0),
@@ -194,17 +209,26 @@ impl InfluenceService {
         Ok(())
     }
 
-    /// Cache and publish counters.
+    /// Version of the currently served model: 0 for the snapshot the
+    /// service started with, +1 per publish.
+    pub fn model_version(&self) -> u64 {
+        self.epoch()
+    }
+
+    /// Query, cache and publish counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             snapshots_published: self.published.load(Ordering::Relaxed),
+            model_version: self.epoch(),
         }
     }
 
     /// Answers one query, consulting the LRU cache first.
     pub fn query(&self, query: &Query) -> Result<Answer, QueryError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let (epoch, snapshot) = self.snapshot_with_epoch();
         let key = canonical_key(query, &snapshot)?;
 
@@ -394,7 +418,7 @@ mod tests {
         let first = svc.query(&q).unwrap();
         assert_eq!(
             svc.stats(),
-            ServiceStats { cache_hits: 0, cache_misses: 1, ..Default::default() }
+            ServiceStats { queries: 1, cache_hits: 0, cache_misses: 1, ..Default::default() }
         );
         let second = svc.query(&q).unwrap();
         assert_eq!(first, second);
@@ -404,8 +428,27 @@ mod tests {
         assert_eq!(first, third);
         assert_eq!(
             svc.stats(),
-            ServiceStats { cache_hits: 2, cache_misses: 1, ..Default::default() }
+            ServiceStats { queries: 3, cache_hits: 2, cache_misses: 1, ..Default::default() }
         );
+    }
+
+    #[test]
+    fn stats_track_queries_and_model_version() {
+        let svc = service(16);
+        assert_eq!(svc.model_version(), 0);
+        svc.query(&Query::Spread { seeds: vec![0] }).unwrap();
+        // Rejected queries still count as received.
+        let n = svc.snapshot().num_users() as u32;
+        assert!(svc.query(&Query::Spread { seeds: vec![n] }).is_err());
+        assert_eq!(svc.stats().queries, 2);
+        assert_eq!(svc.stats().cache_misses, 1);
+
+        let ds = cdim_datagen::presets::tiny().generate();
+        let store = scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.0).unwrap();
+        svc.publish(ModelSnapshot::from_store(store));
+        assert_eq!(svc.model_version(), 1);
+        assert_eq!(svc.stats().model_version, 1);
+        assert_eq!(svc.stats().snapshots_published, 1);
     }
 
     #[test]

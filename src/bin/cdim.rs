@@ -9,20 +9,25 @@
 //! cdim train    … --append D.tsv --base M.snap --policy P …   delta retrain
 //! cdim snapshot --graph G.tsv --log L.tsv --out M.snap   alias of full train
 //! cdim serve    --snapshot M.snap --addr 127.0.0.1:7171  query service
+//! cdim follow   --graph G.tsv --log L.tsv --snapshot M.ckpt --serve ADDR   online retraining
 //! cdim query    --addr 127.0.0.1:7171 --op topk --k 10   remote queries
+//! cdim stats    --addr 127.0.0.1:7171                    server counters
 //! ```
 //!
 //! Graphs and logs are the TSV formats of `cdim::actionlog::storage`;
-//! snapshots are the binary format of `cdim::serve::snapshot`.
+//! snapshots are the binary format of `cdim::serve::snapshot`; follow
+//! checkpoints are the container of `cdim::ingest::checkpoint`.
 
 use cdim::actionlog::{stats::log_stats, storage, ActionLogDelta};
 use cdim::graph::stats::graph_stats;
+use cdim::ingest::{BatchConfig, FollowConfig, IngestDriver};
 use cdim::metrics::Table;
 use cdim::prelude::*;
 use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +51,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "serve" => cmd_serve(&flags),
+        "follow" => cmd_follow(&flags),
         "query" => cmd_query(&flags),
         "--help" | "help" => {
             usage();
@@ -73,7 +79,12 @@ fn usage() {
          cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
          cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
          cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N]\n  \
-         cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]"
+         cdim follow   --graph <g.tsv> --log <live.tsv> --snapshot <m.ckpt> [--serve host:port]\n  \
+                       [--batch-actions N] [--batch-ms T] [--checkpoint-every K] [--poll-ms T]\n  \
+                       [--idle-exit-ms T] [--export-snapshot <m.snap>] [--policy uniform|time-aware]\n  \
+                       [--policy-log <l.tsv>] [--lambda F] [--threads N] [--cache N]\n  \
+         cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]\n  \
+         cdim stats    --addr <host:port>"
     );
 }
 
@@ -168,6 +179,21 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    // With --addr, report a running server's observability counters;
+    // otherwise the classic Table-1-style dataset statistics.
+    if let Some(addr) = flags.get("addr") {
+        let mut client =
+            QueryClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        let mut table = Table::new(["counter", "value"]);
+        table.row(["queries served".to_string(), stats.queries.to_string()]);
+        table.row(["cache hits".to_string(), stats.cache_hits.to_string()]);
+        table.row(["cache misses".to_string(), stats.cache_misses.to_string()]);
+        table.row(["publishes applied".to_string(), stats.publishes.to_string()]);
+        table.row(["model version".to_string(), stats.model_version.to_string()]);
+        print!("{table}");
+        return Ok(());
+    }
     let (graph, log) = load(flags)?;
     let gs = graph_stats(&graph);
     let ls = log_stats(&log);
@@ -382,6 +408,114 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// `cdim follow`: tail a live action log, fold new actions into the
+/// model as micro-batched deltas, and (optionally) serve queries from
+/// the continuously refreshed snapshot — the full online pipeline.
+///
+/// The `--snapshot` file is a *checkpoint* (model + log position +
+/// watermark): if it exists the follower resumes from it without
+/// rescanning anything; `--export-snapshot` additionally writes a plain
+/// `cdim serve`-loadable snapshot on clean exit. Like `cdim train
+/// --append`, the policy must match across restarts — and time-aware
+/// parameters must come from a *frozen* log (`--policy-log`), never the
+/// moving stream.
+fn cmd_follow(flags: &Flags) -> Result<(), String> {
+    let graph_path = flags.require("graph")?;
+    let graph = storage::load_graph(Path::new(graph_path))
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let log_path: PathBuf = flags.require("log")?.into();
+    let ckpt_path: PathBuf = flags.require("snapshot")?.into();
+
+    let policy = match flags.get("policy").unwrap_or("uniform") {
+        "uniform" => CreditPolicy::Uniform,
+        "time-aware" => {
+            let policy_log = flags.get("policy-log").ok_or_else(|| {
+                "--policy time-aware requires --policy-log <l.tsv>: the time-aware parameters \
+                 (tau, infl) must be derived from a frozen log, not the moving stream"
+                    .to_string()
+            })?;
+            let frozen = storage::load_action_log(Path::new(policy_log), graph.num_nodes())
+                .map_err(|e| format!("reading {policy_log}: {e}"))?;
+            CreditPolicy::time_aware(&graph, &frozen)
+        }
+        other => return Err(format!("unknown policy {other:?} (uniform|time-aware)")),
+    };
+    let lambda = match flags.get("lambda") {
+        None => None,
+        Some(_) => {
+            let lambda = flags.get_parsed("lambda", 0.001)?;
+            if !(0.0..=1.0).contains(&lambda) {
+                return Err(format!("--lambda must be in [0, 1], got {lambda}"));
+            }
+            Some(lambda)
+        }
+    };
+    let config = FollowConfig {
+        batch: BatchConfig {
+            max_actions: flags.get_parsed("batch-actions", 1usize)?.max(1),
+            max_age: Duration::from_millis(flags.get_parsed("batch-ms", 500u64)?),
+        },
+        poll_interval: Duration::from_millis(flags.get_parsed("poll-ms", 200u64)?.max(1)),
+        checkpoint_every: flags.get_parsed("checkpoint-every", 1u64)?,
+        parallelism: Parallelism::fixed(flags.get_parsed("threads", 0usize)?),
+        lambda,
+        cache_capacity: flags.get_parsed("cache", 1024usize)?,
+        idle_exit: match flags.get_parsed("idle-exit-ms", 0u64)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+    };
+
+    let resuming = ckpt_path.exists();
+    let mut driver = IngestDriver::open(graph, policy, &log_path, &ckpt_path, config)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} {} from byte {} ({} actions in model)",
+        if resuming { "resuming" } else { "following" },
+        log_path.display(),
+        driver.position().0,
+        driver.snapshot().num_actions()
+    );
+
+    // Serving is optional: the driver publishes into the shared service
+    // either way, so attaching the TCP frontend is a one-liner.
+    let server_handle = match flags.get("serve") {
+        Some(addr) => {
+            let handle = server::spawn(Arc::clone(driver.service()), addr)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            // The exact address on its own stdout line (script-friendly,
+            // same convention as `cdim serve`).
+            println!("listening on {}", handle.addr());
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            Some(handle)
+        }
+        None => None,
+    };
+
+    driver
+        .run(|report| {
+            eprintln!("{report}");
+            for dead in &report.dead_letters {
+                eprintln!("warning: {dead}");
+            }
+        })
+        .map_err(|e| e.to_string())?;
+
+    // Clean (idle-exit) shutdown: optionally export a plain snapshot.
+    if let Some(out) = flags.get("export-snapshot") {
+        let snapshot = driver.snapshot();
+        snapshot.save(Path::new(out)).map_err(|e| e.to_string())?;
+        println!(
+            "exported {out} ({} actions, {} credit entries)",
+            snapshot.num_actions(),
+            snapshot.selector().store().total_entries()
+        );
+    }
+    drop(server_handle);
+    Ok(())
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {

@@ -43,12 +43,14 @@
 //! | [`datagen`] | synthetic graphs, planted influence, cascade logs, presets |
 //! | [`metrics`] | RMSE, capture curves, intersections, text tables |
 //! | [`serve`] | model snapshots, the concurrent influence-query service, TCP protocol |
+//! | [`ingest`] | live log tailing, micro-batched deltas, zero-downtime online retraining |
 
 pub use cdim_actionlog as actionlog;
 pub use cdim_core as core;
 pub use cdim_datagen as datagen;
 pub use cdim_diffusion as diffusion;
 pub use cdim_graph as graph;
+pub use cdim_ingest as ingest;
 pub use cdim_learning as learning;
 pub use cdim_maxim as maxim;
 pub use cdim_metrics as metrics;
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use cdim_datagen::{Dataset, DatasetSpec};
     pub use cdim_diffusion::{EdgeProbabilities, IcModel, LtModel, McConfig, MonteCarloEstimator};
     pub use cdim_graph::{DirectedGraph, GraphBuilder, NodeId};
+    pub use cdim_ingest::{FollowConfig, IngestDriver, IngestError};
     pub use cdim_learning::{learn_lt_weights, EmConfig, EmLearner, TemporalModel};
     pub use cdim_maxim::{celf_select, greedy_select, Selection, SpreadOracle};
     pub use cdim_serve::{InfluenceService, ModelSnapshot, QueryClient};

@@ -24,6 +24,13 @@ fn facade_reexports_resolve_and_pipeline_runs() {
     let sigma = model.spread(&selection.seeds);
     assert!(sigma >= selection.total_gain() - 1e-9, "{sigma} < {}", selection.total_gain());
 
+    // The serving + ingestion layers resolve through the facade too.
+    let _: fn(usize) -> cdim::ingest::BatchConfig =
+        |n| cdim::ingest::BatchConfig { max_actions: n, ..Default::default() };
+    let _: cdim::ingest::FollowConfig = FollowConfig::default();
+    let snap = cdim::serve::ModelSnapshot::from_store(model.store().clone());
+    assert_eq!(snap.num_users(), ds.graph.num_nodes());
+
     // Leaf crates re-exported by the facade stay usable directly.
     let mut rng = cdim::util::Rng::seed_from_u64(7);
     let probs: cdim::diffusion::EdgeProbabilities = cdim::learning::uniform(&ds.graph, 0.01);
