@@ -200,6 +200,25 @@ impl ActionLog {
         let keep: Vec<ActionId> = (0..split).map(|a| a as ActionId).collect();
         (self.project_actions(&keep), self.delta_range(split, self.num_actions()))
     }
+
+    /// Cuts the first `expire` actions off the front: `(expired, rest)`.
+    ///
+    /// The mirror of [`split_at_action`](Self::split_at_action) for the
+    /// sliding-window path. The expired prefix comes back as an
+    /// [`ActionLogDelta`] **based at 0** — exactly the shape
+    /// `CreditStore::retract_delta` consumes to unwind those actions —
+    /// and the remainder is re-densified so its actions run `0..n-expire`
+    /// (external ids and per-action tuples carried through verbatim).
+    /// Scanning the remainder from scratch is therefore the window-only
+    /// rescan the retraction contract is proved against.
+    ///
+    /// # Panics
+    /// Panics if `expire > num_actions()`.
+    pub fn split_off_prefix(&self, expire: usize) -> (ActionLogDelta, ActionLog) {
+        let expired = self.delta_range(0, expire);
+        let keep: Vec<ActionId> = (expire..self.num_actions()).map(|a| a as ActionId).collect();
+        (expired, self.project_actions(&keep))
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +310,47 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn delta_range_checks_bounds() {
         sample_log().delta_range(1, 99);
+    }
+
+    #[test]
+    fn split_off_prefix_renumbers_the_remainder() {
+        let log = sample_log();
+        for expire in 0..=log.num_actions() {
+            let (expired, rest) = log.split_off_prefix(expire);
+            assert_eq!(expired.base_actions(), 0, "expire = {expire}");
+            assert_eq!(expired.num_new_actions(), expire);
+            assert_eq!(rest.num_actions(), log.num_actions() - expire);
+            // The expired prefix matches the front of the log verbatim.
+            for a in 0..expire as ActionId {
+                assert_eq!(expired.additions().users_of(a), log.users_of(a));
+                assert_eq!(expired.additions().times_of(a), log.times_of(a));
+                assert_eq!(expired.additions().external_id(a), log.external_id(a));
+            }
+            // The remainder is the back of the log, re-densified to 0..
+            for a in 0..rest.num_actions() as ActionId {
+                let src = a + expire as ActionId;
+                assert_eq!(rest.users_of(a), log.users_of(src), "expire = {expire}");
+                assert_eq!(rest.times_of(a), log.times_of(src));
+                assert_eq!(rest.external_id(a), log.external_id(src));
+            }
+        }
+    }
+
+    #[test]
+    fn split_off_prefix_edges() {
+        let log = sample_log();
+        let (none, all) = log.split_off_prefix(0);
+        assert!(none.is_empty());
+        assert_eq!(all, log);
+        let (everything, empty) = log.split_off_prefix(log.num_actions());
+        assert_eq!(everything.num_new_actions(), log.num_actions());
+        assert_eq!(empty.num_actions(), 0);
+        assert_eq!(empty.num_users(), log.num_users());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn split_off_prefix_checks_bounds() {
+        sample_log().split_off_prefix(99);
     }
 }

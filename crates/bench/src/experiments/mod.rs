@@ -15,11 +15,12 @@ pub mod scan_scaling;
 pub mod table1;
 pub mod table2;
 pub mod table4;
+pub mod window;
 
 use crate::config::ExperimentScale;
 
 /// All experiment ids, in paper order (engineering artifacts last).
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "table1",
     "table2",
     "fig2",
@@ -37,6 +38,7 @@ pub const ALL_IDS: [&str; 18] = [
     "bench-scan",
     "bench-incremental",
     "bench-ingest",
+    "bench-window",
     "all",
 ];
 
@@ -60,6 +62,7 @@ pub fn run(id: &str, scale: ExperimentScale) -> bool {
         "bench-scan" => scan_scaling::run(scale),
         "bench-incremental" => incremental::run(scale),
         "bench-ingest" => ingest::run(scale),
+        "bench-window" => window::run(scale),
         "all" => {
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
                 run(id, scale);

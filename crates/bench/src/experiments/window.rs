@@ -1,0 +1,234 @@
+//! bench-window — sliding-window retraction cost vs a window-only rescan.
+//!
+//! Not a paper artifact: this measures the payoff of the sliding-window
+//! subsystem. A windowed deployment expires old actions as the watermark
+//! advances; the naive alternative rebuilds the model by rescanning just
+//! the surviving window. Here we train on the large preset's full log,
+//! then for shrinking window fractions record the wall time of (a) a
+//! from-scratch scan of the window and (b) `CreditStore::retract_delta`
+//! of the expired prefix — asserting on the spot that both land on
+//! byte-identical canonical dumps — plus the store's memory high-water
+//! mark before and after expiry (the bytes a window actually buys back).
+//!
+//! The sweep lands machine-readably in `BENCH_window.json` so CI can
+//! track the expiry-cost curve across commits.
+
+use crate::config::ExperimentScale;
+use cdim_core::{scan_with, CreditPolicy, Parallelism};
+use cdim_datagen::presets;
+use cdim_metrics::Table;
+use cdim_util::Timer;
+use std::io::Write as _;
+
+/// Fractions of the log kept as the window, largest first.
+const WINDOW_FRACTIONS: [f64; 4] = [0.75, 0.5, 0.25, 0.10];
+
+/// Where the JSON record lands by default: `$CDIM_BENCH_JSON_WINDOW` if
+/// set (CI points this at the workspace), otherwise the temp directory
+/// (so plain `cargo test` runs never litter the repo).
+fn json_path() -> std::path::PathBuf {
+    match std::env::var_os("CDIM_BENCH_JSON_WINDOW") {
+        Some(path) => path.into(),
+        None => std::env::temp_dir().join("BENCH_window.json"),
+    }
+}
+
+/// One measured expiry.
+struct Run {
+    fraction: f64,
+    window_actions: usize,
+    expired_actions: usize,
+    rescan_secs: f64,
+    retract_secs: f64,
+    full_bytes: usize,
+    window_bytes: usize,
+}
+
+/// Runs the sweep; the JSON lands at `$CDIM_BENCH_JSON_WINDOW` or, when
+/// unset, `BENCH_window.json` in the temp directory.
+pub fn run(scale: ExperimentScale) {
+    run_with_output(scale, &json_path());
+}
+
+/// Runs the sweep and writes the JSON record to `path` (the explicit-path
+/// variant tests use — no process-global environment involved).
+pub fn run_with_output(scale: ExperimentScale, path: &std::path::Path) {
+    super::banner(
+        "bench-window — sliding-window expiry vs window-only rescan",
+        "engineering artifact (not in the paper): prefix retraction via retract_delta",
+        scale,
+    );
+    let ds = presets::flixster_large().scaled_down(scale.dataset_divisor).generate();
+    let lambda = 0.001;
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let par = scale.parallelism();
+    let n = ds.log.num_actions();
+    println!(
+        "--- {} ({} users, {} actions, {} tuples, {} threads) ---",
+        ds.name,
+        ds.graph.num_nodes(),
+        n,
+        ds.log.num_tuples(),
+        par.effective()
+    );
+
+    // The full-log store every expiry starts from — also the warm-up
+    // pass and the memory high-water mark.
+    let full = scan_with(&ds.graph, &ds.log, &policy, lambda, par).unwrap();
+    let full_bytes = full.memory_bytes();
+
+    let mut table =
+        Table::new(["window", "actions", "rescan (s)", "retract (s)", "speedup", "memory"]);
+    let mut runs: Vec<Run> = Vec::new();
+    for fraction in WINDOW_FRACTIONS {
+        let keep = (((n as f64) * fraction).round() as usize).clamp(1, n);
+        let expire = n - keep;
+        let (expired, window_log) = ds.log.split_off_prefix(expire);
+
+        // (a) what a naive window refresh pays: rescan the window.
+        let t = Timer::start();
+        let rescan = scan_with(&ds.graph, &window_log, &policy, lambda, par).unwrap();
+        let rescan_secs = t.secs();
+
+        // (b) what the expiry path pays: retract the expired prefix from
+        // a clone of the full store (cloning is untimed setup — a
+        // deployment already holds the full store).
+        let mut store = full.clone();
+        let t = Timer::start();
+        store.retract_delta(&ds.graph, &expired, &policy, par).unwrap();
+        let retract_secs = t.secs();
+        assert!(
+            store.dump() == rescan.dump(),
+            "retract diverged from the window-only rescan at fraction {fraction}"
+        );
+        let window_bytes = store.memory_bytes();
+
+        let speedup = rescan_secs / retract_secs.max(1e-9);
+        table.row([
+            format!("{:.0}%", fraction * 100.0),
+            keep.to_string(),
+            format!("{rescan_secs:.3}"),
+            format!("{retract_secs:.3}"),
+            format!("{speedup:.1}x"),
+            format!(
+                "{} -> {}",
+                cdim_util::mem::fmt_bytes(full_bytes),
+                cdim_util::mem::fmt_bytes(window_bytes)
+            ),
+        ]);
+        runs.push(Run {
+            fraction,
+            window_actions: keep,
+            expired_actions: expire,
+            rescan_secs,
+            retract_secs,
+            full_bytes,
+            window_bytes,
+        });
+    }
+    println!("{table}");
+    println!("(equivalence checked: every retract dumped byte-identically to its window rescan)");
+
+    match write_json(path, ds.name, n, ds.log.num_tuples(), lambda, par.effective(), &runs) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serialization dependency).
+fn write_json(
+    path: &std::path::Path,
+    dataset: &str,
+    actions: usize,
+    tuples: usize,
+    lambda: f64,
+    threads: usize,
+    runs: &[Run],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"bench-window\",\n");
+    out.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    out.push_str(&format!("  \"actions\": {actions},\n"));
+    out.push_str(&format!("  \"tuples\": {tuples},\n"));
+    out.push_str(&format!("  \"lambda\": {lambda},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", Parallelism::auto().effective()));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let speedup = run.rescan_secs / run.retract_secs.max(1e-9);
+        out.push_str(&format!(
+            "    {{\"window_fraction\": {}, \"window_actions\": {}, \"expired_actions\": {}, \
+             \"rescan_secs\": {:.6}, \"retract_secs\": {:.6}, \"speedup\": {speedup:.3}, \
+             \"full_bytes\": {}, \"window_bytes\": {}}}{comma}\n",
+            run.fraction,
+            run.window_actions,
+            run.expired_actions,
+            run.rescan_secs,
+            run.retract_secs,
+            run.full_bytes,
+            run.window_bytes
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_is_parseable_shape() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchwin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_window.json");
+        let runs = vec![
+            Run {
+                fraction: 0.5,
+                window_actions: 100,
+                expired_actions: 100,
+                rescan_secs: 0.4,
+                retract_secs: 0.2,
+                full_bytes: 2048,
+                window_bytes: 1024,
+            },
+            Run {
+                fraction: 0.1,
+                window_actions: 20,
+                expired_actions: 180,
+                rescan_secs: 0.1,
+                retract_secs: 0.4,
+                full_bytes: 2048,
+                window_bytes: 256,
+            },
+        ];
+        write_json(&path, "flixster_large", 200, 1800, 0.001, 4, &runs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"bench-window\""));
+        assert!(text.contains("\"window_fraction\": 0.1"));
+        assert!(text.contains("\"window_bytes\": 256"));
+        // Crude structural sanity: balanced braces/brackets, no trailing
+        // comma before a closer.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(!text.contains(",\n  ]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quick_sweep_runs_and_reports() {
+        let dir = std::env::temp_dir().join(format!("cdim_benchwin_run_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_window.json");
+        let mut scale = ExperimentScale::quick();
+        scale.dataset_divisor = scale.dataset_divisor.max(64);
+        run_with_output(scale, &path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"runs\""));
+        assert!(text.contains("\"retract_secs\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

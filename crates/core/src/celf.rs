@@ -160,6 +160,26 @@ impl CdSelector {
         }
     }
 
+    /// Drops SC entries of the first `k` actions and renumbers the
+    /// survivors down by `k` — the SC half of a sliding-window
+    /// retraction. SC is keyed per `(action, user)` and each entry
+    /// depends only on its own action's credits plus the seed sequence,
+    /// so the surviving entries equal what a fresh window-only selector
+    /// would accumulate replaying the same seeds.
+    pub(crate) fn retract_sc_prefix(&mut self, k: u32) {
+        if k == 0 {
+            return;
+        }
+        let old = std::mem::take(&mut self.sc);
+        self.sc.reserve(old.len());
+        for (key, c) in old {
+            let a = (key >> 32) as u32;
+            if a >= k {
+                self.sc.insert(sc_key(a - k, key as u32), c);
+            }
+        }
+    }
+
     /// Runs CELF until `k` seeds are chosen; returns the selection and
     /// consumes the selector. Candidates are all users that performed at
     /// least one action.

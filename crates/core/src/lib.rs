@@ -23,9 +23,10 @@
 //!   time-aware Eq 9 (`infl(u)`, `τ_{v,u}`, exponential decay);
 //! * [`store`] — the UC/SC credit structures of §5.3;
 //! * [`mod@scan`] — Algorithm 2 (one pass over the sorted log, truncation λ);
-//! * [`incremental`] — append-only retraining: extend a scanned store
-//!   with an [`cdim_actionlog::ActionLogDelta`], byte-identical to a full
-//!   rescan;
+//! * [`incremental`] — incremental retraining: extend a scanned store
+//!   with an [`cdim_actionlog::ActionLogDelta`] (byte-identical to a full
+//!   rescan) or retract an expired action prefix (byte-identical to a
+//!   scan of just the surviving window);
 //! * [`celf`] — Algorithms 3–5 (CELF selection, Theorem-3 marginal gains,
 //!   Lemma 2/3 incremental updates);
 //! * [`spread`] — exact σ_cd(S) evaluation for arbitrary seed sets (the

@@ -123,6 +123,27 @@ impl CdModel {
         self.evaluator.extend(graph, delta, &self.policy)
     }
 
+    /// Sliding-window retraining: expires an action prefix from the
+    /// trained model — credit store and exact evaluator both — without
+    /// rescanning anything that survives. `expired` must be the model's
+    /// first actions packaged as a delta based at 0 (see
+    /// `ActionLog::split_off_prefix`); the expired credits are recomputed
+    /// with the scan kernel and checked bit-for-bit before anything is
+    /// dropped.
+    ///
+    /// As with [`extend`](Self::extend) the trained policy stays fixed.
+    /// Under that fixed policy the retracted store's
+    /// [`CreditStore::dump`] is byte-identical to a from-scratch scan of
+    /// just the surviving window, for every thread count.
+    pub fn retract(
+        &mut self,
+        graph: &DirectedGraph,
+        expired: &cdim_actionlog::ActionLogDelta,
+    ) -> Result<(), crate::incremental::ExtendError> {
+        self.store.retract_delta(graph, expired, &self.policy, self.config.parallelism)?;
+        self.evaluator.retract(graph, expired)
+    }
+
     /// The configuration the model was trained with.
     pub fn config(&self) -> CdModelConfig {
         self.config
@@ -253,6 +274,46 @@ mod tests {
                 "split {split}"
             );
         }
+    }
+
+    #[test]
+    fn retract_equals_training_on_the_window() {
+        let (graph, log) = instance();
+        // Uniform policy is log-independent, so the full-trained and
+        // window-trained models share it exactly — retraction must land
+        // bit-for-bit on the window-only model.
+        let config =
+            CdModelConfig { policy: PolicyKind::Uniform, lambda: 0.001, ..Default::default() };
+        for expire in 0..=log.num_actions() {
+            let (expired, window) = log.split_off_prefix(expire);
+            let mut model = CdModel::train(&graph, &log, config);
+            model.retract(&graph, &expired).unwrap();
+            let fresh = CdModel::train(&graph, &window, config);
+            assert_eq!(model.store().dump(), fresh.store().dump(), "expire {expire}");
+            assert_eq!(model.evaluator().num_actions(), fresh.evaluator().num_actions());
+            for seeds in [vec![0u32], vec![1, 3], vec![0, 2, 4]] {
+                assert_eq!(
+                    model.spread(&seeds).to_bits(),
+                    fresh.spread(&seeds).to_bits(),
+                    "expire {expire}, seeds {seeds:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retract_rejects_non_prefix_batches() {
+        let (graph, log) = instance();
+        let mut model = CdModel::train(&graph, &log, CdModelConfig::default());
+        // A mid-log range is not a prefix (base != 0).
+        let not_a_prefix = log.delta_range(1, 3);
+        assert!(model.retract(&graph, &not_a_prefix).is_err());
+        // Data the model was never trained on fails the bitwise replay.
+        let mut b = ActionLogBuilder::new(5);
+        b.push(4, 0, 0.0);
+        b.push(0, 0, 1.0);
+        let foreign = cdim_actionlog::ActionLogDelta::new(0, b.build());
+        assert!(model.retract(&graph, &foreign).is_err());
     }
 
     #[test]

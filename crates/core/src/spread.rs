@@ -129,6 +129,60 @@ impl CdSpreadEvaluator {
         Ok(())
     }
 
+    /// Retracts an expired action prefix — the inverse of
+    /// [`extend`](Self::extend). `expired` must be based at 0 and cover
+    /// the evaluator's first actions (see `ActionLog::split_off_prefix`):
+    /// their compiled DAGs are dropped and the `A_u` counts of users
+    /// acting in the prefix are decremented. Spread answers afterwards
+    /// are bit-identical to a from-scratch [`build`](Self::build) over
+    /// just the surviving window (`1/A_u` depends only on the surviving
+    /// count, and a DAG never references its action's dense id).
+    pub fn retract(
+        &mut self,
+        graph: &DirectedGraph,
+        expired: &ActionLogDelta,
+    ) -> Result<(), ExtendError> {
+        if graph.num_nodes() != self.num_users {
+            return Err(ExtendError::GraphMismatch {
+                graph_nodes: graph.num_nodes(),
+                store_users: self.num_users,
+            });
+        }
+        if expired.num_users() != self.num_users {
+            return Err(ExtendError::UserUniverseMismatch {
+                store_users: self.num_users,
+                delta_users: expired.num_users(),
+            });
+        }
+        let k = expired.num_new_actions();
+        if expired.base_actions() != 0 || k > self.dags.len() {
+            return Err(ExtendError::WindowMismatch {
+                store_actions: self.dags.len(),
+                expired_base: expired.base_actions(),
+                expired_actions: k,
+            });
+        }
+        for (u, &n) in expired.additions().actions_per_user().iter().enumerate() {
+            if n > self.au[u] {
+                return Err(ExtendError::MembershipMismatch {
+                    user: u as u32,
+                    expected: n,
+                    got: self.au[u],
+                });
+            }
+        }
+        self.dags.drain(..k);
+        for (u, &n) in expired.additions().actions_per_user().iter().enumerate() {
+            if n > 0 {
+                self.au[u] -= n;
+                self.inv_au[u] = if self.au[u] > 0 { 1.0 / f64::from(self.au[u]) } else { 0.0 };
+            }
+        }
+        // `max_dag_len` stays as-is: it is a scratch-capacity hint only
+        // and never influences an answer.
+        Ok(())
+    }
+
     /// Exact σ_cd(S).
     pub fn spread(&self, seeds: &[UserId]) -> f64 {
         if seeds.is_empty() {

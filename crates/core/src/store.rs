@@ -435,6 +435,89 @@ mod tests {
     }
 
     #[test]
+    fn oversubtract_clamps_to_removal_and_prunes() {
+        // Lemma 2 can subtract more than is stored when λ truncated the
+        // stored value: the entry must drop out entirely (never go
+        // negative) and both adjacency rows must prune in lockstep.
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.add(1, 3, 0.25);
+        ac.subtract(1, 2, 0.7);
+        assert_eq!(ac.get(1, 2), 0.0);
+        assert_eq!(ac.len(), 1);
+        assert_eq!(ac.targets_of(1).collect::<Vec<_>>(), vec![(3, 0.25)]);
+        assert!(!ac.has_sources(2));
+        // A second over-subtract of the now-missing entry is a no-op.
+        ac.subtract(1, 2, 0.7);
+        assert_eq!(ac.len(), 1);
+        // No surviving entry is ever negative.
+        assert!(ac.entries().all(|(_, _, c)| c > 0.0));
+    }
+
+    #[test]
+    fn near_zero_residue_is_dropped_not_stored() {
+        // Subtracting down to within the 1e-15 floor must remove the
+        // entry — a stored near-zero residue would survive a dump/restore
+        // round trip and desynchronize adjacency pruning.
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.subtract(1, 2, 0.5 - 1e-16);
+        assert_eq!(ac.len(), 0);
+        assert!(!ac.has_influencer(1));
+        assert!(!ac.has_sources(2));
+    }
+
+    #[test]
+    fn re_add_after_retire_relinks_adjacency() {
+        // A sliding-window cycle can retire a user (seed commit) and
+        // later re-encounter them in fresh credits; the vacant-entry path
+        // must rebuild both adjacency rows from scratch.
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.add(0, 1, 0.25);
+        ac.retire(1);
+        assert!(ac.is_empty());
+
+        ac.add(1, 2, 0.125);
+        assert_eq!(ac.get(1, 2), 0.125);
+        assert!(ac.has_influencer(1));
+        assert!(ac.has_sources(2));
+        assert_eq!(ac.targets_of(1).collect::<Vec<_>>(), vec![(2, 0.125)]);
+        assert_eq!(ac.sources_of(2).collect::<Vec<_>>(), vec![(1, 0.125)]);
+        // And the inverse direction: credit INTO the retired user again.
+        ac.add(0, 1, 0.0625);
+        assert_eq!(ac.sources_of(1).collect::<Vec<_>>(), vec![(0, 0.0625)]);
+        assert_eq!(ac.len(), 2);
+    }
+
+    #[test]
+    fn re_add_after_subtract_removal_accumulates_fresh() {
+        // add → subtract-to-zero → add must start from the new amount,
+        // not resurrect the old entry, and must not duplicate adjacency
+        // ids.
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.subtract(1, 2, 0.5);
+        ac.add(1, 2, 0.25);
+        ac.add(1, 2, 0.25);
+        assert!((ac.get(1, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(ac.targets_of(1).count(), 1);
+        assert_eq!(ac.sources_of(2).count(), 1);
+    }
+
+    #[test]
+    fn retire_twice_is_idempotent() {
+        let mut ac = ActionCredits::default();
+        ac.add(1, 2, 0.5);
+        ac.add(0, 1, 0.25);
+        ac.retire(1);
+        let (gout, gin) = ac.retire(1);
+        assert!(gout.is_empty());
+        assert!(gin.is_empty());
+        assert!(ac.is_empty());
+    }
+
+    #[test]
     fn total_entries_stays_accurate_after_updates() {
         let mut store = CreditStore::new(4, 1, 0.0);
         store.action_mut(0).add(0, 1, 0.5);

@@ -10,19 +10,30 @@
 //! external action id in the snapshot — snapshots store credits, not
 //! external ids, so the watermark must travel alongside).
 //!
-//! ## Layout (version 1)
+//! ## Layout (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic "CDIMCKPT"
-//! 8       4     format version (u32) = 1
+//! 8       4     format version (u32) = 2
 //! 12      8     log byte offset (u64)
 //! 20      8     log lines consumed (u64)
 //! 28      8     watermark (u64): 0 = none, else external id + 1
 //! 36      8     snapshot length (u64)
 //! 44      …     embedded model snapshot (its own magic/CRC inside)
+//! …       8     window entries (u64)
+//! …       …     per entry: external id (u32), tuple count n (u32),
+//!               then n × (user (u32), time (f64 bits, u64))
 //! end-4   4     CRC-32 (IEEE) over every preceding byte
 //! ```
+//!
+//! The window section is the sliding-window tuple buffer: one entry per
+//! action still inside the served model, oldest first, holding exactly
+//! the (user, time) slices the action was trained from. A restarted
+//! driver needs them to rebuild expired-prefix deltas for
+//! [`cdim_serve::InfluenceService::retract_delta`]; an unbounded run
+//! writes zero entries. Version-1 files (no window section) still load,
+//! with an empty window.
 //!
 //! One file, written via temp + rename: a crash leaves either the old
 //! checkpoint or the new one, never a torn pair of snapshot and position.
@@ -36,7 +47,19 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"CDIMCKPT";
 
 /// Current checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// One action of the sliding-window tuple buffer: the exact (user, time)
+/// slices the action was trained from, keyed by its external log id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowEntry {
+    /// External action id from the log (ascending across the buffer).
+    pub external: u32,
+    /// Users of the action, in the trained (time, user) order.
+    pub users: Vec<u32>,
+    /// Activation times, parallel to `users`.
+    pub times: Vec<f64>,
+}
 
 /// A resumable follower state.
 #[derive(Clone, Debug)]
@@ -49,13 +72,16 @@ pub struct Checkpoint {
     pub lines: u64,
     /// Highest external action id folded into `snapshot`.
     pub watermark: Option<u32>,
+    /// Sliding-window tuple buffer, oldest action first (empty for
+    /// unbounded runs and version-1 files).
+    pub window: Vec<WindowEntry>,
 }
 
 impl Checkpoint {
-    /// Serializes to the version-1 container format.
+    /// Serializes to the version-2 container format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let snap = self.snapshot.to_bytes();
-        let mut out = Vec::with_capacity(48 + snap.len());
+        let mut out = Vec::with_capacity(56 + snap.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&self.offset.to_le_bytes());
@@ -67,6 +93,15 @@ impl Checkpoint {
         out.extend_from_slice(&watermark.to_le_bytes());
         out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
         out.extend_from_slice(&snap);
+        out.extend_from_slice(&(self.window.len() as u64).to_le_bytes());
+        for entry in &self.window {
+            out.extend_from_slice(&entry.external.to_le_bytes());
+            out.extend_from_slice(&(entry.users.len() as u32).to_le_bytes());
+            for (&u, &t) in entry.users.iter().zip(&entry.times) {
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&t.to_bits().to_le_bytes());
+            }
+        }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
@@ -95,9 +130,9 @@ impl Checkpoint {
         let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
         let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
         let version = u32_at(8);
-        if version != FORMAT_VERSION {
+        if version != 1 && version != FORMAT_VERSION {
             return Err(IngestError::Checkpoint(format!(
-                "unsupported checkpoint version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported checkpoint version {version} (this build reads 1..={FORMAT_VERSION})"
             )));
         }
         let offset = u64_at(12);
@@ -110,13 +145,50 @@ impl Checkpoint {
             ),
         };
         let snap_len = u64_at(36) as usize;
-        if header + snap_len + 4 != bytes.len() {
-            return Err(IngestError::Checkpoint(format!(
-                "snapshot length {snap_len} does not match the file size"
-            )));
+        let truncated =
+            || IngestError::Checkpoint(format!("snapshot length {snap_len} overruns the file"));
+        if header + snap_len + 4 > bytes.len() {
+            return Err(truncated());
         }
         let snapshot = ModelSnapshot::from_bytes(&bytes[header..header + snap_len])?;
-        Ok(Checkpoint { snapshot, offset, lines, watermark })
+        let mut at = header + snap_len;
+        let window = if version == 1 {
+            Vec::new()
+        } else {
+            if at + 8 + 4 > bytes.len() {
+                return Err(truncated());
+            }
+            let entries = u64_at(at) as usize;
+            at += 8;
+            let mut window = Vec::with_capacity(entries.min(1024));
+            for _ in 0..entries {
+                if at + 8 + 4 > bytes.len() {
+                    return Err(truncated());
+                }
+                let external = u32_at(at);
+                let n = u32_at(at + 4) as usize;
+                at += 8;
+                if at + n * 12 + 4 > bytes.len() {
+                    return Err(truncated());
+                }
+                let mut users = Vec::with_capacity(n);
+                let mut times = Vec::with_capacity(n);
+                for _ in 0..n {
+                    users.push(u32_at(at));
+                    times.push(f64::from_bits(u64_at(at + 4)));
+                    at += 12;
+                }
+                window.push(WindowEntry { external, users, times });
+            }
+            window
+        };
+        if at + 4 != bytes.len() {
+            return Err(IngestError::Checkpoint(format!(
+                "{} trailing bytes after the window section",
+                bytes.len() - at - 4
+            )));
+        }
+        Ok(Checkpoint { snapshot, offset, lines, watermark, window })
     }
 
     /// Writes the checkpoint to `path` atomically (temp file + rename).
@@ -153,6 +225,10 @@ mod tests {
             offset: 1234,
             lines: 56,
             watermark: Some(8),
+            window: vec![
+                WindowEntry { external: 3, users: vec![0, 1], times: vec![0.0, 1.0] },
+                WindowEntry { external: 8, users: vec![2], times: vec![0.5] },
+            ],
         }
     }
 
@@ -165,10 +241,45 @@ mod tests {
         assert_eq!(restored.lines, 56);
         assert_eq!(restored.watermark, Some(8));
         assert_eq!(restored.snapshot.to_bytes(), ckpt.snapshot.to_bytes());
+        assert_eq!(restored.window, ckpt.window);
         assert_eq!(restored.to_bytes(), bytes);
 
-        let fresh = Checkpoint { watermark: None, ..ckpt };
-        assert_eq!(Checkpoint::from_bytes(&fresh.to_bytes()).unwrap().watermark, None);
+        let fresh = Checkpoint { watermark: None, window: Vec::new(), ..ckpt };
+        let restored = Checkpoint::from_bytes(&fresh.to_bytes()).unwrap();
+        assert_eq!(restored.watermark, None);
+        assert!(restored.window.is_empty());
+    }
+
+    #[test]
+    fn version_1_files_still_load_with_an_empty_window() {
+        // Rebuild a byte-exact version-1 file: same header and snapshot,
+        // no window section, version field 1, fresh CRC.
+        let ckpt = sample();
+        let snap = ckpt.snapshot.to_bytes();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&ckpt.offset.to_le_bytes());
+        v1.extend_from_slice(&ckpt.lines.to_le_bytes());
+        v1.extend_from_slice(&9u64.to_le_bytes()); // watermark 8 encoded
+        v1.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&snap);
+        let crc = crc32(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+
+        let restored = Checkpoint::from_bytes(&v1).unwrap();
+        assert_eq!(restored.offset, ckpt.offset);
+        assert_eq!(restored.watermark, Some(8));
+        assert_eq!(restored.snapshot.to_bytes(), snap);
+        assert!(restored.window.is_empty(), "v1 has no window section");
+
+        // A version-1 file with trailing bytes is still rejected.
+        let mut padded = v1.clone();
+        let crc_at = padded.len() - 4;
+        padded.splice(crc_at..crc_at, [0u8; 8]);
+        let crc = crc32(&padded[..crc_at + 8]);
+        padded[crc_at + 8..].copy_from_slice(&crc.to_le_bytes());
+        assert!(Checkpoint::from_bytes(&padded).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The online-retraining driver: poll → batch → extend → hot-swap.
+//! The online-retraining driver: poll → batch → extend → hot-swap,
+//! with optional sliding-window expiry (retract) at checkpoint time.
 //!
 //! An [`IngestDriver`] owns the trained state (behind the same
 //! [`InfluenceService`] the TCP server shares, so queries and retraining
@@ -13,14 +14,21 @@
 //! restart: the dead-letter sink may see duplicates across restarts,
 //! never losses.)
 //!
+//! With a [`WindowPolicy`] set, the driver also *expires*: before every
+//! checkpoint it retracts the out-of-window action prefix through
+//! [`cdim_serve::InfluenceService::retract_delta`], keeping the served
+//! model byte-identical to a from-scratch scan of just the surviving
+//! window. The per-action tuples needed to rebuild expired prefixes ride
+//! inside the checkpoint (format v2), so windowed runs survive restarts.
+//!
 //! [`CreditStore::apply_delta`]: cdim_core::CreditStore::apply_delta
 //! [`CdSelector::extend`]: cdim_core::CdSelector::extend
 
 use crate::batcher::{BatchConfig, DeadLetter, MicroBatcher};
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, WindowEntry};
 use crate::error::IngestError;
 use crate::follower::{LogFollower, Record};
-use cdim_actionlog::{ActionLogBuilder, LogBuildError, StorageError};
+use cdim_actionlog::{ActionLogBuilder, ActionLogDelta, LogBuildError, StorageError};
 use cdim_core::{scan_with, CreditPolicy};
 use cdim_graph::DirectedGraph;
 use cdim_serve::{InfluenceService, ModelSnapshot};
@@ -28,6 +36,47 @@ use cdim_util::{Parallelism, Timer};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// When trained actions expire from the served model.
+///
+/// A windowed driver keeps a tuple buffer (one [`WindowEntry`] per
+/// in-model action) and, at every checkpoint boundary, retracts the
+/// expired prefix through [`cdim_serve::InfluenceService::retract_delta`]
+/// before writing the checkpoint. Expiry is computed from the current
+/// model state, so a crash between the retraction hot-swap and the
+/// checkpoint write replays deterministically on restart — the window
+/// invariant (served state == scan of just the window) holds across any
+/// checkpoint/restart interleaving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Keep every trained action (the append-only behaviour).
+    #[default]
+    Unbounded,
+    /// Keep at most this many most-recent actions.
+    Actions(usize),
+    /// Keep actions whose external id is at most this far behind the
+    /// applied watermark (inclusive: `Age(0)` keeps only the watermark
+    /// action).
+    WatermarkAge(u32),
+}
+
+impl WindowPolicy {
+    fn is_windowed(&self) -> bool {
+        !matches!(self, WindowPolicy::Unbounded)
+    }
+
+    /// How many of `window`'s oldest actions fall outside the policy.
+    fn expired_prefix(&self, window: &[WindowEntry], watermark: Option<u32>) -> usize {
+        match (*self, watermark) {
+            (WindowPolicy::Unbounded, _) | (WindowPolicy::WatermarkAge(_), None) => 0,
+            (WindowPolicy::Actions(n), _) => window.len().saturating_sub(n),
+            (WindowPolicy::WatermarkAge(age), Some(mark)) => {
+                let oldest_kept = mark.saturating_sub(age);
+                window.partition_point(|e| e.external < oldest_kept)
+            }
+        }
+    }
+}
 
 /// Knobs for a follow session.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +99,8 @@ pub struct FollowConfig {
     /// `run` exits cleanly (final flush + checkpoint) after this much
     /// idleness; `None` follows forever.
     pub idle_exit: Option<Duration>,
+    /// Sliding-window expiry policy, enforced at checkpoint boundaries.
+    pub window: WindowPolicy,
 }
 
 impl Default for FollowConfig {
@@ -62,6 +113,7 @@ impl Default for FollowConfig {
             lambda: None,
             cache_capacity: 1024,
             idle_exit: None,
+            window: WindowPolicy::Unbounded,
         }
     }
 }
@@ -121,6 +173,10 @@ pub struct IngestDriver {
     /// Highest external action id folded into the served model.
     applied_watermark: Option<u32>,
     publishes_since_checkpoint: u64,
+    /// Tuple buffer for windowed runs: one entry per in-model action,
+    /// oldest first. Empty (and unmaintained) under
+    /// [`WindowPolicy::Unbounded`].
+    window: Vec<WindowEntry>,
 }
 
 impl IngestDriver {
@@ -138,7 +194,7 @@ impl IngestDriver {
         checkpoint_path: &Path,
         config: FollowConfig,
     ) -> Result<Self, IngestError> {
-        let (snapshot, follower, batcher, watermark) = if checkpoint_path.exists() {
+        let (snapshot, follower, batcher, watermark, window) = if checkpoint_path.exists() {
             let ckpt = Checkpoint::load(checkpoint_path)?;
             if ckpt.snapshot.num_users() != graph.num_nodes() {
                 return Err(IngestError::Config(format!(
@@ -156,9 +212,28 @@ impl IngestDriver {
                     )));
                 }
             }
+            let window = if config.window.is_windowed() {
+                // Expiry needs the trained tuples of every in-model
+                // action; a checkpoint written without a window policy
+                // (or by a version-1 build) does not carry them.
+                if ckpt.window.len() != ckpt.snapshot.num_actions() {
+                    return Err(IngestError::Config(format!(
+                        "a window policy needs per-action tuples for all {} trained actions \
+                         but the checkpoint holds {} (it was written without a window policy \
+                         or by an older build); retrain from the log to start a windowed run",
+                        ckpt.snapshot.num_actions(),
+                        ckpt.window.len()
+                    )));
+                }
+                ckpt.window
+            } else {
+                // Unbounded runs never expire, so the buffer would only
+                // go stale as the model grows past it: drop it.
+                Vec::new()
+            };
             let follower = LogFollower::resume(log_path, ckpt.offset, ckpt.lines);
             let batcher = MicroBatcher::resume(ckpt.watermark);
-            (ckpt.snapshot, follower, batcher, ckpt.watermark)
+            (ckpt.snapshot, follower, batcher, ckpt.watermark, window)
         } else {
             let lambda = config.lambda.unwrap_or(0.001);
             let empty = ActionLogBuilder::new(graph.num_nodes()).build();
@@ -168,6 +243,7 @@ impl IngestDriver {
                 LogFollower::open(log_path),
                 MicroBatcher::new(),
                 None,
+                Vec::new(),
             )
         };
         Ok(IngestDriver {
@@ -180,6 +256,7 @@ impl IngestDriver {
             config,
             applied_watermark: watermark,
             publishes_since_checkpoint: 0,
+            window,
         })
     }
 
@@ -255,6 +332,16 @@ impl IngestDriver {
         let timer = Timer::start();
         self.service.publish_delta(&self.graph, &delta, &self.policy, self.config.parallelism)?;
         let apply_secs = timer.secs();
+        if self.config.window.is_windowed() {
+            let additions = delta.additions();
+            for a in 0..additions.num_actions() as u32 {
+                self.window.push(WindowEntry {
+                    external: additions.external_id(a),
+                    users: additions.users_of(a).to_vec(),
+                    times: additions.times_of(a).to_vec(),
+                });
+            }
+        }
         self.applied_watermark = Some(meta.last_action);
         self.publishes_since_checkpoint += 1;
         let report = BatchReport {
@@ -272,11 +359,40 @@ impl IngestDriver {
         Ok(Some(report))
     }
 
+    /// Retracts whatever the window policy has expired from the served
+    /// model, rebuilding the expired prefix as an [`ActionLogDelta`] from
+    /// the tuple buffer. Idempotent: expiry is computed from the current
+    /// buffer and watermark, so replaying it after a crash that lost the
+    /// subsequent checkpoint reaches the same state. Retraction moves
+    /// neither the log position nor the watermark.
+    fn enforce_window(&mut self) -> Result<(), IngestError> {
+        let expired = self.config.window.expired_prefix(&self.window, self.applied_watermark);
+        if expired == 0 {
+            return Ok(());
+        }
+        let mut builder = ActionLogBuilder::new(self.graph.num_nodes());
+        for entry in &self.window[..expired] {
+            for (&u, &t) in entry.users.iter().zip(&entry.times) {
+                builder.push(u, entry.external, t);
+            }
+        }
+        // External ids ascend across the buffer, so the built log's dense
+        // order is the buffer (= store prefix) order, and the builder's
+        // (action, time, user) sort reproduces the applied slices exactly
+        // — `retract_delta`'s bitwise prefix check holds by construction.
+        let delta = ActionLogDelta::new(0, builder.build());
+        self.service.retract_delta(&self.graph, &delta, &self.policy, self.config.parallelism)?;
+        self.window.drain(..expired);
+        Ok(())
+    }
+
     /// Atomically writes the restart point: the served snapshot plus the
     /// position of the first record it does not cover (buffered open or
     /// sealed-but-unshipped records are deliberately *behind* the saved
-    /// offset, so a restart re-reads them).
+    /// offset, so a restart re-reads them). Windowed runs expire the
+    /// out-of-window prefix first, so every checkpoint is window-clean.
     pub fn checkpoint(&mut self) -> Result<(), IngestError> {
+        self.enforce_window()?;
         let (offset, lines) = self
             .batcher
             .durable_mark()
@@ -286,6 +402,7 @@ impl IngestDriver {
             offset,
             lines,
             watermark: self.applied_watermark,
+            window: self.window.clone(),
         };
         ckpt.save(&self.checkpoint_path)?;
         self.publishes_since_checkpoint = 0;
@@ -514,6 +631,156 @@ mod tests {
                 assert!(message.contains("out of range"), "{message}");
             }
             other => panic!("expected a parse error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_by_actions_expires_at_checkpoints() {
+        let dir = tempdir("win_actions");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        let full = "0\t1\t0.0\n1\t1\t1.0\n3\t2\t0.5\n4\t2\t1.5\n0\t3\t0.0\n2\t3\t9.0\n1\t4\t2.0\n";
+        let window = "0\t3\t0.0\n2\t3\t9.0\n1\t4\t2.0\n";
+
+        let mut driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig {
+                lambda: Some(0.0),
+                window: WindowPolicy::Actions(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for chunk in
+            ["0\t1\t0.0\n1\t1\t1.0\n3\t2\t0.5\n", "4\t2\t1.5\n0\t3\t0.0\n2\t3\t9.0\n1\t4\t2.0\n"]
+        {
+            append(&log_path, chunk);
+            driver.step().unwrap();
+        }
+        let report = driver.finish().unwrap();
+        assert!(report.dead_letters.is_empty());
+        // Four actions went in; only the last two are still served.
+        assert_eq!(driver.snapshot().num_actions(), 2);
+        assert_eq!(driver.snapshot().to_bytes(), offline(&graph(), window, 0.0));
+        // The checkpoint is window-clean and carries the surviving tuples.
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        assert_eq!(ckpt.offset, full.len() as u64);
+        assert_eq!(ckpt.watermark, Some(4));
+        assert_eq!(ckpt.snapshot.num_actions(), 2);
+        let externals: Vec<u32> = ckpt.window.iter().map(|e| e.external).collect();
+        assert_eq!(externals, [3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_by_watermark_age_expires_by_external_id() {
+        let dir = tempdir("win_age");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        // External ids with a gap: 1, 2, 5, 6. Age 4 below watermark 6
+        // keeps ids >= 2 — three actions, which a count-based window of
+        // the same nominal size would cut differently.
+        let full = "0\t1\t0.0\n1\t1\t1.0\n3\t2\t0.5\n0\t5\t0.0\n2\t5\t9.0\n1\t6\t2.0\n";
+        let window = "3\t2\t0.5\n0\t5\t0.0\n2\t5\t9.0\n1\t6\t2.0\n";
+
+        let mut driver = IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig {
+                lambda: Some(0.0),
+                window: WindowPolicy::WatermarkAge(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        append(&log_path, full);
+        driver.step().unwrap();
+        driver.finish().unwrap();
+        assert_eq!(driver.snapshot().num_actions(), 3);
+        assert_eq!(driver.snapshot().to_bytes(), offline(&graph(), window, 0.0));
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        let externals: Vec<u32> = ckpt.window.iter().map(|e| e.external).collect();
+        assert_eq!(externals, [2, 5, 6]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_across_an_expiry_boundary_stays_window_identical() {
+        let dir = tempdir("win_restart");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        let config = FollowConfig {
+            lambda: Some(0.001),
+            window: WindowPolicy::Actions(2),
+            ..Default::default()
+        };
+
+        // First incarnation publishes actions 1–3 (action 4 still open),
+        // checkpoints — which expires action 1 — and crashes.
+        {
+            let mut driver =
+                IngestDriver::open(graph(), CreditPolicy::Uniform, &log_path, &ckpt_path, config)
+                    .unwrap();
+            append(&log_path, "0\t1\t0.0\n1\t1\t1.0\n3\t2\t0.5\n0\t3\t0.0\n2\t3\t9.0\n1\t4\t2.0\n");
+            driver.step().unwrap();
+            assert_eq!(driver.snapshot().num_actions(), 2, "expiry ran at the checkpoint");
+        }
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        assert_eq!(ckpt.snapshot.num_actions(), 2);
+        assert_eq!(ckpt.window.iter().map(|e| e.external).collect::<Vec<_>>(), [2, 3]);
+
+        // Second incarnation resumes mid-window, finishes actions 4–5;
+        // the final model must equal a scan of just the last two actions.
+        let mut driver =
+            IngestDriver::open(graph(), CreditPolicy::Uniform, &log_path, &ckpt_path, config)
+                .unwrap();
+        append(&log_path, "4\t4\t3.0\n2\t5\t0.1\n");
+        driver.step().unwrap();
+        driver.finish().unwrap();
+        assert_eq!(
+            driver.snapshot().to_bytes(),
+            offline(&graph(), "1\t4\t2.0\n4\t4\t3.0\n2\t5\t0.1\n", 0.001)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_a_window_needs_window_tuples() {
+        let dir = tempdir("win_missing");
+        let log_path = dir.join("actions.tsv");
+        let ckpt_path = dir.join("model.ckpt");
+        // An unbounded incarnation trains one action and checkpoints —
+        // without the tuple buffer.
+        {
+            let mut driver = IngestDriver::open(
+                graph(),
+                CreditPolicy::Uniform,
+                &log_path,
+                &ckpt_path,
+                FollowConfig { lambda: Some(0.0), ..Default::default() },
+            )
+            .unwrap();
+            append(&log_path, "0\t1\t0.0\n1\t2\t1.0\n");
+            driver.step().unwrap();
+            driver.finish().unwrap();
+            assert_eq!(driver.snapshot().num_actions(), 2);
+        }
+        match IngestDriver::open(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &ckpt_path,
+            FollowConfig { window: WindowPolicy::Actions(1), ..Default::default() },
+        ) {
+            Err(IngestError::Config(why)) => assert!(why.contains("window"), "{why}"),
+            Err(other) => panic!("expected a config error, got {other}"),
+            Ok(_) => panic!("windowed resume accepted a checkpoint without tuples"),
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -38,6 +38,17 @@
 //! backwards inside the open action) are quarantined to a dead-letter
 //! sink instead of silently corrupting the model.
 //!
+//! **Sliding windows.** With a [`WindowPolicy`] (bound the model by
+//! action count or by external-id age behind the watermark), the driver
+//! also *expires*: at every checkpoint boundary it retracts the
+//! out-of-window prefix via
+//! [`cdim_serve::InfluenceService::retract_delta`], and the guarantee
+//! tightens to: the trained state is byte-identical to a one-shot train
+//! over **just the surviving window** — again for any interleaving,
+//! batch size, thread count and crash/restart schedule, including
+//! restarts that straddle an expiry boundary (checkpoints carry the
+//! window's tuple buffer, format v2).
+//!
 //! ```no_run
 //! use cdim_ingest::{FollowConfig, IngestDriver};
 //! use cdim_core::CreditPolicy;
@@ -66,7 +77,7 @@ pub mod error;
 pub mod follower;
 
 pub use batcher::{BatchConfig, DeadLetter, MicroBatcher, QuarantineReason};
-pub use checkpoint::Checkpoint;
-pub use driver::{BatchReport, FollowConfig, IngestDriver, StepReport};
+pub use checkpoint::{Checkpoint, WindowEntry};
+pub use driver::{BatchReport, FollowConfig, IngestDriver, StepReport, WindowPolicy};
 pub use error::IngestError;
 pub use follower::{LogFollower, Record};

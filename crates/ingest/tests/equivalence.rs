@@ -8,7 +8,7 @@ use cdim_actionlog::storage::{read_action_log, write_action_log};
 use cdim_actionlog::{ActionLog, ActionLogBuilder};
 use cdim_core::{scan_with, CreditPolicy};
 use cdim_graph::{DirectedGraph, GraphBuilder};
-use cdim_ingest::{BatchConfig, FollowConfig, IngestDriver, IngestError};
+use cdim_ingest::{BatchConfig, FollowConfig, IngestDriver, IngestError, WindowPolicy};
 use cdim_serve::ModelSnapshot;
 use cdim_util::Parallelism;
 use proptest::prelude::*;
@@ -59,6 +59,7 @@ fn follow_to_completion(
     batch: BatchConfig,
     lambda: f64,
     threads: usize,
+    window: WindowPolicy,
 ) -> Vec<u8> {
     let dir = tempdir(tag);
     let log_path = dir.join("actions.tsv");
@@ -68,6 +69,7 @@ fn follow_to_completion(
         lambda: Some(lambda),
         parallelism: Parallelism::fixed(threads),
         checkpoint_every: 1,
+        window,
         ..Default::default()
     };
     let open = |lambda_cfg: Option<f64>| {
@@ -148,12 +150,93 @@ proptest! {
         for threads in [1usize, 8] {
             let got = follow_to_completion(
                 "prop", &graph, &policy, &serialized, &cuts, &restarts, batch, lambda, threads,
+                WindowPolicy::Unbounded,
             );
             prop_assert_eq!(
                 &got,
                 &expected,
                 "diverged at {} threads, batch {}, {} cuts, restarts {:?}",
                 threads,
+                batch_actions,
+                cuts.len(),
+                restarts
+            );
+        }
+    }
+}
+
+proptest! {
+    /// The sliding-window acceptance property: same adversarial schedule
+    /// as above — random chunking, batching, crash/restart points that
+    /// may straddle expiry boundaries — but with a window policy active.
+    /// The final trained state must be byte-identical to a one-shot scan
+    /// of **just the surviving window**, at 1 and 8 threads, for both
+    /// policies, count- and age-based windows, λ ∈ {0, 0.001}.
+    #[test]
+    fn windowed_streaming_is_byte_identical_to_window_scan(
+        edges in proptest::collection::vec((0u32..9, 0u32..9), 0..40),
+        events in proptest::collection::vec((0u32..9, 0u32..6, 0u64..20), 1..60),
+        cuts in proptest::collection::vec(0usize..4096, 0..8),
+        restarts in proptest::collection::vec(proptest::bool::ANY, 0..9),
+        batch_actions in 1usize..5,
+        window_by_age in proptest::bool::ANY,
+        window_size in 0u32..5,
+        time_aware in proptest::bool::ANY,
+        lambda_on in proptest::bool::ANY,
+    ) {
+        let graph = GraphBuilder::new(9).edges(edges).build();
+        let mut b = ActionLogBuilder::new(9);
+        for &(u, a, t) in &events {
+            b.push(u, a, t as f64);
+        }
+        let log = b.build();
+        // The fixed-policy contract: a time-aware policy is learned from
+        // the full log once and stays fixed on both sides of the window.
+        let policy = if time_aware {
+            CreditPolicy::time_aware(&graph, &log)
+        } else {
+            CreditPolicy::Uniform
+        };
+        let lambda = if lambda_on { 0.001 } else { 0.0 };
+        let window = if window_by_age {
+            WindowPolicy::WatermarkAge(window_size)
+        } else {
+            WindowPolicy::Actions(window_size as usize)
+        };
+        let mut serialized = Vec::new();
+        write_action_log(&log, &mut serialized).unwrap();
+
+        // Reference: re-parse the serialized bytes, drop what the policy
+        // will have expired by the final watermark, scan single-threaded.
+        let parsed = read_action_log(&serialized[..], graph.num_nodes()).unwrap();
+        let expire = match window {
+            WindowPolicy::Actions(n) => parsed.num_actions().saturating_sub(n),
+            WindowPolicy::WatermarkAge(age) => {
+                let mark = parsed.external_id(parsed.num_actions() as u32 - 1);
+                let oldest_kept = mark.saturating_sub(age);
+                (0..parsed.num_actions() as u32)
+                    .filter(|&a| parsed.external_id(a) < oldest_kept)
+                    .count()
+            }
+            WindowPolicy::Unbounded => 0,
+        };
+        let surviving = parsed.split_off_prefix(expire).1;
+        let store =
+            scan_with(&graph, &surviving, &policy, lambda, Parallelism::single()).unwrap();
+        let expected = ModelSnapshot::from_store(store).to_bytes();
+
+        let batch = BatchConfig { max_actions: batch_actions, ..Default::default() };
+        for threads in [1usize, 8] {
+            let got = follow_to_completion(
+                "window", &graph, &policy, &serialized, &cuts, &restarts, batch, lambda,
+                threads, window,
+            );
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "diverged at {} threads under {:?}, batch {}, {} cuts, restarts {:?}",
+                threads,
+                window,
                 batch_actions,
                 cuts.len(),
                 restarts
@@ -239,6 +322,7 @@ fn preset_log_streams_to_offline_bytes() {
             batch,
             0.001,
             threads,
+            WindowPolicy::Unbounded,
         );
         assert_eq!(got, expected, "preset stream diverged at {threads} threads");
     }

@@ -209,6 +209,27 @@ impl InfluenceService {
         Ok(())
     }
 
+    /// Sliding-window hot-swap: retracts an expired action prefix from
+    /// the *currently served* snapshot and publishes the result — the
+    /// expiry side of a bounded-memory live model. The swap is the same
+    /// single `Arc` replacement as [`publish`](Self::publish): queries in
+    /// flight keep the old snapshot, the cache is invalidated with the
+    /// epoch bump, and no query ever observes a half-retracted model.
+    ///
+    /// The same single-writer discipline as
+    /// [`publish_delta`](Self::publish_delta) applies.
+    pub fn retract_delta(
+        &self,
+        graph: &cdim_graph::DirectedGraph,
+        expired: &cdim_actionlog::ActionLogDelta,
+        policy: &cdim_core::CreditPolicy,
+        parallelism: cdim_util::Parallelism,
+    ) -> Result<(), cdim_core::ExtendError> {
+        let next = self.snapshot().retract(graph, expired, policy, parallelism)?;
+        self.publish(next);
+        Ok(())
+    }
+
     /// Version of the currently served model: 0 for the snapshot the
     /// service started with, +1 per publish.
     pub fn model_version(&self) -> u64 {
@@ -503,6 +524,39 @@ mod tests {
         };
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn retract_delta_hot_swaps_to_the_window_model() {
+        let ds = cdim_datagen::presets::tiny().generate();
+        let policy = CreditPolicy::Uniform;
+        let store = scan(&ds.graph, &ds.log, &policy, 0.001).unwrap();
+        let svc = InfluenceService::new(ModelSnapshot::from_store(store), 16);
+        let q = Query::TopKSeeds { budget: 2 };
+        svc.query(&q).unwrap();
+        svc.query(&q).unwrap();
+        assert_eq!(svc.stats().cache_hits, 1);
+
+        // Expire the first third of the log through the service.
+        let expire = ds.log.num_actions() / 3;
+        let (expired, window) = ds.log.split_off_prefix(expire);
+        svc.retract_delta(&ds.graph, &expired, &policy, cdim_util::Parallelism::fixed(2)).unwrap();
+        assert_eq!(svc.model_version(), 1);
+
+        // The served model IS the window-only model, byte for byte…
+        let fresh = scan(&ds.graph, &window, &policy, 0.001).unwrap();
+        assert_eq!(svc.snapshot().to_bytes(), ModelSnapshot::from_store(fresh).to_bytes());
+        // …and the cache was invalidated with the swap.
+        let misses_before = svc.stats().cache_misses;
+        svc.query(&q).unwrap();
+        assert_eq!(svc.stats().cache_misses, misses_before + 1);
+
+        // A non-prefix batch is refused and publishes nothing.
+        let stale = ds.log.delta_range(1, 2);
+        assert!(svc
+            .retract_delta(&ds.graph, &stale, &policy, cdim_util::Parallelism::auto())
+            .is_err());
+        assert_eq!(svc.model_version(), 1);
     }
 
     #[test]

@@ -174,6 +174,29 @@ impl ModelSnapshot {
         Ok(ModelSnapshot { selector })
     }
 
+    /// Sliding-window rebuild: returns a new snapshot with an expired
+    /// action prefix retracted — committed seeds are preserved, surviving
+    /// actions renumber down (see [`cdim_core::incremental`]). `expired`
+    /// must be the snapshot's first actions as a delta based at 0 (see
+    /// `ActionLog::split_off_prefix`).
+    ///
+    /// `policy` must be the training policy, as with
+    /// [`extend`](Self::extend). Under that policy the returned
+    /// snapshot's bytes are identical to a from-scratch
+    /// [`build`](Self::build) over just the surviving window for a
+    /// seedless snapshot, for every `parallelism`.
+    pub fn retract(
+        &self,
+        graph: &cdim_graph::DirectedGraph,
+        expired: &cdim_actionlog::ActionLogDelta,
+        policy: &cdim_core::CreditPolicy,
+        parallelism: cdim_util::Parallelism,
+    ) -> Result<Self, cdim_core::ExtendError> {
+        let mut selector = self.selector.clone();
+        selector.retract(graph, expired, policy, parallelism)?;
+        Ok(ModelSnapshot { selector })
+    }
+
     /// The frozen selector state.
     pub fn selector(&self) -> &CdSelector {
         &self.selector
@@ -569,6 +592,33 @@ mod tests {
                 .extend(&ds.graph, &delta, &CreditPolicy::Uniform, cdim_util::Parallelism::fixed(3))
                 .unwrap();
             assert_eq!(extended.to_bytes(), full, "split = {split}");
+        }
+    }
+
+    #[test]
+    fn retract_is_byte_identical_to_window_build() {
+        // The window invariant at the snapshot layer: retracting an
+        // expired prefix yields the exact bytes of a from-scratch build
+        // over just the surviving window.
+        let ds = cdim_datagen::presets::tiny().generate();
+        let config = cdim_core::CdModelConfig {
+            policy: cdim_core::model::PolicyKind::Uniform,
+            lambda: 0.001,
+            parallelism: cdim_util::Parallelism::fixed(2),
+        };
+        let full = ModelSnapshot::build(&ds.graph, &ds.log, config).unwrap();
+        for expire in [0, ds.log.num_actions() / 3, ds.log.num_actions()] {
+            let (expired, window) = ds.log.split_off_prefix(expire);
+            let retracted = full
+                .retract(
+                    &ds.graph,
+                    &expired,
+                    &CreditPolicy::Uniform,
+                    cdim_util::Parallelism::fixed(3),
+                )
+                .unwrap();
+            let fresh = ModelSnapshot::build(&ds.graph, &window, config).unwrap();
+            assert_eq!(retracted.to_bytes(), fresh.to_bytes(), "expire = {expire}");
         }
     }
 

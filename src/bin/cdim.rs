@@ -6,6 +6,7 @@
 //! cdim select   --graph G.tsv --log L.tsv --k 50      influence maximization
 //! cdim predict  --graph G.tsv --log L.tsv --seeds 1,2 spread prediction
 //! cdim train    --graph G.tsv --log L.tsv --out M.snap   full training
+//! cdim train    … --window N …                           train on the last N actions only
 //! cdim train    … --append D.tsv --base M.snap --policy P …   delta retrain
 //! cdim snapshot --graph G.tsv --log L.tsv --out M.snap   alias of full train
 //! cdim serve    --snapshot M.snap --addr 127.0.0.1:7171  query service
@@ -20,7 +21,7 @@
 
 use cdim::actionlog::{stats::log_stats, storage, ActionLogDelta};
 use cdim::graph::stats::graph_stats;
-use cdim::ingest::{BatchConfig, FollowConfig, IngestDriver};
+use cdim::ingest::{BatchConfig, FollowConfig, IngestDriver, WindowPolicy};
 use cdim::metrics::Table;
 use cdim::prelude::*;
 use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient};
@@ -75,7 +76,7 @@ fn usage() {
          cdim stats    --graph <g.tsv> --log <l.tsv>\n  \
          cdim select   --graph <g.tsv> --log <l.tsv> [--k N] [--lambda F] [--policy uniform|time-aware] [--threads N]\n  \
          cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...] [--mc ic|lt] [--sims N] [--threads N]\n  \
-         cdim train    --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
+         cdim train    --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--window N]\n  \
          cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
          cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
          cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N]\n  \
@@ -83,6 +84,7 @@ fn usage() {
                        [--batch-actions N] [--batch-ms T] [--checkpoint-every K] [--poll-ms T]\n  \
                        [--idle-exit-ms T] [--export-snapshot <m.snap>] [--policy uniform|time-aware]\n  \
                        [--policy-log <l.tsv>] [--lambda F] [--threads N] [--cache N]\n  \
+                       [--window-actions N | --window-age A]\n  \
          cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]\n  \
          cdim stats    --addr <host:port>"
     );
@@ -279,6 +281,12 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
 /// incremental retraining that folds a TSV of new actions into an
 /// existing snapshot without rescanning the old log.
 ///
+/// `--window N` trains on only the last N actions of the log. The
+/// time-aware policy parameters are still learned from the *full* log
+/// (the fixed-policy contract `cdim follow` honors across expiries), so
+/// the result is byte-identical to what a windowed follow session serves
+/// once its window policy has expired everything older.
+///
 /// Snapshots persist credits, not the policy they were trained under, so
 /// append mode demands an explicit `--policy` matching the base's — a
 /// silently defaulted mismatch would corrupt the model without any
@@ -292,9 +300,31 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let timer = cdim::util::Timer::start();
 
     let Some(delta_path) = flags.get("append") else {
-        // Full training — same path as `cdim snapshot`.
         let (graph, log) = load(flags)?;
-        let snapshot = ModelSnapshot::build(&graph, &log, config).map_err(|e| e.to_string())?;
+        let snapshot = match flags.get("window") {
+            None => {
+                // Full training — same path as `cdim snapshot`.
+                ModelSnapshot::build(&graph, &log, config).map_err(|e| e.to_string())?
+            }
+            Some(_) => {
+                let keep = flags.get_parsed("window", 0usize)?;
+                if keep == 0 {
+                    return Err("--window must be at least 1 action".to_string());
+                }
+                // Policy from the full log, scan over the window only.
+                let policy = config.build_policy(&graph, &log);
+                let windowed = log.split_off_prefix(log.num_actions().saturating_sub(keep)).1;
+                let store = cdim::core::scan_with(
+                    &graph,
+                    &windowed,
+                    &policy,
+                    config.lambda,
+                    config.parallelism,
+                )
+                .map_err(|e| e.to_string())?;
+                ModelSnapshot::from_store(store)
+            }
+        };
         snapshot.save(&out).map_err(|e| e.to_string())?;
         println!(
             "trained {} ({} actions, {} credit entries) in {:.2}s",
@@ -305,6 +335,12 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         );
         return Ok(());
     };
+
+    if flags.get("window").is_some() {
+        return Err("--window cannot be combined with --append: retract from a windowed follow \
+             checkpoint instead, or retrain on the window"
+            .to_string());
+    }
 
     if flags.get("policy").is_none() {
         return Err("--append requires an explicit --policy: snapshots do not record the policy \
@@ -421,6 +457,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 /// --append`, the policy must match across restarts — and time-aware
 /// parameters must come from a *frozen* log (`--policy-log`), never the
 /// moving stream.
+///
+/// `--window-actions N` (keep the newest N actions) or `--window-age A`
+/// (keep external ids within A of the watermark) turn the session into a
+/// sliding-window model: expired actions are retracted at every
+/// checkpoint, and the served state stays byte-identical to `cdim train`
+/// on just the surviving window.
 fn cmd_follow(flags: &Flags) -> Result<(), String> {
     let graph_path = flags.require("graph")?;
     let graph = storage::load_graph(Path::new(graph_path))
@@ -452,11 +494,22 @@ fn cmd_follow(flags: &Flags) -> Result<(), String> {
             Some(lambda)
         }
     };
+    let window = match (flags.get("window-actions"), flags.get("window-age")) {
+        (Some(_), Some(_)) => {
+            return Err("--window-actions and --window-age are mutually exclusive (one policy per \
+                 follow session)"
+                .to_string())
+        }
+        (Some(_), None) => WindowPolicy::Actions(flags.get_parsed("window-actions", 0usize)?),
+        (None, Some(_)) => WindowPolicy::WatermarkAge(flags.get_parsed("window-age", 0u32)?),
+        (None, None) => WindowPolicy::Unbounded,
+    };
     let config = FollowConfig {
         batch: BatchConfig {
             max_actions: flags.get_parsed("batch-actions", 1usize)?.max(1),
             max_age: Duration::from_millis(flags.get_parsed("batch-ms", 500u64)?),
         },
+        window,
         poll_interval: Duration::from_millis(flags.get_parsed("poll-ms", 200u64)?.max(1)),
         checkpoint_every: flags.get_parsed("checkpoint-every", 1u64)?,
         parallelism: Parallelism::fixed(flags.get_parsed("threads", 0usize)?),

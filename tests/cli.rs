@@ -500,6 +500,133 @@ fn follow_matches_offline_training_byte_for_byte() {
 }
 
 #[test]
+fn windowed_follow_equals_train_on_window_byte_for_byte() {
+    let dir = tempdir("window");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let graph = dir.join("graph.tsv");
+    let log = dir.join("log.tsv");
+
+    // Offline: train on just the last 5 actions of the log.
+    let offline = dir.join("window.snap");
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--policy",
+            "uniform",
+            "--window",
+            "5",
+            "--out",
+            offline.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Online: follow the whole log with a 5-action sliding window; every
+    // older action is retracted along the way.
+    let online = dir.join("window_online.snap");
+    let out = cdim()
+        .args([
+            "follow",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--snapshot",
+            dir.join("window.ckpt").to_str().unwrap(),
+            "--policy",
+            "uniform",
+            "--window-actions",
+            "5",
+            "--batch-actions",
+            "3",
+            "--poll-ms",
+            "5",
+            "--idle-exit-ms",
+            "50",
+            "--export-snapshot",
+            online.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&online).unwrap(),
+        std::fs::read(&offline).unwrap(),
+        "windowed follow must equal training on just the window"
+    );
+
+    // Guard rails: a zero window, --window with --append, and both
+    // follow window flags at once are all refused.
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--window",
+            "0",
+            "--out",
+            dir.join("zero.snap").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--window"));
+
+    let out = cdim()
+        .args([
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--policy",
+            "uniform",
+            "--append",
+            log.to_str().unwrap(),
+            "--base",
+            offline.to_str().unwrap(),
+            "--window",
+            "5",
+            "--out",
+            dir.join("oops.snap").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--append"));
+
+    let out = cdim()
+        .args([
+            "follow",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--snapshot",
+            dir.join("other.ckpt").to_str().unwrap(),
+            "--window-actions",
+            "5",
+            "--window-age",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn follow_serves_queries_and_stats_while_tailing() {
     use std::io::BufRead;
 

@@ -4,7 +4,10 @@
 //! trained credit store: the CRC-32 of its snapshot encoding (a canonical
 //! byte serialization — sorted entries, fixed layout), its entry counts,
 //! and the first few credit entries verbatim. The cases cover two fixed
-//! `datagen` presets × both credit policies × λ ∈ {0, 0.001}.
+//! `datagen` presets × both credit policies × λ ∈ {0, 0.001}, each both
+//! in full and as a half-log sliding window (`__whalf` files: the newest
+//! half of the actions, scanned under the full-log policy — the state a
+//! windowed follow session serves after expiry).
 //!
 //! If the scan's floating-point behavior ever drifts — a reordered
 //! accumulation, a "harmless" refactor of the kernel, a policy tweak —
@@ -35,6 +38,9 @@ struct Case {
     policy: &'static str,
     /// Truncation threshold.
     lambda: f64,
+    /// Scan only the newest half of the log's actions (the policy is
+    /// still learned from the full log — the fixed-policy contract).
+    window_half: bool,
 }
 
 /// A flattened credit entry: `(action, v, u, Γ bits)`.
@@ -45,11 +51,18 @@ fn cases() -> Vec<Case> {
     for preset in ["tiny", "flixster_small_div8"] {
         for policy in ["uniform", "time-aware"] {
             for lambda in [0.0, 0.001] {
-                out.push(Case { preset, policy, lambda });
+                for window_half in [false, true] {
+                    out.push(Case { preset, policy, lambda, window_half });
+                }
             }
         }
     }
     out
+}
+
+/// Actions expired by a half-log window over `num_actions` actions.
+fn half_window_cut(num_actions: usize) -> usize {
+    num_actions - num_actions.div_ceil(2)
 }
 
 fn golden_dir() -> PathBuf {
@@ -58,7 +71,8 @@ fn golden_dir() -> PathBuf {
 
 fn file_name(case: &Case) -> String {
     let lambda = if case.lambda == 0.0 { "l0" } else { "l0_001" };
-    format!("{}__{}__{}.golden", case.preset, case.policy, lambda)
+    let window = if case.window_half { "__whalf" } else { "" };
+    format!("{}__{}__{}{}.golden", case.preset, case.policy, lambda, window)
 }
 
 /// Trains the case's credit store (thread count deliberately left at
@@ -77,7 +91,12 @@ fn train(case: &Case) -> CreditStore {
         "time-aware" => CreditPolicy::time_aware(&ds.graph, &ds.log),
         other => panic!("unknown golden policy {other}"),
     };
-    scan(&ds.graph, &ds.log, &policy, case.lambda).expect("golden training inputs are valid")
+    let log = if case.window_half {
+        ds.log.split_off_prefix(half_window_cut(ds.log.num_actions())).1
+    } else {
+        ds.log
+    };
+    scan(&ds.graph, &log, &policy, case.lambda).expect("golden training inputs are valid")
 }
 
 /// The store's canonical fingerprint: snapshot-encoding CRC, totals, and
@@ -118,6 +137,7 @@ fn render(
     let _ = writeln!(out, "preset={}", case.preset);
     let _ = writeln!(out, "policy={}", case.policy);
     let _ = writeln!(out, "lambda={}", case.lambda);
+    let _ = writeln!(out, "window={}", if case.window_half { "half" } else { "full" });
     let _ = writeln!(out, "crc32={crc:#010x}");
     let _ = writeln!(out, "total_entries={total_entries}");
     let _ = writeln!(out, "actions={actions}");
@@ -172,8 +192,11 @@ fn parse(text: &str, path: &std::path::Path) -> (u32, usize, usize, Vec<Entry>) 
 /// Builds the human-readable report of the first divergent entries.
 fn diff_report(case: &Case, stored: &[Entry], computed: &[Entry]) -> String {
     let mut report = format!(
-        "golden mismatch for preset={} policy={} lambda={}\n",
-        case.preset, case.policy, case.lambda
+        "golden mismatch for preset={} policy={} lambda={} window={}\n",
+        case.preset,
+        case.policy,
+        case.lambda,
+        if case.window_half { "half" } else { "full" }
     );
     let mut shown = 0;
     for (i, (s, c)) in stored.iter().zip(computed.iter()).enumerate() {
@@ -265,7 +288,7 @@ fn incremental_extend_matches_golden_fingerprints() {
     if std::env::var_os("CDIM_BLESS").is_some() {
         return; // fingerprints are being rewritten; nothing to compare yet
     }
-    for case in cases().into_iter().filter(|c| c.preset == "tiny") {
+    for case in cases().into_iter().filter(|c| c.preset == "tiny" && !c.window_half) {
         let spec = presets::tiny();
         let ds = spec.generate();
         let policy = match case.policy {
@@ -285,6 +308,42 @@ fn incremental_extend_matches_golden_fingerprints() {
             crc,
             want_crc,
             "incremental extend diverged from the golden full scan for {}",
+            file_name(&case)
+        );
+    }
+}
+
+/// The retraction path must land on the window fingerprints: scan the
+/// full log, retract the expired half through `retract_delta`, and
+/// compare against the committed `__whalf` golden — the sliding-window
+/// invariant pinned to bytes on disk.
+#[test]
+fn incremental_retract_matches_golden_window_fingerprints() {
+    if std::env::var_os("CDIM_BLESS").is_some() {
+        return; // fingerprints are being rewritten; nothing to compare yet
+    }
+    for case in cases().into_iter().filter(|c| c.window_half) {
+        let spec = match case.preset {
+            "tiny" => presets::tiny(),
+            _ => presets::flixster_small().scaled_down(8),
+        };
+        let ds = spec.generate();
+        let policy = match case.policy {
+            "uniform" => CreditPolicy::Uniform,
+            _ => CreditPolicy::time_aware(&ds.graph, &ds.log),
+        };
+        let expired = ds.log.split_off_prefix(half_window_cut(ds.log.num_actions())).0;
+        let mut store = scan(&ds.graph, &ds.log, &policy, case.lambda).unwrap();
+        store.retract_delta(&ds.graph, &expired, &policy, cdim::util::Parallelism::auto()).unwrap();
+        let (crc, ..) = fingerprint(&store);
+
+        let path = golden_dir().join(file_name(&case));
+        let text = std::fs::read_to_string(&path).expect("golden file exists");
+        let (want_crc, ..) = parse(&text, &path);
+        assert_eq!(
+            crc,
+            want_crc,
+            "retract diverged from the golden window scan for {}",
             file_name(&case)
         );
     }
