@@ -34,7 +34,10 @@
 //!   implementation;
 //! * [`mod@reference`] — an intentionally naive reference implementation used
 //!   to verify every optimized path;
-//! * [`model`] — a convenience facade bundling train → select → evaluate.
+//! * [`model`] — a convenience facade bundling train → select → evaluate;
+//! * `telemetry` — shard-level scan timing reported into the process-wide
+//!   [`cdim_obs::MetricsRegistry::global`] registry (never touches the
+//!   per-action kernel, so instrumentation cannot affect model bytes).
 
 pub mod celf;
 pub mod incremental;
@@ -44,6 +47,7 @@ pub mod reference;
 pub mod scan;
 pub mod spread;
 pub mod store;
+mod telemetry;
 
 pub use cdim_util::Parallelism;
 pub use celf::{select_seeds, CdSelector, MgMode, SelectorDump};

@@ -38,9 +38,11 @@
 
 use crate::policy::CreditPolicy;
 use crate::store::{ActionCredits, CreditStore};
+use crate::telemetry::ScanTelemetry;
 use cdim_actionlog::{ActionId, ActionLog, PropagationDag};
 use cdim_graph::DirectedGraph;
 use cdim_util::pool::{parallel_map_shards, Parallelism};
+use cdim_util::Timer;
 
 /// Input validation failures of [`scan`].
 ///
@@ -198,14 +200,23 @@ pub fn scan_with(
     }
 
     // Stages 2 + 3: fan the kernel out over action chunks, merge in order.
+    // Timing wraps the shard loop and the parallel section as a whole —
+    // never the per-action kernel — so instrumentation cannot perturb the
+    // model bytes and adds nothing to the hot path.
+    let wall = Timer::start();
     let shards = parallel_map_shards(parallelism, log.num_actions(), |_, range| {
+        let shard_timer = Timer::start();
         let mut scratch: Vec<(u32, f64)> = Vec::new();
-        range
+        let credits = range
             .map(|a| scan_action(graph, log, policy, lambda, a as ActionId, &mut scratch))
-            .collect::<Vec<_>>()
+            .collect::<Vec<_>>();
+        (credits, shard_timer.secs())
     });
+    let wall_secs = wall.secs();
+    let shard_secs: Vec<f64> = shards.iter().map(|(_, s)| *s).collect();
+    ScanTelemetry::get().record_scan(wall_secs, &shard_secs);
     let mut actions = Vec::with_capacity(log.num_actions());
-    for shard in shards {
+    for (shard, _) in shards {
         actions.extend(shard);
     }
     store.actions = actions;

@@ -1,0 +1,93 @@
+//! Scan instrumentation: per-shard wall time and pool utilization.
+//!
+//! The scan reports into the process-wide
+//! [`cdim_obs::MetricsRegistry::global`] registry so its series show up on
+//! the same scrape endpoint and wire dump as the serve and ingest layers:
+//!
+//! * `cdim_scan_seconds` — histogram, wall time of the whole parallel
+//!   section of each [`crate::scan_with`] call;
+//! * `cdim_scan_shard_seconds` — histogram, wall time of each worker's
+//!   shard (the p99/max spread diagnoses shard imbalance);
+//! * `cdim_scan_pool_workers` — gauge, workers used by the latest scan;
+//! * `cdim_scan_pool_utilization` — gauge, `Σ shard time / (wall ×
+//!   workers)` of the latest scan: 1.0 means every worker was busy the
+//!   whole section, low values mean stragglers dominated.
+//!
+//! Recording happens strictly *outside* the per-action kernel — the
+//! instrumented quantities are shard-level wall times, so the hot path of
+//! [`crate::scan_action`] is untouched and the model bytes cannot depend
+//! on whether anyone is scraping.
+
+use cdim_obs::{Gauge, Histogram, MetricsRegistry};
+use std::sync::{Arc, OnceLock};
+
+/// Handles into the global registry, resolved once per process.
+pub(crate) struct ScanTelemetry {
+    /// Whole-parallel-section wall time per scan call.
+    pub scan_seconds: Arc<Histogram>,
+    /// Per-worker shard wall time.
+    pub shard_seconds: Arc<Histogram>,
+    /// Workers used by the most recent scan.
+    pub pool_workers: Arc<Gauge>,
+    /// Busy fraction of the most recent scan.
+    pub pool_utilization: Arc<Gauge>,
+}
+
+impl ScanTelemetry {
+    /// The process-wide scan telemetry handles.
+    pub(crate) fn get() -> &'static ScanTelemetry {
+        static TELEMETRY: OnceLock<ScanTelemetry> = OnceLock::new();
+        TELEMETRY.get_or_init(|| {
+            let registry = MetricsRegistry::global();
+            ScanTelemetry {
+                scan_seconds: registry.histogram("cdim_scan_seconds"),
+                shard_seconds: registry.histogram("cdim_scan_shard_seconds"),
+                pool_workers: registry.gauge("cdim_scan_pool_workers"),
+                pool_utilization: registry.gauge("cdim_scan_pool_utilization"),
+            }
+        })
+    }
+
+    /// Record one scan's parallel section: total wall seconds, per-shard
+    /// wall seconds, and the derived pool facts.
+    pub(crate) fn record_scan(&self, wall_secs: f64, shard_secs: &[f64]) {
+        self.scan_seconds.observe(wall_secs);
+        let mut busy = 0.0;
+        for &s in shard_secs {
+            self.shard_seconds.observe(s);
+            busy += s;
+        }
+        let workers = shard_secs.len();
+        self.pool_workers.set(workers as f64);
+        if workers > 0 && wall_secs > 0.0 {
+            self.pool_utilization.set((busy / (wall_secs * workers as f64)).min(1.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_scan_populates_the_global_registry() {
+        let t = ScanTelemetry::get();
+        let before = t.scan_seconds.count();
+        t.record_scan(2.0, &[1.0, 2.0]);
+        assert_eq!(t.scan_seconds.count(), before + 1);
+        // 3 busy seconds over 2 workers × 2 wall seconds = 0.75.
+        assert!((t.pool_utilization.get() - 0.75).abs() < 1e-12);
+        assert_eq!(t.pool_workers.get(), 2.0);
+        // The series live in the global registry under their public names.
+        let dump = MetricsRegistry::global().dump();
+        assert!(dump.histograms.iter().any(|(n, _)| n == "cdim_scan_seconds"));
+        assert!(dump.gauges.iter().any(|(n, _)| n == "cdim_scan_pool_utilization"));
+    }
+
+    #[test]
+    fn degenerate_scans_do_not_divide_by_zero() {
+        let t = ScanTelemetry::get();
+        t.record_scan(0.0, &[]);
+        assert!(t.pool_utilization.get().is_finite());
+    }
+}

@@ -129,6 +129,10 @@ pub struct MicroBatcher {
     closed_since: Option<Instant>,
     dead: Vec<DeadLetter>,
     quarantined_total: u64,
+    /// Reason of the most recent quarantine, surviving drains — the
+    /// operator-facing "what went wrong last" even after the dead
+    /// letters themselves were consumed.
+    last_quarantine: Option<QuarantineReason>,
 }
 
 impl MicroBatcher {
@@ -148,6 +152,7 @@ impl MicroBatcher {
             closed_since: None,
             dead: Vec::new(),
             quarantined_total: 0,
+            last_quarantine: None,
         }
     }
 
@@ -191,6 +196,7 @@ impl MicroBatcher {
 
     fn quarantine(&mut self, record: Record, reason: QuarantineReason) {
         self.quarantined_total += 1;
+        self.last_quarantine = Some(reason);
         self.dead.push(DeadLetter { record, reason });
     }
 
@@ -286,6 +292,12 @@ impl MicroBatcher {
     /// Records quarantined over the batcher's lifetime.
     pub fn quarantined_total(&self) -> u64 {
         self.quarantined_total
+    }
+
+    /// Reason of the most recent quarantine, if any — unlike the dead
+    /// letters it is not consumed by [`drain_dead_letters`](Self::drain_dead_letters).
+    pub fn last_quarantine_reason(&self) -> Option<QuarantineReason> {
+        self.last_quarantine
     }
 
     /// Drains the dead-letter sink.
@@ -391,6 +403,11 @@ mod tests {
         let dead = b.drain_dead_letters();
         assert_eq!(dead.len(), 3);
         assert_eq!(b.quarantined_total(), 3);
+        assert_eq!(
+            b.last_quarantine_reason(),
+            Some(QuarantineReason::TimeRegression { last_time: 4.0 }),
+            "the last reason survives the drain"
+        );
         assert_eq!(dead[0].reason, QuarantineReason::StaleAction { frontier: 7 });
         assert_eq!(dead[1].reason, QuarantineReason::StaleAction { frontier: 7 });
         assert_eq!(dead[2].reason, QuarantineReason::TimeRegression { last_time: 4.0 });

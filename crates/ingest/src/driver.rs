@@ -24,13 +24,15 @@
 //! [`CreditStore::apply_delta`]: cdim_core::CreditStore::apply_delta
 //! [`CdSelector::extend`]: cdim_core::CdSelector::extend
 
-use crate::batcher::{BatchConfig, DeadLetter, MicroBatcher};
+use crate::batcher::{BatchConfig, DeadLetter, MicroBatcher, QuarantineReason};
 use crate::checkpoint::{Checkpoint, WindowEntry};
 use crate::error::IngestError;
 use crate::follower::{LogFollower, Record};
+use crate::metrics::{IngestMetrics, RateWindow, RATE_WINDOW};
 use cdim_actionlog::{ActionLogBuilder, ActionLogDelta, LogBuildError, StorageError};
 use cdim_core::{scan_with, CreditPolicy};
 use cdim_graph::DirectedGraph;
+use cdim_obs::MetricsRegistry;
 use cdim_serve::{InfluenceService, ModelSnapshot};
 use cdim_util::{Parallelism, Timer};
 use std::path::{Path, PathBuf};
@@ -142,6 +144,11 @@ pub struct StepReport {
     pub batches: Vec<BatchReport>,
     /// Records quarantined this step (drained dead letters).
     pub dead_letters: Vec<DeadLetter>,
+    /// Records quarantined over the driver incarnation's lifetime (not
+    /// just this step).
+    pub quarantined_total: u64,
+    /// Reason of the most recent quarantine ever, surviving drains.
+    pub last_quarantine_reason: Option<QuarantineReason>,
 }
 
 impl std::fmt::Display for StepReport {
@@ -155,7 +162,15 @@ impl std::fmt::Display for StepReport {
             )?;
         }
         if !self.dead_letters.is_empty() {
-            write!(f, "; {} quarantined", self.dead_letters.len())?;
+            write!(
+                f,
+                "; {} quarantined ({} total)",
+                self.dead_letters.len(),
+                self.quarantined_total
+            )?;
+            if let Some(reason) = &self.last_quarantine_reason {
+                write!(f, ", last: {reason}")?;
+            }
         }
         Ok(())
     }
@@ -173,6 +188,13 @@ pub struct IngestDriver {
     /// Highest external action id folded into the served model.
     applied_watermark: Option<u32>,
     publishes_since_checkpoint: u64,
+    metrics: IngestMetrics,
+    /// Trailing-window read throughput feeding the records/sec gauge.
+    rate: RateWindow,
+    /// When the applied watermark last advanced (a publish landed) —
+    /// what the watermark-age gauge measures against. `None` until the
+    /// first publish of this incarnation.
+    watermark_advanced_at: Option<Instant>,
     /// Tuple buffer for windowed runs: one entry per in-model action,
     /// oldest first. Empty (and unmaintained) under
     /// [`WindowPolicy::Unbounded`].
@@ -193,6 +215,29 @@ impl IngestDriver {
         log_path: &Path,
         checkpoint_path: &Path,
         config: FollowConfig,
+    ) -> Result<Self, IngestError> {
+        Self::open_with_registry(
+            graph,
+            policy,
+            log_path,
+            checkpoint_path,
+            config,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// [`open`](Self::open), reporting into `registry` — pass
+    /// [`MetricsRegistry::global`] to land the ingest series on the same
+    /// scrape endpoint and wire dump as every other layer. The owned
+    /// [`InfluenceService`] shares the registry, so op 6 on a server
+    /// spawned from [`service`](Self::service) dumps both.
+    pub fn open_with_registry(
+        graph: DirectedGraph,
+        policy: CreditPolicy,
+        log_path: &Path,
+        checkpoint_path: &Path,
+        config: FollowConfig,
+        registry: Arc<MetricsRegistry>,
     ) -> Result<Self, IngestError> {
         let (snapshot, follower, batcher, watermark, window) = if checkpoint_path.exists() {
             let ckpt = Checkpoint::load(checkpoint_path)?;
@@ -246,16 +291,22 @@ impl IngestDriver {
                 Vec::new(),
             )
         };
+        let metrics = IngestMetrics::register(&registry);
+        let service =
+            Arc::new(InfluenceService::with_registry(snapshot, config.cache_capacity, registry));
         Ok(IngestDriver {
             graph,
             policy,
             follower,
             batcher,
-            service: Arc::new(InfluenceService::new(snapshot, config.cache_capacity)),
+            service,
             checkpoint_path: checkpoint_path.to_path_buf(),
             config,
             applied_watermark: watermark,
             publishes_since_checkpoint: 0,
+            metrics,
+            rate: RateWindow::new(RATE_WINDOW),
+            watermark_advanced_at: None,
             window,
         })
     }
@@ -291,11 +342,31 @@ impl IngestDriver {
                 batches.push(report);
             }
         }
+        let dead_letters = self.batcher.drain_dead_letters();
+        self.observe_step(records.len(), &dead_letters);
         Ok(StepReport {
             records: records.len(),
             batches,
-            dead_letters: self.batcher.drain_dead_letters(),
+            dead_letters,
+            quarantined_total: self.batcher.quarantined_total(),
+            last_quarantine_reason: self.batcher.last_quarantine_reason(),
         })
+    }
+
+    /// Feed one step's observations into the metrics registry. Pure
+    /// telemetry: nothing here touches the model path.
+    fn observe_step(&mut self, records: usize, dead_letters: &[DeadLetter]) {
+        self.metrics.records.add(records as u64);
+        self.rate.record(records);
+        self.metrics.records_per_sec.set(self.rate.rate());
+        self.metrics.lag_bytes.set(self.follower.lag_bytes() as f64);
+        if let Some(at) = self.watermark_advanced_at {
+            self.metrics.watermark_age.set(at.elapsed().as_secs_f64());
+        }
+        if let Some(last) = dead_letters.last() {
+            self.metrics.quarantined.add(dead_letters.len() as u64);
+            self.metrics.last_quarantine.set(&last.reason.to_string());
+        }
     }
 
     /// End of stream: drains the remaining backlog (a capped poll reads
@@ -318,7 +389,11 @@ impl IngestDriver {
         if let Some(batch) = self.apply_pending()? {
             report.batches.push(batch);
         }
-        report.dead_letters.extend(self.batcher.drain_dead_letters());
+        let dead_letters = self.batcher.drain_dead_letters();
+        self.observe_step(0, &dead_letters);
+        report.dead_letters.extend(dead_letters);
+        report.quarantined_total = self.batcher.quarantined_total();
+        report.last_quarantine_reason = self.batcher.last_quarantine_reason();
         self.checkpoint()?;
         Ok(report)
     }
@@ -343,6 +418,9 @@ impl IngestDriver {
             }
         }
         self.applied_watermark = Some(meta.last_action);
+        self.watermark_advanced_at = Some(Instant::now());
+        self.metrics.watermark_age.set(0.0);
+        self.metrics.batch_actions.observe(meta.actions as f64);
         self.publishes_since_checkpoint += 1;
         let report = BatchReport {
             actions: meta.actions,
@@ -392,6 +470,7 @@ impl IngestDriver {
     /// offset, so a restart re-reads them). Windowed runs expire the
     /// out-of-window prefix first, so every checkpoint is window-clean.
     pub fn checkpoint(&mut self) -> Result<(), IngestError> {
+        let timer = Timer::start();
         self.enforce_window()?;
         let (offset, lines) = self
             .batcher
@@ -406,6 +485,7 @@ impl IngestDriver {
         };
         ckpt.save(&self.checkpoint_path)?;
         self.publishes_since_checkpoint = 0;
+        self.metrics.checkpoint_seconds.observe(timer.secs());
         Ok(())
     }
 
@@ -782,6 +862,65 @@ mod tests {
             Err(other) => panic!("expected a config error, got {other}"),
             Ok(_) => panic!("windowed resume accepted a checkpoint without tuples"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_flow_into_the_shared_registry() {
+        let dir = tempdir("metrics");
+        let log_path = dir.join("actions.tsv");
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut driver = IngestDriver::open_with_registry(
+            graph(),
+            CreditPolicy::Uniform,
+            &log_path,
+            &dir.join("model.ckpt"),
+            FollowConfig { lambda: Some(0.0), ..Default::default() },
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        // Two clean actions, then a stale record for the first one.
+        append(&log_path, "0\t1\t0.0\n1\t2\t1.0\n2\t1\t5.0\n");
+        let step = driver.step().unwrap();
+        assert_eq!(step.records, 3);
+        assert_eq!(step.dead_letters.len(), 1);
+        assert_eq!(step.quarantined_total, 1);
+        assert!(matches!(step.last_quarantine_reason, Some(QuarantineReason::StaleAction { .. })));
+        driver.finish().unwrap();
+
+        let dump = registry.dump();
+        let counter = |name: &str| {
+            dump.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(counter("cdim_ingest_records_total"), 3);
+        assert_eq!(counter("cdim_ingest_quarantined_total"), 1);
+        let (_, batch_hist) = dump
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "cdim_ingest_batch_actions")
+            .expect("missing batch histogram");
+        assert!(batch_hist.count >= 1);
+        let (_, ckpt_hist) = dump
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "cdim_ingest_checkpoint_seconds")
+            .expect("missing checkpoint histogram");
+        assert!(ckpt_hist.count >= 1);
+        let (_, key, value) = dump
+            .infos
+            .iter()
+            .find(|(n, _, _)| n == "cdim_ingest_last_quarantine_reason")
+            .expect("missing quarantine info");
+        assert_eq!(key, "reason");
+        assert!(value.contains("frontier"), "{value}");
+        // The service shares the registry: serve series sit beside
+        // ingest ones, so wire op 6 exposes both in one dump.
+        assert!(Arc::ptr_eq(&driver.service().metrics_registry(), &registry));
+        assert!(dump.counters.iter().any(|(n, _)| n == "cdim_serve_queries_total"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -50,6 +50,9 @@ pub struct LogFollower {
     lines: u64,
     decoder: TupleDecoder,
     poll_cap: u64,
+    /// File length observed by the most recent poll — what
+    /// [`lag_bytes`](Self::lag_bytes) measures the offset against.
+    seen_len: u64,
     /// A parse failure is terminal: the offset is parked at the bad
     /// line and every later poll re-raises this diagnostic, so a caller
     /// that ignores the error can neither skip nor double-read records.
@@ -72,6 +75,7 @@ impl LogFollower {
             lines,
             decoder: TupleDecoder::resume(lines as usize),
             poll_cap: MAX_POLL_BYTES,
+            seen_len: 0,
             pending_parse: None,
         }
     }
@@ -94,6 +98,13 @@ impl LogFollower {
         self.lines
     }
 
+    /// Bytes between the consumed offset and the end of the file as of
+    /// the most recent poll — how far the follower is behind the
+    /// producer. Zero when caught up (or before the first poll).
+    pub fn lag_bytes(&self) -> u64 {
+        self.seen_len.saturating_sub(self.offset)
+    }
+
     /// One poll: the complete records appended since the last poll (at
     /// most [`MAX_POLL_BYTES`] worth — a larger backlog spans several
     /// polls), in file order. Returns an empty vector when nothing (or
@@ -113,10 +124,14 @@ impl LogFollower {
         let mut file = match File::open(&self.path) {
             Ok(f) => f,
             // The producer may not have created the log yet.
-            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                self.seen_len = self.offset;
+                return Ok(Vec::new());
+            }
             Err(e) => return Err(e.into()),
         };
         let len = file.metadata()?.len();
+        self.seen_len = len;
         if len < self.offset {
             return Err(IngestError::LogTruncated { offset: self.offset, len });
         }
@@ -328,6 +343,26 @@ mod tests {
             }
             other => panic!("expected an oversized-record error, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lag_bytes_tracks_distance_behind_eof() {
+        let path = tempfile("lag");
+        std::fs::remove_file(&path).ok();
+        let mut follower = LogFollower::open(&path);
+        assert_eq!(follower.lag_bytes(), 0);
+        follower.poll().unwrap();
+        assert_eq!(follower.lag_bytes(), 0, "a missing file is not a backlog");
+
+        // Three 8-byte records, 16-byte window: after one poll the
+        // follower knows it is one record behind.
+        append(&path, "0\t1\t1.0\n1\t1\t2.0\n2\t2\t3.0\n");
+        let mut capped = LogFollower::open(&path).with_poll_cap(16);
+        capped.poll().unwrap();
+        assert_eq!(capped.lag_bytes(), 8);
+        capped.poll().unwrap();
+        assert_eq!(capped.lag_bytes(), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -75,6 +75,7 @@ pub mod checkpoint;
 pub mod driver;
 pub mod error;
 pub mod follower;
+mod metrics;
 
 pub use batcher::{BatchConfig, DeadLetter, MicroBatcher, QuarantineReason};
 pub use checkpoint::{Checkpoint, WindowEntry};

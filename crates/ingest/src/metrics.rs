@@ -1,0 +1,158 @@
+//! Ingest instrumentation: throughput, lag, batch shape, quarantine.
+//!
+//! The driver reports into whatever [`MetricsRegistry`] it was opened
+//! with (the same one its [`cdim_serve::InfluenceService`] uses, so wire
+//! op 6 and the scrape endpoint see one coherent dump):
+//!
+//! * `cdim_ingest_records_total` — counter, complete records read;
+//! * `cdim_ingest_quarantined_total` — counter, records dead-lettered;
+//! * `cdim_ingest_records_per_sec` — gauge, trailing-window throughput;
+//! * `cdim_ingest_lag_bytes` — gauge, bytes the follower is behind EOF;
+//! * `cdim_ingest_watermark_age_seconds` — gauge, seconds since the
+//!   applied watermark last advanced (how stale the served model is);
+//! * `cdim_ingest_batch_actions` — histogram, whole actions per cut
+//!   batch (the batch-size distribution);
+//! * `cdim_ingest_checkpoint_seconds` — histogram, wall time per
+//!   checkpoint (expiry + snapshot serialisation + atomic write);
+//! * `cdim_ingest_last_quarantine_reason` — info, the most recent
+//!   quarantine's human-readable reason.
+
+use cdim_obs::{Counter, Gauge, Histogram, Info, MetricsRegistry};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handles into the driver's registry, resolved once at open.
+pub(crate) struct IngestMetrics {
+    /// Complete records read off the log.
+    pub records: Arc<Counter>,
+    /// Records quarantined to the dead-letter sink.
+    pub quarantined: Arc<Counter>,
+    /// Trailing-window read throughput.
+    pub records_per_sec: Arc<Gauge>,
+    /// Bytes behind the log's EOF as of the latest poll.
+    pub lag_bytes: Arc<Gauge>,
+    /// Seconds since the applied watermark last advanced.
+    pub watermark_age: Arc<Gauge>,
+    /// Whole actions per cut batch.
+    pub batch_actions: Arc<Histogram>,
+    /// Wall seconds per checkpoint.
+    pub checkpoint_seconds: Arc<Histogram>,
+    /// Most recent quarantine reason, rendered.
+    pub last_quarantine: Arc<Info>,
+}
+
+impl IngestMetrics {
+    /// Resolve every ingest series in `registry`.
+    pub(crate) fn register(registry: &MetricsRegistry) -> Self {
+        IngestMetrics {
+            records: registry.counter("cdim_ingest_records_total"),
+            quarantined: registry.counter("cdim_ingest_quarantined_total"),
+            records_per_sec: registry.gauge("cdim_ingest_records_per_sec"),
+            lag_bytes: registry.gauge("cdim_ingest_lag_bytes"),
+            watermark_age: registry.gauge("cdim_ingest_watermark_age_seconds"),
+            batch_actions: registry.histogram("cdim_ingest_batch_actions"),
+            checkpoint_seconds: registry.histogram("cdim_ingest_checkpoint_seconds"),
+            last_quarantine: registry.info("cdim_ingest_last_quarantine_reason", "reason"),
+        }
+    }
+}
+
+/// How much history the throughput gauge averages over.
+pub(crate) const RATE_WINDOW: Duration = Duration::from_secs(5);
+
+/// A trailing-window event counter: `record` counts, `rate` averages the
+/// counts of the last [`RATE_WINDOW`] over that window's span.
+#[derive(Debug)]
+pub(crate) struct RateWindow {
+    window: Duration,
+    samples: VecDeque<(Instant, usize)>,
+}
+
+impl RateWindow {
+    pub(crate) fn new(window: Duration) -> Self {
+        RateWindow { window, samples: VecDeque::new() }
+    }
+
+    /// Count `n` events now (zero-count samples are dropped — idle polls
+    /// cost nothing and the rate decays via `rate`'s expiry instead).
+    pub(crate) fn record(&mut self, n: usize) {
+        self.record_at(n, Instant::now());
+    }
+
+    pub(crate) fn record_at(&mut self, n: usize, now: Instant) {
+        self.expire(now);
+        if n > 0 {
+            self.samples.push_back((now, n));
+        }
+    }
+
+    /// Events per second over the trailing window.
+    pub(crate) fn rate(&mut self) -> f64 {
+        self.rate_at(Instant::now())
+    }
+
+    pub(crate) fn rate_at(&mut self, now: Instant) -> f64 {
+        self.expire(now);
+        let total: usize = self.samples.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        // Average over the full window span, not just the sampled span:
+        // a single burst in an otherwise quiet window reads as a low
+        // rate, and the rate decays to zero as samples age out.
+        total as f64 / self.window.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    fn expire(&mut self, now: Instant) {
+        while let Some(&(at, _)) = self.samples.front() {
+            if now.saturating_duration_since(at) > self.window {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_averages_over_the_window_and_decays() {
+        let mut w = RateWindow::new(Duration::from_secs(5));
+        let t0 = Instant::now();
+        assert_eq!(w.rate_at(t0), 0.0);
+        w.record_at(100, t0);
+        w.record_at(150, t0 + Duration::from_secs(1));
+        // 250 events over a 5-second window.
+        assert!((w.rate_at(t0 + Duration::from_secs(1)) - 50.0).abs() < 1e-9);
+        // Everything aged out: back to zero.
+        assert_eq!(w.rate_at(t0 + Duration::from_secs(30)), 0.0);
+    }
+
+    #[test]
+    fn zero_count_samples_do_not_accumulate() {
+        let mut w = RateWindow::new(RATE_WINDOW);
+        for _ in 0..1000 {
+            w.record(0);
+        }
+        assert!(w.samples.is_empty());
+        assert_eq!(w.rate(), 0.0);
+    }
+
+    #[test]
+    fn register_resolves_every_series() {
+        let registry = MetricsRegistry::new();
+        let m = IngestMetrics::register(&registry);
+        m.records.add(7);
+        m.last_quarantine.set("why");
+        let dump = registry.dump();
+        assert!(dump.counters.iter().any(|(n, v)| n == "cdim_ingest_records_total" && *v == 7));
+        assert!(dump.histograms.iter().any(|(n, _)| n == "cdim_ingest_batch_actions"));
+        assert!(dump.infos.iter().any(|(n, k, v)| n == "cdim_ingest_last_quarantine_reason"
+            && k == "reason"
+            && v == "why"));
+    }
+}

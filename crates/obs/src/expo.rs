@@ -1,0 +1,109 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Counters and gauges render as plain samples; histograms render as
+//! summaries (`{quantile="0.5|0.9|0.99"}` samples plus `_sum`/`_count`);
+//! info metrics render as a `gauge` fixed at 1 carrying their text as a
+//! label value.
+
+use std::fmt::Write as _;
+
+use crate::registry::RegistryDump;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Format an f64 the way Prometheus expects (plain decimal, `NaN`/`+Inf`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a registry dump as Prometheus exposition text.
+pub fn render_prometheus(dump: &RegistryDump) -> String {
+    let mut out = String::new();
+    for (name, value) in &dump.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &dump.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(*value));
+    }
+    for (name, s) in &dump.histograms {
+        let _ = writeln!(out, "# TYPE {name} summary");
+        let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", fmt_value(s.p50));
+        let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", fmt_value(s.p90));
+        let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", fmt_value(s.p99));
+        let _ = writeln!(out, "{name}_sum {}", fmt_value(s.sum));
+        let _ = writeln!(out, "{name}_count {}", s.count);
+    }
+    for (name, label, value) in &dump.infos {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{{{label}=\"{}\"}} 1", escape_label(value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter("cdim_x_total").add(7);
+        r.gauge("cdim_g").set(1.5);
+        let h = r.histogram("cdim_h_seconds");
+        h.observe(0.25);
+        r.info("cdim_last_reason", "reason").set("time \"regression\"");
+        let text = render_prometheus(&r.dump());
+        assert!(text.contains("# TYPE cdim_x_total counter\ncdim_x_total 7\n"));
+        assert!(text.contains("# TYPE cdim_g gauge\ncdim_g 1.5\n"));
+        assert!(text.contains("# TYPE cdim_h_seconds summary\n"));
+        assert!(text.contains("cdim_h_seconds{quantile=\"0.5\"} 0.25\n"));
+        assert!(text.contains("cdim_h_seconds_count 1\n"));
+        assert!(text.contains("cdim_last_reason{reason=\"time \\\"regression\\\"\"} 1\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total").inc();
+        r.histogram("b_seconds").observe(1.0);
+        let text = render_prometheus(&r.dump());
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(m, v)| !m.is_empty() && v.parse::<f64>().is_ok()),
+                "unparseable line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_spellings() {
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal std-only HTTP/1.1 scrape endpoint for Prometheus.
+//!
+//! [`MetricsServer::spawn`] binds a plain `TcpListener` and answers every
+//! `GET /metrics` (or `GET /`) with the current registry rendered via
+//! [`crate::render_prometheus`]. One short-lived thread per connection,
+//! `Connection: close` semantics — exactly enough HTTP for `curl` and a
+//! Prometheus scraper, nothing more.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expo::render_prometheus;
+use crate::registry::MetricsRegistry;
+
+/// Longest request head (request line + headers) we will buffer.
+const MAX_HEAD_BYTES: u64 = 8 * 1024;
+
+/// How long a scraper may dawdle before its connection is dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running scrape endpoint. Dropping the handle shuts it down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves scrapes of `registry` on a background
+    /// thread. Port 0 picks an ephemeral port, reported by [`Self::addr`].
+    pub fn spawn(
+        registry: Arc<MetricsRegistry>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, &registry, &stop_flag);
+        });
+        Ok(MetricsServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with an ephemeral port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting scrapes and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection; a wildcard bind
+        // address is not connectable, so aim at loopback on the same port.
+        let mut wake_addr = self.addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let woke = TcpStream::connect(wake_addr).is_ok();
+        if let Some(handle) = self.accept_thread.take() {
+            if woke {
+                let _ = handle.join();
+            }
+            // If the wake-up connect failed, joining could block forever;
+            // detach instead and let the thread exit on the next event.
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Arc<MetricsRegistry>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let registry = Arc::clone(registry);
+        std::thread::spawn(move || {
+            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+            let _ = serve_scrape(stream, &registry);
+        });
+    }
+}
+
+/// Reads one request head, answers it, closes the connection.
+fn serve_scrape(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD_BYTES);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line so well-behaved clients don't see
+    // a reset while still writing.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut writer = stream;
+    if method != "GET" {
+        return respond(&mut writer, "405 Method Not Allowed", "method not allowed\n");
+    }
+    // Accept /metrics with or without a query string, and bare / for
+    // convenience when poking with a browser.
+    if path == "/metrics" || path.starts_with("/metrics?") || path == "/" {
+        respond(&mut writer, "200 OK", &render_prometheus(&registry.dump()))
+    } else {
+        respond(&mut writer, "404 Not Found", "not found\n")
+    }
+}
+
+fn respond(writer: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn get_metrics_returns_exposition_text() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("cdim_test_total").add(5);
+        let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let response =
+            scrape(server.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("cdim_test_total 5\n"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_path_and_method_are_rejected() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::spawn(registry, "127.0.0.1:0").unwrap();
+        let missing = scrape(server.addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let posted = scrape(server.addr(), "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(posted.starts_with("HTTP/1.1 405"), "{posted}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrape_reflects_live_updates() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("cdim_live_total");
+        let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let first = scrape(server.addr(), "GET / HTTP/1.1\r\n\r\n");
+        assert!(first.contains("cdim_live_total 0\n"), "{first}");
+        counter.add(3);
+        let second = scrape(server.addr(), "GET / HTTP/1.1\r\n\r\n");
+        assert!(second.contains("cdim_live_total 3\n"), "{second}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Unified observability for the `cdim` workspace.
+//!
+//! Every subsystem — the credit scan, the serving frontend, the ingest
+//! driver — reports into one [`MetricsRegistry`] of named metrics, and
+//! operators read it back through one of two surfaces: wire op 6
+//! (`Metrics`) on the query protocol, or the Prometheus text endpoint
+//! served by [`MetricsServer`]. The crate is std-only and dependency-free.
+//!
+//! * [`metric`] — [`Counter`] (relaxed atomic adds), [`Gauge`] (f64 bits
+//!   in an `AtomicU64`, with an RAII [`GaugeGuard`] for in-flight
+//!   tracking), and [`Info`] (a text annotation such as the last
+//!   quarantine reason).
+//! * [`hist`] — [`Histogram`], a mergeable log-linear latency histogram
+//!   with wait-free recording and exact-integer internals (merge equals
+//!   concatenated recording), read out as p50/p90/p99/max via
+//!   [`HistogramSummary`]; [`SpanGuard`] is the RAII scoped timer.
+//! * [`registry`] — [`MetricsRegistry`] (register-or-fetch by name,
+//!   deterministic sorted [`RegistryDump`] snapshots, and the process-wide
+//!   [`MetricsRegistry::global`] instance).
+//! * [`expo`] — [`render_prometheus`], text exposition format 0.0.4.
+//! * [`http`] — [`MetricsServer`], a minimal std TCP scrape endpoint.
+//!
+//! # Span-guard usage
+//!
+//! ```
+//! use cdim_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let hist = registry.histogram("cdim_work_seconds");
+//! {
+//!     let _span = hist.start_span();
+//!     // ... timed section ...
+//! } // drop records the elapsed seconds
+//! assert_eq!(hist.count(), 1);
+//! ```
+
+pub mod expo;
+pub mod hist;
+pub mod http;
+pub mod metric;
+pub mod registry;
+
+pub use expo::render_prometheus;
+pub use hist::{Histogram, HistogramSummary, SpanGuard};
+pub use http::MetricsServer;
+pub use metric::{Counter, Gauge, GaugeGuard, Info};
+pub use registry::{MetricsRegistry, RegistryDump};

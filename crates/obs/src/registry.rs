@@ -1,0 +1,173 @@
+//! The process-wide metrics registry.
+//!
+//! A [`MetricsRegistry`] owns named metrics and hands out `Arc` handles so
+//! instrumented code pays the name lookup exactly once, at registration.
+//! Registration is idempotent: asking for an existing name returns the
+//! existing metric, which is what lets independently constructed
+//! subsystems (service, ingest driver, scan telemetry) share one set of
+//! series. Names live in `BTreeMap`s so every dump is deterministically
+//! sorted.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, HistogramSummary};
+use crate::metric::{Counter, Gauge, Info};
+
+/// A named collection of counters, gauges, histograms, and info metrics.
+///
+/// Cheap to clone via `Arc`; the global process registry is available from
+/// [`MetricsRegistry::global`], and isolated registries (`new`) keep unit
+/// tests hermetic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    infos: Mutex<BTreeMap<String, Arc<Info>>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty, private registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared process-wide registry.
+    ///
+    /// Everything the CLI exposes over `--metrics-addr` and wire op 6
+    /// registers here, so scan, serve, and ingest series land in one dump.
+    pub fn global() -> Arc<MetricsRegistry> {
+        static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new())))
+    }
+
+    /// Register (or fetch) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Counter::new())))
+    }
+
+    /// Register (or fetch) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Gauge::new())))
+    }
+
+    /// Register (or fetch) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())))
+    }
+
+    /// Register (or fetch) the info metric named `name` with label `label`.
+    ///
+    /// The label of the first registration wins; later calls with a
+    /// different label still return the existing metric.
+    pub fn info(&self, name: &str, label: &'static str) -> Arc<Info> {
+        let mut map = self.infos.lock().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Info::new(label))))
+    }
+
+    /// Snapshot every metric into a sorted, serialisable dump.
+    pub fn dump(&self) -> RegistryDump {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        let infos = self
+            .infos
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, i)| (name.clone(), i.label().to_string(), i.get()))
+            .collect();
+        RegistryDump { counters, gauges, histograms, infos }
+    }
+}
+
+/// A point-in-time snapshot of a whole [`MetricsRegistry`], sorted by
+/// metric name within each kind.
+///
+/// This is the payload of wire op 6 (`Metrics`) and the input to the
+/// Prometheus renderer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistryDump {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` for every histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// `(name, label key, label value)` for every info metric.
+    pub infos: Vec<(String, String, String)>,
+}
+
+impl RegistryDump {
+    /// True when the dump contains no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.infos.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn dump_is_sorted_and_complete() {
+        let r = MetricsRegistry::new();
+        r.counter("z_total").add(3);
+        r.counter("a_total").add(1);
+        r.gauge("g").set(2.5);
+        r.histogram("h").observe(0.5);
+        r.info("i", "reason").set("why");
+        let d = r.dump();
+        assert_eq!(d.counters, vec![("a_total".to_string(), 1), ("z_total".to_string(), 3)]);
+        assert_eq!(d.gauges, vec![("g".to_string(), 2.5)]);
+        assert_eq!(d.histograms.len(), 1);
+        assert_eq!(d.histograms[0].0, "h");
+        assert_eq!(d.histograms[0].1.count, 1);
+        assert_eq!(d.infos, vec![("i".to_string(), "reason".to_string(), "why".to_string())]);
+        assert!(!d.is_empty());
+        assert!(RegistryDump::default().is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = MetricsRegistry::global();
+        let b = MetricsRegistry::global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -8,6 +8,7 @@ use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
     ServiceInfo, StatsReply,
 };
+use cdim_obs::RegistryDump;
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Client-side failures.
@@ -112,6 +113,16 @@ impl QueryClient {
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Full metrics-registry dump: every counter, gauge, latency-histogram
+    /// summary, and info metric the serving process has registered.
+    pub fn metrics(&mut self) -> Result<RegistryDump, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(dump) => Ok(dump),
             Response::Error(message) => Err(ClientError::Server(message)),
             _ => Err(ClientError::UnexpectedResponse),
         }

@@ -15,6 +15,7 @@
 //! | 3      | MarginalGain  | `n u32 · n × u32 seed · candidate u32` |
 //! | 4      | Info          | — |
 //! | 5      | Stats         | — |
+//! | 6      | Metrics       | — |
 //!
 //! ## Responses
 //!
@@ -25,12 +26,19 @@
 //! | 3      | MarginalGain  | `gain f64` |
 //! | 4      | Info          | `num_users u32 · num_actions u32 · seeds u32 · hits u64 · misses u64` |
 //! | 5      | Stats         | `queries u64 · hits u64 · misses u64 · publishes u64 · version u64` |
+//! | 6      | Metrics       | `nc u32 · nc × (str · u64) · ng u32 · ng × (str · f64) · nh u32 · nh × (str · count u64 · sum f64 · max f64 · p50 f64 · p90 f64 · p99 f64) · ni u32 · ni × (str · str · str)` |
 //! | 255    | Error         | `len u32 · len × utf-8 byte` |
+//!
+//! where `str` is `len u32 · len × utf-8 byte`. The Metrics payload is a
+//! full [`cdim_obs::RegistryDump`]: counters, gauges, histogram summaries,
+//! then info metrics (name · label key · label value), each block sorted
+//! by metric name.
 //!
 //! Frames above [`MAX_FRAME_LEN`] are rejected before allocation, so a
 //! garbage length prefix cannot make the server reserve gigabytes.
 
 use crate::codec::{push_f64, push_u32, push_u64};
+use cdim_obs::{HistogramSummary, RegistryDump};
 use std::io::{Read, Write};
 
 /// Upper bound on a single frame's payload (16 MiB — a 4-million-seed
@@ -42,6 +50,7 @@ const OP_SPREAD: u8 = 2;
 const OP_GAIN: u8 = 3;
 const OP_INFO: u8 = 4;
 const OP_STATS: u8 = 5;
+const OP_METRICS: u8 = 6;
 const OP_ERROR: u8 = 255;
 
 /// A wire request.
@@ -69,6 +78,9 @@ pub enum Request {
     /// Service observability counters (queries served, cache hits,
     /// publishes applied, current model version).
     Stats,
+    /// Full metrics-registry dump: every counter, gauge, latency-histogram
+    /// summary, and info metric the process has registered.
+    Metrics,
 }
 
 /// Snapshot and cache facts returned by [`Request::Info`].
@@ -121,6 +133,8 @@ pub enum Response {
     Info(ServiceInfo),
     /// Answer to [`Request::Stats`].
     Stats(StatsReply),
+    /// Answer to [`Request::Metrics`].
+    Metrics(RegistryDump),
     /// The request was rejected; the payload explains why.
     Error(String),
 }
@@ -215,6 +229,40 @@ fn push_seeds(out: &mut Vec<u8>, seeds: &[u32]) {
     }
 }
 
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_dump(out: &mut Vec<u8>, dump: &RegistryDump) {
+    push_u32(out, dump.counters.len() as u32);
+    for (name, value) in &dump.counters {
+        push_str(out, name);
+        push_u64(out, *value);
+    }
+    push_u32(out, dump.gauges.len() as u32);
+    for (name, value) in &dump.gauges {
+        push_str(out, name);
+        push_f64(out, *value);
+    }
+    push_u32(out, dump.histograms.len() as u32);
+    for (name, s) in &dump.histograms {
+        push_str(out, name);
+        push_u64(out, s.count);
+        push_f64(out, s.sum);
+        push_f64(out, s.max);
+        push_f64(out, s.p50);
+        push_f64(out, s.p90);
+        push_f64(out, s.p99);
+    }
+    push_u32(out, dump.infos.len() as u32);
+    for (name, label, value) in &dump.infos {
+        push_str(out, name);
+        push_str(out, label);
+        push_str(out, value);
+    }
+}
+
 /// Serializes a request payload.
 pub fn encode_request(request: &Request) -> Vec<u8> {
     let mut out = Vec::new();
@@ -234,6 +282,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Info => out.push(OP_INFO),
         Request::Stats => out.push(OP_STATS),
+        Request::Metrics => out.push(OP_METRICS),
     }
     out
 }
@@ -274,6 +323,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             push_u64(&mut out, stats.cache_misses);
             push_u64(&mut out, stats.publishes);
             push_u64(&mut out, stats.model_version);
+        }
+        Response::Metrics(dump) => {
+            out.push(OP_METRICS);
+            push_dump(&mut out, dump);
         }
         Response::Error(message) => {
             out.push(OP_ERROR);
@@ -318,6 +371,14 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| ProtocolError::Malformed("string is not UTF-8"))
+    }
+
     fn seeds(&mut self) -> Result<Vec<u32>, ProtocolError> {
         let n = self.u32()? as usize;
         if n * 4 > self.buf.len() - self.pos {
@@ -347,6 +408,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         }
         OP_INFO => Request::Info,
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
         op => return Err(ProtocolError::UnknownOpcode(op)),
     };
     r.done()?;
@@ -386,6 +448,47 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             publishes: r.u64()?,
             model_version: r.u64()?,
         }),
+        OP_METRICS => {
+            // Counts are bounded by the payload itself: every entry is at
+            // least 4 bytes, so an absurd count fails in `take` before any
+            // large allocation (capacity is never pre-reserved from it).
+            let nc = r.u32()? as usize;
+            let mut counters = Vec::new();
+            for _ in 0..nc {
+                let name = r.string()?;
+                counters.push((name, r.u64()?));
+            }
+            let ng = r.u32()? as usize;
+            let mut gauges = Vec::new();
+            for _ in 0..ng {
+                let name = r.string()?;
+                gauges.push((name, r.f64()?));
+            }
+            let nh = r.u32()? as usize;
+            let mut histograms = Vec::new();
+            for _ in 0..nh {
+                let name = r.string()?;
+                histograms.push((
+                    name,
+                    HistogramSummary {
+                        count: r.u64()?,
+                        sum: r.f64()?,
+                        max: r.f64()?,
+                        p50: r.f64()?,
+                        p90: r.f64()?,
+                        p99: r.f64()?,
+                    },
+                ));
+            }
+            let ni = r.u32()? as usize;
+            let mut infos = Vec::new();
+            for _ in 0..ni {
+                let name = r.string()?;
+                let label = r.string()?;
+                infos.push((name, label, r.string()?));
+            }
+            Response::Metrics(RegistryDump { counters, gauges, histograms, infos })
+        }
         OP_ERROR => {
             let len = r.u32()? as usize;
             let bytes = r.take(len)?;
@@ -412,6 +515,7 @@ mod tests {
             Request::MarginalGain { seeds: vec![2, 3], candidate: 4 },
             Request::Info,
             Request::Stats,
+            Request::Metrics,
         ];
         for request in requests {
             let payload = encode_request(&request);
@@ -439,6 +543,30 @@ mod tests {
                 cache_misses: 3,
                 publishes: 4,
                 model_version: 4,
+            }),
+            Response::Metrics(RegistryDump::default()),
+            Response::Metrics(RegistryDump {
+                counters: vec![("cdim_serve_queries_total".to_string(), 42)],
+                gauges: vec![
+                    ("cdim_ingest_lag_bytes".to_string(), 0.0),
+                    ("cdim_ingest_records_per_sec".to_string(), 1234.5),
+                ],
+                histograms: vec![(
+                    "cdim_serve_query_seconds".to_string(),
+                    HistogramSummary {
+                        count: 9,
+                        sum: 0.5,
+                        max: 0.25,
+                        p50: 0.01,
+                        p90: 0.2,
+                        p99: 0.25,
+                    },
+                )],
+                infos: vec![(
+                    "cdim_ingest_last_quarantine_reason".to_string(),
+                    "reason".to_string(),
+                    "stale action (frontier 17)".to_string(),
+                )],
             }),
             Response::Error("user 9 out of range".to_string()),
         ];

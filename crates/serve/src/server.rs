@@ -185,6 +185,9 @@ fn handle(request: &Request, service: &InfluenceService) -> Response {
                 model_version: stats.model_version,
             });
         }
+        Request::Metrics => {
+            return Response::Metrics(service.metrics_registry().dump());
+        }
     };
     match service.query(&query) {
         Ok(Answer::TopKSeeds { seeds, gains }) => Response::TopKSeeds { seeds, gains },
@@ -258,6 +261,36 @@ mod tests {
         let bumped = client.stats().unwrap();
         assert_eq!(bumped.publishes, 1);
         assert_eq!(bumped.model_version, 1);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_op_dumps_the_service_registry() {
+        let service = test_service();
+        let server = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = QueryClient::connect(server.addr()).unwrap();
+
+        client.spread(&[0]).unwrap();
+        client.spread(&[0]).unwrap();
+        let dump = client.metrics().unwrap();
+        let counter = |name: &str| {
+            dump.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(counter("cdim_serve_queries_total"), 2);
+        assert_eq!(counter("cdim_serve_cache_hits_total"), 1);
+        assert_eq!(counter("cdim_serve_cache_misses_total"), 1);
+        let (_, query_hist) = dump
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "cdim_serve_query_seconds")
+            .expect("missing query histogram");
+        assert_eq!(query_hist.count, 2);
+        assert!(query_hist.p50 <= query_hist.p99 && query_hist.p99 <= query_hist.max);
 
         server.shutdown();
     }

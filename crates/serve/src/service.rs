@@ -17,8 +17,8 @@
 //! keep the old snapshot alive until they finish — zero downtime.
 
 use crate::snapshot::ModelSnapshot;
-use cdim_util::LruCache;
-use std::sync::atomic::{AtomicU64, Ordering};
+use cdim_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use cdim_util::{LruCache, Timer};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// A query against the current snapshot.
@@ -121,6 +121,36 @@ pub struct ServiceStats {
     pub model_version: u64,
 }
 
+/// The service's handles into its [`MetricsRegistry`]: resolved once at
+/// construction so the hot path never pays a name lookup.
+struct ServeMetrics {
+    queries: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    published: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    query_seconds: Arc<Histogram>,
+    publish_seconds: Arc<Histogram>,
+    retract_seconds: Arc<Histogram>,
+    swap_seconds: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            queries: registry.counter("cdim_serve_queries_total"),
+            hits: registry.counter("cdim_serve_cache_hits_total"),
+            misses: registry.counter("cdim_serve_cache_misses_total"),
+            published: registry.counter("cdim_serve_publishes_total"),
+            inflight: registry.gauge("cdim_serve_inflight_queries"),
+            query_seconds: registry.histogram("cdim_serve_query_seconds"),
+            publish_seconds: registry.histogram("cdim_serve_publish_seconds"),
+            retract_seconds: registry.histogram("cdim_serve_retract_seconds"),
+            swap_seconds: registry.histogram("cdim_serve_swap_seconds"),
+        }
+    }
+}
+
 /// Thread-safe influence-query service over an immutable model snapshot.
 pub struct InfluenceService {
     /// The served model plus its publish epoch. Reading them as a pair is
@@ -128,24 +158,40 @@ pub struct InfluenceService {
     /// before caching it.
     snapshot: RwLock<(u64, Arc<ModelSnapshot>)>,
     cache: Mutex<LruCache<CacheKey, Answer>>,
-    queries: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    published: AtomicU64,
+    /// The registry this service reports into; [`ServiceStats`] reads the
+    /// same counters back, so there is exactly one source of truth.
+    registry: Arc<MetricsRegistry>,
+    metrics: ServeMetrics,
 }
 
 impl InfluenceService {
     /// Wraps `snapshot` with an answer cache of `cache_capacity` entries
-    /// (0 disables caching).
+    /// (0 disables caching). The service gets a private
+    /// [`MetricsRegistry`]; use [`Self::with_registry`] to share one.
     pub fn new(snapshot: ModelSnapshot, cache_capacity: usize) -> Self {
+        Self::with_registry(snapshot, cache_capacity, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Like [`Self::new`], but reporting into `registry` — pass
+    /// [`MetricsRegistry::global`] to surface the service's series on the
+    /// process-wide scrape endpoint and wire op 6.
+    pub fn with_registry(
+        snapshot: ModelSnapshot,
+        cache_capacity: usize,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let metrics = ServeMetrics::register(&registry);
         InfluenceService {
             snapshot: RwLock::new((0, Arc::new(snapshot))),
             cache: Mutex::new(LruCache::new(cache_capacity)),
-            queries: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            published: AtomicU64::new(0),
+            registry,
+            metrics,
         }
+    }
+
+    /// The registry this service reports into (the one wire op 6 dumps).
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// The currently-served snapshot. The returned `Arc` stays valid (and
@@ -178,12 +224,14 @@ impl InfluenceService {
         // epoch and skips its cache insert, or inserted before the bump —
         // in which case the clear below removes the entry. Either way no
         // old-model answer survives the publish.
+        let timer = Timer::start();
         {
             let mut slot = self.snapshot.write().expect("snapshot lock poisoned");
             *slot = (slot.0 + 1, next);
         }
         self.cache.lock().expect("cache lock poisoned").clear();
-        self.published.fetch_add(1, Ordering::Relaxed);
+        self.metrics.swap_seconds.observe(timer.secs());
+        self.metrics.published.inc();
     }
 
     /// Incremental hot-swap: extends the *currently served* snapshot with
@@ -204,6 +252,7 @@ impl InfluenceService {
         policy: &cdim_core::CreditPolicy,
         parallelism: cdim_util::Parallelism,
     ) -> Result<(), cdim_core::ExtendError> {
+        let _span = self.metrics.publish_seconds.start_span();
         let next = self.snapshot().extend(graph, delta, policy, parallelism)?;
         self.publish(next);
         Ok(())
@@ -225,6 +274,7 @@ impl InfluenceService {
         policy: &cdim_core::CreditPolicy,
         parallelism: cdim_util::Parallelism,
     ) -> Result<(), cdim_core::ExtendError> {
+        let _span = self.metrics.retract_seconds.start_span();
         let next = self.snapshot().retract(graph, expired, policy, parallelism)?;
         self.publish(next);
         Ok(())
@@ -236,30 +286,33 @@ impl InfluenceService {
         self.epoch()
     }
 
-    /// Query, cache and publish counters.
+    /// Query, cache and publish counters, read back from the service's
+    /// [`MetricsRegistry`] — the registry IS the source of truth.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            cache_misses: self.misses.load(Ordering::Relaxed),
-            snapshots_published: self.published.load(Ordering::Relaxed),
+            queries: self.metrics.queries.get(),
+            cache_hits: self.metrics.hits.get(),
+            cache_misses: self.metrics.misses.get(),
+            snapshots_published: self.metrics.published.get(),
             model_version: self.epoch(),
         }
     }
 
     /// Answers one query, consulting the LRU cache first.
     pub fn query(&self, query: &Query) -> Result<Answer, QueryError> {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queries.inc();
+        let _inflight = self.metrics.inflight.inc_scoped();
+        let _span = self.metrics.query_seconds.start_span();
         let (epoch, snapshot) = self.snapshot_with_epoch();
         let key = canonical_key(query, &snapshot)?;
 
         if let Some(answer) = self.cache.lock().expect("cache lock poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(answer.clone());
         }
 
         let answer = compute(&key, &snapshot);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
         // Cache only when no publish raced the computation (checked while
         // holding the cache lock, so a concurrent publish's clear either
         // runs after this insert or is ordered after our epoch check).
@@ -557,6 +610,41 @@ mod tests {
             .retract_delta(&ds.graph, &stale, &policy, cdim_util::Parallelism::auto())
             .is_err());
         assert_eq!(svc.model_version(), 1);
+    }
+
+    #[test]
+    fn stats_and_registry_agree_on_one_source_of_truth() {
+        let ds = cdim_datagen::presets::tiny().generate();
+        let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+        let store = scan(&ds.graph, &ds.log, &policy, 0.001).unwrap();
+        let registry = std::sync::Arc::new(cdim_obs::MetricsRegistry::new());
+        let svc = InfluenceService::with_registry(
+            ModelSnapshot::from_store(store),
+            16,
+            std::sync::Arc::clone(&registry),
+        );
+
+        let q = Query::Spread { seeds: vec![0, 1] };
+        svc.query(&q).unwrap();
+        svc.query(&q).unwrap();
+        let stats = svc.stats();
+        // ServiceStats is a read of the registry, not a parallel count.
+        assert_eq!(registry.counter("cdim_serve_queries_total").get(), stats.queries);
+        assert_eq!(registry.counter("cdim_serve_cache_hits_total").get(), stats.cache_hits);
+        assert_eq!(registry.counter("cdim_serve_cache_misses_total").get(), stats.cache_misses);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+
+        // Latency histograms saw every query; the in-flight gauge is back
+        // to zero once the queries returned.
+        assert_eq!(registry.histogram("cdim_serve_query_seconds").count(), 2);
+        assert_eq!(registry.gauge("cdim_serve_inflight_queries").get(), 0.0);
+
+        // A publish lands in both the counter and the swap histogram.
+        let store = scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.0).unwrap();
+        svc.publish(ModelSnapshot::from_store(store));
+        assert_eq!(registry.counter("cdim_serve_publishes_total").get(), 1);
+        assert_eq!(registry.histogram("cdim_serve_swap_seconds").count(), 1);
     }
 
     #[test]

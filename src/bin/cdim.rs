@@ -23,6 +23,7 @@ use cdim::actionlog::{stats::log_stats, storage, ActionLogDelta};
 use cdim::graph::stats::graph_stats;
 use cdim::ingest::{BatchConfig, FollowConfig, IngestDriver, WindowPolicy};
 use cdim::metrics::Table;
+use cdim::obs::{MetricsRegistry, MetricsServer};
 use cdim::prelude::*;
 use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient};
 use std::path::{Path, PathBuf};
@@ -79,12 +80,12 @@ fn usage() {
          cdim train    --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--window N]\n  \
          cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
          cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
-         cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N]\n  \
+         cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N] [--metrics-addr host:port]\n  \
          cdim follow   --graph <g.tsv> --log <live.tsv> --snapshot <m.ckpt> [--serve host:port]\n  \
                        [--batch-actions N] [--batch-ms T] [--checkpoint-every K] [--poll-ms T]\n  \
                        [--idle-exit-ms T] [--export-snapshot <m.snap>] [--policy uniform|time-aware]\n  \
                        [--policy-log <l.tsv>] [--lambda F] [--threads N] [--cache N]\n  \
-                       [--window-actions N | --window-age A]\n  \
+                       [--window-actions N | --window-age A] [--metrics-addr host:port]\n  \
          cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]\n  \
          cdim stats    --addr <host:port>"
     );
@@ -194,6 +195,13 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
         table.row(["publishes applied".to_string(), stats.publishes.to_string()]);
         table.row(["model version".to_string(), stats.model_version.to_string()]);
         print!("{table}");
+        // Op 6: the full registry dump — latency quantiles, ingest
+        // throughput/lag, quarantine reasons. An older server that lacks
+        // the opcode just loses this section, not the counters above.
+        match client.metrics() {
+            Ok(dump) => print_metrics_dump(&dump),
+            Err(e) => eprintln!("(metrics op unavailable: {e})"),
+        }
         return Ok(());
     }
     let (graph, log) = load(flags)?;
@@ -211,6 +219,57 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     table.row(["active users".to_string(), ls.active_users.to_string()]);
     print!("{table}");
     Ok(())
+}
+
+/// Renders a wire-op-6 registry dump: one table of scalar series
+/// (counters, gauges, infos), one of histogram quantiles.
+fn print_metrics_dump(dump: &cdim::obs::RegistryDump) {
+    if dump.is_empty() {
+        return;
+    }
+    let mut scalars = Table::new(["metric", "value"]);
+    for (name, v) in &dump.counters {
+        scalars.row([name.clone(), v.to_string()]);
+    }
+    for (name, v) in &dump.gauges {
+        scalars.row([name.clone(), format!("{v:.3}")]);
+    }
+    for (name, key, value) in &dump.infos {
+        if !value.is_empty() {
+            scalars.row([format!("{name}{{{key}}}"), value.clone()]);
+        }
+    }
+    print!("{scalars}");
+    let recorded: Vec<_> = dump.histograms.iter().filter(|(_, s)| s.count > 0).collect();
+    if !recorded.is_empty() {
+        let mut hist = Table::new(["histogram", "count", "p50", "p90", "p99", "max"]);
+        for (name, s) in recorded {
+            // `*_seconds` histograms are latencies; the rest (e.g. batch
+            // sizes) are plain numbers.
+            let fmt: fn(f64) -> String =
+                if name.ends_with("_seconds") { fmt_secs } else { |v| format!("{v:.1}") };
+            hist.row([
+                name.clone(),
+                s.count.to_string(),
+                fmt(s.p50),
+                fmt(s.p90),
+                fmt(s.p99),
+                fmt(s.max),
+            ]);
+        }
+        print!("{hist}");
+    }
+}
+
+/// Human-scaled seconds for latency tables.
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
 }
 
 fn cmd_select(flags: &Flags) -> Result<(), String> {
@@ -434,7 +493,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         snapshot.num_actions(),
         snapshot.selector().seeds().len()
     );
-    let service = Arc::new(InfluenceService::new(snapshot, cache));
+    // The global registry, so a scrape sees serve + scan series together.
+    let service =
+        Arc::new(InfluenceService::with_registry(snapshot, cache, MetricsRegistry::global()));
+    // Named binding: the scrape endpoint lives as long as the server.
+    let _metrics_handle = spawn_metrics(flags)?;
     let handle = server::spawn(service, addr).map_err(|e| format!("binding {addr}: {e}"))?;
     // The exact address on its own stdout line, so scripts (and the CLI
     // test) can discover an ephemeral port.
@@ -444,6 +507,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// Binds the Prometheus-text scrape endpoint when `--metrics-addr` is
+/// given, announcing the bound address on stdout (script-friendly, same
+/// convention as `listening on`).
+fn spawn_metrics(flags: &Flags) -> Result<Option<MetricsServer>, String> {
+    let Some(addr) = flags.get("metrics-addr") else { return Ok(None) };
+    let handle = MetricsServer::spawn(MetricsRegistry::global(), addr)
+        .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+    println!("metrics on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    Ok(Some(handle))
 }
 
 /// `cdim follow`: tail a live action log, fold new actions into the
@@ -522,8 +598,18 @@ fn cmd_follow(flags: &Flags) -> Result<(), String> {
     };
 
     let resuming = ckpt_path.exists();
-    let mut driver = IngestDriver::open(graph, policy, &log_path, &ckpt_path, config)
-        .map_err(|e| e.to_string())?;
+    // The global registry, so a scrape sees ingest + serve + scan series
+    // in one dump.
+    let mut driver = IngestDriver::open_with_registry(
+        graph,
+        policy,
+        &log_path,
+        &ckpt_path,
+        config,
+        MetricsRegistry::global(),
+    )
+    .map_err(|e| e.to_string())?;
+    let _metrics_handle = spawn_metrics(flags)?;
     eprintln!(
         "{} {} from byte {} ({} actions in model)",
         if resuming { "resuming" } else { "following" },

@@ -44,6 +44,7 @@
 //! | [`metrics`] | RMSE, capture curves, intersections, text tables |
 //! | [`serve`] | model snapshots, the concurrent influence-query service, TCP protocol |
 //! | [`ingest`] | live log tailing, micro-batched deltas, zero-downtime online retraining |
+//! | [`obs`] | metrics registry, latency histograms, Prometheus-text scrape endpoint |
 
 pub use cdim_actionlog as actionlog;
 pub use cdim_core as core;
@@ -54,6 +55,7 @@ pub use cdim_ingest as ingest;
 pub use cdim_learning as learning;
 pub use cdim_maxim as maxim;
 pub use cdim_metrics as metrics;
+pub use cdim_obs as obs;
 pub use cdim_serve as serve;
 pub use cdim_util as util;
 

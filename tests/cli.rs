@@ -626,6 +626,105 @@ fn windowed_follow_equals_train_on_window_byte_for_byte() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One HTTP/1.1 GET against the scrape endpoint, returning the raw
+/// response (headers + body).
+fn scrape(addr: &str, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: cdim\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn serve_metrics_endpoint_scrapes_and_stats_report_quantiles() {
+    use std::io::BufRead;
+
+    let dir = tempdir("metrics");
+    let gen = cdim()
+        .args(["generate", "--preset", "tiny", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let snap = dir.join("model.snap");
+    let out = cdim()
+        .args([
+            "snapshot",
+            "--graph",
+            dir.join("graph.tsv").to_str().unwrap(),
+            "--log",
+            dir.join("log.tsv").to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut server = cdim()
+        .args([
+            "serve",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Stdout announces both endpoints, one per line.
+    let mut reader = std::io::BufReader::new(server.stdout.take().unwrap());
+    let mut metrics_addr = String::new();
+    let mut query_addr = String::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if let Some(a) = line.trim().strip_prefix("metrics on ") {
+            metrics_addr = a.to_string();
+        } else if let Some(a) = line.trim().strip_prefix("listening on ") {
+            query_addr = a.to_string();
+        }
+    }
+    assert!(!metrics_addr.is_empty() && !query_addr.is_empty());
+
+    // Two identical spreads: one miss, one hit, two query latencies.
+    for _ in 0..2 {
+        let out = cdim()
+            .args(["query", "--addr", &query_addr, "--op", "spread", "--seeds", "0,1"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    // `cdim stats` renders the op-6 dump: counters and latency quantiles.
+    let out = cdim().args(["stats", "--addr", &query_addr]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("cdim_serve_queries_total"), "{text}");
+    assert!(text.contains("cdim_serve_query_seconds"), "{text}");
+    assert!(text.contains("p50") && text.contains("p99"), "{text}");
+
+    // The scrape endpoint speaks Prometheus text exposition.
+    let response = scrape(&metrics_addr, "/metrics");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    assert!(body.contains("# TYPE cdim_serve_queries_total counter"), "{body}");
+    assert!(body.contains("cdim_serve_queries_total 2"), "{body}");
+    assert!(body.contains("cdim_serve_query_seconds{quantile=\"0.99\"}"), "{body}");
+    assert!(body.contains("cdim_serve_cache_hits_total 1"), "{body}");
+    // Unknown paths are 404, not a hang or a crash.
+    assert!(scrape(&metrics_addr, "/nope").starts_with("HTTP/1.1 404"));
+
+    server.kill().ok();
+    server.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn follow_serves_queries_and_stats_while_tailing() {
     use std::io::BufRead;
@@ -654,14 +753,26 @@ fn follow_serves_queries_and_stats_while_tailing() {
             "5",
             "--serve",
             "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
         ])
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::null())
         .spawn()
         .unwrap();
-    let mut line = String::new();
-    std::io::BufReader::new(follower.stdout.take().unwrap()).read_line(&mut line).unwrap();
-    let addr = line.trim().strip_prefix("listening on ").expect("address line").to_string();
+    let mut reader = std::io::BufReader::new(follower.stdout.take().unwrap());
+    let mut addr = String::new();
+    let mut metrics_addr = String::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if let Some(a) = line.trim().strip_prefix("metrics on ") {
+            metrics_addr = a.to_string();
+        } else if let Some(a) = line.trim().strip_prefix("listening on ") {
+            addr = a.to_string();
+        }
+    }
+    assert!(!addr.is_empty() && !metrics_addr.is_empty());
 
     // Queries are answered while the follower ingests; retry briefly so
     // the assertion waits for at least one published batch.
@@ -698,6 +809,26 @@ fn follow_serves_queries_and_stats_while_tailing() {
 
     let out = cdim().args(["query", "--addr", &addr, "--op", "topk", "--k", "2"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The scrape endpoint exposes ingest, serve, and scan series from the
+    // one shared registry while the follower runs.
+    let response = scrape(&metrics_addr, "/metrics");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap().to_string();
+    assert!(body.contains("cdim_ingest_records_total"), "{body}");
+    assert!(body.contains("cdim_ingest_lag_bytes"), "{body}");
+    assert!(body.contains("cdim_ingest_records_per_sec"), "{body}");
+    assert!(body.contains("cdim_serve_publish_seconds"), "{body}");
+    assert!(body.contains("cdim_scan_seconds"), "{body}");
+
+    // `cdim stats` surfaces live ingest throughput/lag beside the serve
+    // counters — satellite 1's operator view.
+    let out = cdim().args(["stats", "--addr", &addr]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("cdim_ingest_records_per_sec"), "{text}");
+    assert!(text.contains("cdim_ingest_lag_bytes"), "{text}");
+    assert!(text.contains("cdim_ingest_watermark_age_seconds"), "{text}");
 
     follower.kill().ok();
     follower.wait().ok();
