@@ -11,6 +11,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod incremental;
 pub mod ingest;
+pub mod memory;
 pub mod scan_scaling;
 pub mod table1;
 pub mod table2;
@@ -20,7 +21,7 @@ pub mod window;
 use crate::config::ExperimentScale;
 
 /// All experiment ids, in paper order (engineering artifacts last).
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "table1",
     "table2",
     "fig2",
@@ -39,6 +40,7 @@ pub const ALL_IDS: [&str; 19] = [
     "bench-incremental",
     "bench-ingest",
     "bench-window",
+    "bench-memory",
     "all",
 ];
 
@@ -63,6 +65,7 @@ pub fn run(id: &str, scale: ExperimentScale) -> bool {
         "bench-incremental" => incremental::run(scale),
         "bench-ingest" => ingest::run(scale),
         "bench-window" => window::run(scale),
+        "bench-memory" => memory::run(scale),
         "all" => {
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
                 run(id, scale);

@@ -190,66 +190,138 @@ impl CdSelector {
     /// Like [`Self::select`] but with an explicit marginal-gain mode
     /// (the `ablate-mg` experiment compares the two).
     pub fn select_with_mode(mut self, k: usize, mode: MgMode) -> Selection {
-        let mg_of = |sel: &CdSelector, x: u32| match mode {
-            MgMode::Theorem3 => sel.compute_mg(x),
-            MgMode::Pseudocode => sel.compute_mg_pseudocode(x),
-        };
-        let mut evaluations = 0usize;
-        let mut gains = Vec::with_capacity(k);
-        let mut heap: BinaryHeap<(OrdF64, Reverse<u32>, usize)> =
-            BinaryHeap::with_capacity(self.store.num_users());
+        let (gains, evaluations) = run_celf(&mut self, k, mode);
+        Selection { seeds: self.seeds, marginal_gains: gains, evaluations }
+    }
+}
 
-        // First pass: S = ∅, so SC = 0 and mg(x) = σ_cd({x}). One bulk
-        // sweep over the credit entries computes every candidate's gain at
-        // once — the per-user formula would pay a hash probe per entry,
-        // which dominates selection time on multi-million-entry stores.
-        // (Theorem3 and Pseudocode agree on all credit terms; they differ
-        // only in the self term below.)
+/// The state interface the CELF driver (Algorithm 3) runs against.
+///
+/// Two engines implement it: the mutable [`CdSelector`] and the
+/// flat-array overlay in [`crate::compact`]. Sharing one driver is what
+/// makes their answers *bit-identical* for canonically restored state —
+/// the candidate enumeration, heap discipline, and every f64 accumulation
+/// order are structurally the same code.
+pub(crate) trait CelfEngine {
+    /// Users in the id space (the candidate range).
+    fn num_users(&self) -> usize;
+    /// Seeds committed so far.
+    fn seeds_len(&self) -> usize;
+    /// `Σ_a Σ_u Γ_{x,u}(a)·1/A_u` for every user `x` — the credit half of
+    /// the `S = ∅` bulk pass. Implementations must accumulate per
+    /// out-row, actions in ascending order, rows in each row's traversal
+    /// order: every contribution to `initial[x]` comes from `x`'s own
+    /// rows, so the per-user sums are then deterministic for canonically
+    /// ordered state regardless of how the row *set* is iterated.
+    fn initial_credit_gains(&self) -> Vec<f64>;
+    /// `1 / A_x` (0 for users that never acted, who are not candidates).
+    fn inv_au_of(&self, x: u32) -> f64;
+    /// The self-credit half of the `S = ∅` bulk pass for candidate `x`
+    /// (mode-dependent; see [`MgMode`]). Summed per performed action with
+    /// the same accumulation order as the full marginal-gain formula.
+    fn self_term(&self, x: u32, mode: MgMode) -> f64;
+    /// Theorem-3 (or pseudocode) marginal gain of `x` under the current
+    /// seed set.
+    fn mg(&self, x: u32, mode: MgMode) -> f64;
+    /// Commits `x` as a seed and applies the Lemma 2/3 updates.
+    fn commit(&mut self, x: u32);
+}
+
+/// Algorithm 3's CELF loop over any [`CelfEngine`]: bulk first pass, then
+/// lazy re-evaluation off a max-heap (ties break toward the smaller user
+/// id). Returns the per-seed gains and the evaluation count; the chosen
+/// seeds accumulate inside the engine.
+pub(crate) fn run_celf<E: CelfEngine>(engine: &mut E, k: usize, mode: MgMode) -> (Vec<f64>, usize) {
+    let mut evaluations = 0usize;
+    let mut gains = Vec::with_capacity(k);
+    let mut heap: BinaryHeap<(OrdF64, Reverse<u32>, usize)> =
+        BinaryHeap::with_capacity(engine.num_users());
+
+    // First pass: S = ∅, so SC = 0 and mg(x) = σ_cd({x}). One bulk sweep
+    // over the credit rows computes every candidate's gain at once — the
+    // per-user formula would pay an index probe per entry, which
+    // dominates selection time on multi-million-entry stores. (Theorem3
+    // and Pseudocode agree on all credit terms; they differ only in the
+    // self term.)
+    let initial = engine.initial_credit_gains();
+    for x in 0..engine.num_users() as u32 {
+        if engine.inv_au_of(x) == 0.0 {
+            continue;
+        }
+        evaluations += 1;
+        heap.push((OrdF64(initial[x as usize] + engine.self_term(x, mode)), Reverse(x), 0));
+    }
+
+    while engine.seeds_len() < k {
+        let Some((OrdF64(mg), Reverse(x), round)) = heap.pop() else {
+            break;
+        };
+        if round == engine.seeds_len() {
+            gains.push(mg);
+            engine.commit(x);
+        } else {
+            let fresh = engine.mg(x, mode);
+            evaluations += 1;
+            heap.push((OrdF64(fresh), Reverse(x), engine.seeds_len()));
+        }
+    }
+
+    (gains, evaluations)
+}
+
+impl CelfEngine for CdSelector {
+    fn num_users(&self) -> usize {
+        self.store.num_users()
+    }
+
+    fn seeds_len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    fn initial_credit_gains(&self) -> Vec<f64> {
         let mut initial = vec![0.0f64; self.store.num_users()];
         for a in 0..self.store.num_actions() as u32 {
-            for (v, u, c) in self.store.action(a).entries() {
-                initial[v as usize] += c * self.store.inv_au(u);
-            }
-        }
-        for x in 0..self.store.num_users() as u32 {
-            let inv_ax = self.store.inv_au(x);
-            if inv_ax == 0.0 {
-                continue;
-            }
-            let self_term = match mode {
-                // inv_ax summed over every action x performed is exactly 1
-                // up to rounding; use the same per-action accumulation as
-                // compute_mg for bit-identical refresh comparisons.
-                MgMode::Theorem3 => {
-                    self.store.actions_of_user(x).iter().map(|_| inv_ax).sum::<f64>()
+            let ac = self.store.action(a);
+            for (v, row) in ac.out_rows() {
+                let acc = &mut initial[v as usize];
+                for &u in row {
+                    *acc += ac.get(v, u) * self.store.inv_au(u);
                 }
-                MgMode::Pseudocode => self
-                    .store
-                    .actions_of_user(x)
-                    .iter()
-                    .filter(|&&a| self.store.action(a).has_influencer(x))
-                    .map(|_| inv_ax)
-                    .sum::<f64>(),
-            };
-            evaluations += 1;
-            heap.push((OrdF64(initial[x as usize] + self_term), Reverse(x), 0));
-        }
-
-        while self.seeds.len() < k {
-            let Some((OrdF64(mg), Reverse(x), round)) = heap.pop() else {
-                break;
-            };
-            if round == self.seeds.len() {
-                gains.push(mg);
-                self.update(x);
-            } else {
-                let fresh = mg_of(&self, x);
-                evaluations += 1;
-                heap.push((OrdF64(fresh), Reverse(x), self.seeds.len()));
             }
         }
+        initial
+    }
 
-        Selection { seeds: self.seeds, marginal_gains: gains, evaluations }
+    fn inv_au_of(&self, x: u32) -> f64 {
+        self.store.inv_au(x)
+    }
+
+    fn self_term(&self, x: u32, mode: MgMode) -> f64 {
+        let inv_ax = self.store.inv_au(x);
+        match mode {
+            // inv_ax summed over every action x performed is exactly 1 up
+            // to rounding; use the same per-action accumulation as
+            // compute_mg for bit-identical refresh comparisons.
+            MgMode::Theorem3 => self.store.actions_of_user(x).iter().map(|_| inv_ax).sum::<f64>(),
+            MgMode::Pseudocode => self
+                .store
+                .actions_of_user(x)
+                .iter()
+                .filter(|&&a| self.store.action(a).has_influencer(x))
+                .map(|_| inv_ax)
+                .sum::<f64>(),
+        }
+    }
+
+    fn mg(&self, x: u32, mode: MgMode) -> f64 {
+        match mode {
+            MgMode::Theorem3 => self.compute_mg(x),
+            MgMode::Pseudocode => self.compute_mg_pseudocode(x),
+        }
+    }
+
+    fn commit(&mut self, x: u32) {
+        self.update(x);
     }
 }
 

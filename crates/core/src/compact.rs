@@ -1,0 +1,1403 @@
+//! CSR-flat, read-optimized form of the trained state.
+//!
+//! The mutable [`CreditStore`] is hashmap-of-hashmaps shaped — ideal for
+//! the scan and for Lemma-2/3 updates, cache-hostile at 10⁶⁺ users. This
+//! module freezes it into a [`CompactCreditStore`] / [`CompactSelector`]:
+//! every per-action credit/out/inc adjacency flattened into CSR
+//! offset+data arrays with *sorted* neighbor runs, all living in one
+//! contiguous 8-byte-aligned arena ([`cdim_util::AlignedBuf`]). The arena
+//! is also the v2 snapshot payload: the serving layer stores it verbatim
+//! and reloads it by validate + reinterpret — no per-entry decode.
+//!
+//! ## Arena layout
+//!
+//! Sections in order, each 8-byte-aligned, sizes fully determined by
+//! [`CompactCounts`] (`U` users, `A` actions, `R`/`R'` out/inc rows, `E`
+//! entries):
+//!
+//! ```text
+//! ua_offsets   (U+1)×u32   user → range into ua_data
+//! ua_data      ua_len×u32  dense action ids each user performed
+//! inv_au       U×f64       1/A_u per user
+//! out_act_rows (A+1)×u32   action → range of out rows
+//! out_row_user R×u32       row → influencer v (sorted per action)
+//! out_row_offs (R+1)×u32   row → range of entries
+//! out_targets  E×u32       entry → target u (sorted per row)
+//! out_credits  E×f64       entry → Γ_{v,u}(a)
+//! inc_act_rows (A+1)×u32   action → range of inc rows
+//! inc_row_user R'×u32      row → target u (sorted per action)
+//! inc_row_offs (R'+1)×u32  row → range of inc entries
+//! inc_sources  E×u32       inc entry → source v (sorted per row)
+//! sc_keys      sc_len×u64  packed (action, user), sorted
+//! sc_vals      sc_len×f64  Γ_{S,u}(a)
+//! seeds        seeds×u32   committed seeds, selection order
+//! ```
+//!
+//! Credit values are stored once (in `out_credits`); the incoming
+//! direction carries only source ids and finds each credit by binary
+//! search over the source's sorted out run — two probes per entry when
+//! retiring a user's column, in exchange for 4 fewer bytes per entry.
+//!
+//! ## Bit-identity contract
+//!
+//! Freezing sorts entries exactly like [`CreditStore::dump`], so a
+//! compact store and a canonically restored mutable store (`from_dump`)
+//! traverse credits in the same order — and because the compact query
+//! engine ([`OverlaySelector`]) shares the CELF driver and mirrors every
+//! f64 accumulation order of [`CdSelector`], the two answer every query
+//! **bit-identically**. The incremental extend/retract path stays on the
+//! mutable store: [`thaw`](CompactSelector::thaw) converts back.
+
+use crate::celf::{run_celf, CdSelector, CelfEngine, MgMode};
+use crate::store::{pair_key, CreditStore, CreditStoreDump};
+use crate::SelectorDump;
+use cdim_maxim::Selection;
+use cdim_util::bytes::{
+    cast_slice_f64, cast_slice_f64_mut, cast_slice_u32, cast_slice_u32_mut, cast_slice_u64,
+    cast_slice_u64_mut,
+};
+use cdim_util::{AlignedBuf, FxHashMap, HeapSize};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Element counts that fully determine the arena layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactCounts {
+    /// Users in the id space.
+    pub num_users: usize,
+    /// Actions scanned.
+    pub num_actions: usize,
+    /// Total user→action index entries (Σ |actions_of_user|).
+    pub ua_len: usize,
+    /// Out-adjacency rows (Σ per action distinct influencers).
+    pub out_rows: usize,
+    /// Inc-adjacency rows (Σ per action distinct targets).
+    pub inc_rows: usize,
+    /// Live credit entries.
+    pub entries: usize,
+    /// SC map entries.
+    pub sc_len: usize,
+    /// Committed seeds.
+    pub seeds_len: usize,
+}
+
+/// Byte ranges of each arena section (relative to the arena base).
+#[derive(Clone, Debug)]
+struct Layout {
+    ua_offsets: Range<usize>,
+    ua_data: Range<usize>,
+    inv_au: Range<usize>,
+    out_act_rows: Range<usize>,
+    out_row_user: Range<usize>,
+    out_row_offsets: Range<usize>,
+    out_targets: Range<usize>,
+    out_credits: Range<usize>,
+    inc_act_rows: Range<usize>,
+    inc_row_user: Range<usize>,
+    inc_row_offsets: Range<usize>,
+    inc_sources: Range<usize>,
+    sc_keys: Range<usize>,
+    sc_vals: Range<usize>,
+    seeds: Range<usize>,
+    total: usize,
+}
+
+const fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+impl CompactCounts {
+    /// Offsets are u32; every count an offset array must express has to
+    /// fit (`u32::MAX` itself is reserved so `len+1`-sized arrays fit
+    /// too). At ~20 bytes/entry that bound is only reachable past ~80 GB
+    /// of credits.
+    fn check_offsets_fit(&self) {
+        for (what, n) in [
+            ("ua_len", self.ua_len),
+            ("out_rows", self.out_rows),
+            ("inc_rows", self.inc_rows),
+            ("entries", self.entries),
+        ] {
+            assert!(
+                n < u32::MAX as usize,
+                "compact store overflow: {what} = {n} exceeds the u32 offset space"
+            );
+        }
+    }
+
+    fn layout(&self) -> Layout {
+        let mut off = 0usize;
+        let mut section = |bytes: usize| -> Range<usize> {
+            let start = align8(off);
+            off = start + bytes;
+            start..start + bytes
+        };
+        let ua_offsets = section(4 * (self.num_users + 1));
+        let ua_data = section(4 * self.ua_len);
+        let inv_au = section(8 * self.num_users);
+        let out_act_rows = section(4 * (self.num_actions + 1));
+        let out_row_user = section(4 * self.out_rows);
+        let out_row_offsets = section(4 * (self.out_rows + 1));
+        let out_targets = section(4 * self.entries);
+        let out_credits = section(8 * self.entries);
+        let inc_act_rows = section(4 * (self.num_actions + 1));
+        let inc_row_user = section(4 * self.inc_rows);
+        let inc_row_offsets = section(4 * (self.inc_rows + 1));
+        let inc_sources = section(4 * self.entries);
+        let sc_keys = section(8 * self.sc_len);
+        let sc_vals = section(8 * self.sc_len);
+        let seeds = section(4 * self.seeds_len);
+        let total = align8(off);
+        Layout {
+            ua_offsets,
+            ua_data,
+            inv_au,
+            out_act_rows,
+            out_row_user,
+            out_row_offsets,
+            out_targets,
+            out_credits,
+            inc_act_rows,
+            inc_row_user,
+            inc_row_offsets,
+            inc_sources,
+            sc_keys,
+            sc_vals,
+            seeds,
+            total,
+        }
+    }
+
+    /// Arena size in bytes for these counts.
+    pub fn arena_len(&self) -> usize {
+        self.layout().total
+    }
+
+    /// Counts of a selector dump (what [`CompactSelector::from_dump`]
+    /// will build).
+    pub fn of_dump(dump: &SelectorDump) -> CompactCounts {
+        let store = &dump.store;
+        let mut out_rows = 0usize;
+        let mut inc_rows = 0usize;
+        let mut entries = 0usize;
+        for action in &store.credits {
+            entries += action.len();
+            // Entries are sorted by (v, u): out rows are the v-groups.
+            let mut last_v = None;
+            for &(v, _, _) in action {
+                if last_v != Some(v) {
+                    out_rows += 1;
+                    last_v = Some(v);
+                }
+            }
+            // Inc rows are the distinct targets.
+            let mut targets: Vec<u32> = action.iter().map(|&(_, u, _)| u).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            inc_rows += targets.len();
+        }
+        CompactCounts {
+            num_users: store.user_actions.len(),
+            num_actions: store.credits.len(),
+            ua_len: store.user_actions.iter().map(Vec::len).sum(),
+            out_rows,
+            inc_rows,
+            entries,
+            sc_len: dump.sc.len(),
+            seeds_len: dump.seeds.len(),
+        }
+    }
+}
+
+/// The shared immutable payload: one arena plus the metadata to slice it.
+#[derive(Debug)]
+struct CompactData {
+    buf: Arc<AlignedBuf>,
+    /// Byte offset of the arena inside `buf` (0 for freeze-built arenas,
+    /// the header size for snapshot-backed ones). Always 8-aligned.
+    base: usize,
+    counts: CompactCounts,
+    layout: Layout,
+    lambda: f64,
+}
+
+macro_rules! typed_section {
+    ($name:ident, $cast:ident, $t:ty) => {
+        #[inline]
+        fn $name(&self) -> &[$t] {
+            let r = &self.layout.$name;
+            // Layout sections are 8-aligned on an 8-aligned arena base,
+            // and sized as whole elements, so the cast cannot fail.
+            $cast(&self.buf[self.base + r.start..self.base + r.end])
+                .expect("arena section misaligned")
+        }
+    };
+}
+
+impl CompactData {
+    typed_section!(ua_offsets, cast_slice_u32, u32);
+    typed_section!(ua_data, cast_slice_u32, u32);
+    typed_section!(inv_au, cast_slice_f64, f64);
+    typed_section!(out_act_rows, cast_slice_u32, u32);
+    typed_section!(out_row_user, cast_slice_u32, u32);
+    typed_section!(out_row_offsets, cast_slice_u32, u32);
+    typed_section!(out_targets, cast_slice_u32, u32);
+    typed_section!(out_credits, cast_slice_f64, f64);
+    typed_section!(inc_act_rows, cast_slice_u32, u32);
+    typed_section!(inc_row_user, cast_slice_u32, u32);
+    typed_section!(inc_row_offsets, cast_slice_u32, u32);
+    typed_section!(inc_sources, cast_slice_u32, u32);
+    typed_section!(sc_keys, cast_slice_u64, u64);
+    typed_section!(sc_vals, cast_slice_f64, f64);
+    typed_section!(seeds, cast_slice_u32, u32);
+
+    fn arena(&self) -> &[u8] {
+        &self.buf[self.base..self.base + self.layout.total]
+    }
+
+    #[inline]
+    fn inv_au_of(&self, u: u32) -> f64 {
+        self.inv_au()[u as usize]
+    }
+
+    #[inline]
+    fn ua_row(&self, u: u32) -> &[u32] {
+        let offs = self.ua_offsets();
+        &self.ua_data()[offs[u as usize] as usize..offs[u as usize + 1] as usize]
+    }
+
+    /// Row-index range of action `a` in the out direction.
+    #[inline]
+    fn out_act_range(&self, a: u32) -> Range<usize> {
+        let r = self.out_act_rows();
+        r[a as usize] as usize..r[a as usize + 1] as usize
+    }
+
+    /// Row index of influencer `v` in action `a`, if `v` has a row.
+    #[inline]
+    fn out_row_of(&self, a: u32, v: u32) -> Option<usize> {
+        let range = self.out_act_range(a);
+        let users = &self.out_row_user()[range.clone()];
+        users.binary_search(&v).ok().map(|i| range.start + i)
+    }
+
+    /// Entry-position range of out row `row`.
+    #[inline]
+    fn out_row_entries(&self, row: usize) -> Range<usize> {
+        let offs = self.out_row_offsets();
+        offs[row] as usize..offs[row + 1] as usize
+    }
+
+    #[inline]
+    fn inc_act_range(&self, a: u32) -> Range<usize> {
+        let r = self.inc_act_rows();
+        r[a as usize] as usize..r[a as usize + 1] as usize
+    }
+
+    #[inline]
+    fn inc_row_of(&self, a: u32, u: u32) -> Option<usize> {
+        let range = self.inc_act_range(a);
+        let users = &self.inc_row_user()[range.clone()];
+        users.binary_search(&u).ok().map(|i| range.start + i)
+    }
+
+    #[inline]
+    fn inc_row_entries(&self, row: usize) -> Range<usize> {
+        let offs = self.inc_row_offsets();
+        offs[row] as usize..offs[row + 1] as usize
+    }
+
+    /// Global out-entry position of `(a, v, u)`, if stored.
+    #[inline]
+    fn entry_pos(&self, a: u32, v: u32, u: u32) -> Option<usize> {
+        let row = self.out_row_of(a, v)?;
+        let entries = self.out_row_entries(row);
+        let targets = &self.out_targets()[entries.clone()];
+        targets.binary_search(&u).ok().map(|i| entries.start + i)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.buf.heap_bytes()
+    }
+}
+
+// ------------------------------------------------------------------ freeze
+
+/// Builds the arena from a canonical dump.
+fn build(dump: &SelectorDump) -> Arc<CompactData> {
+    let counts = CompactCounts::of_dump(dump);
+    counts.check_offsets_fit();
+    let layout = counts.layout();
+    let store = &dump.store;
+    let mut buf = AlignedBuf::zeroed(layout.total);
+
+    // user → actions index.
+    {
+        let bytes = buf.as_mut_slice();
+        let offs = cast_slice_u32_mut(&mut bytes[layout.ua_offsets.clone()]).unwrap();
+        let mut running = 0u32;
+        offs[0] = 0;
+        for (u, actions) in store.user_actions.iter().enumerate() {
+            running += actions.len() as u32;
+            offs[u + 1] = running;
+        }
+    }
+    {
+        let bytes = buf.as_mut_slice();
+        let data = cast_slice_u32_mut(&mut bytes[layout.ua_data.clone()]).unwrap();
+        let mut at = 0usize;
+        for actions in &store.user_actions {
+            data[at..at + actions.len()].copy_from_slice(actions);
+            at += actions.len();
+        }
+    }
+    {
+        let bytes = buf.as_mut_slice();
+        let inv = cast_slice_f64_mut(&mut bytes[layout.inv_au.clone()]).unwrap();
+        inv.copy_from_slice(&store.inv_au);
+    }
+
+    // Out direction: entries are already sorted by (v, u) per action.
+    {
+        let bytes = buf.as_mut_slice();
+        // The sections are disjoint; split_at_mut-style reborrows via
+        // pointers would be noisy, so fill through one pass per array.
+        let mut row = 0u32;
+        let mut pos = 0u32;
+        {
+            let act_rows = cast_slice_u32_mut(&mut bytes[layout.out_act_rows.clone()]).unwrap();
+            act_rows[0] = 0;
+        }
+        for (a, action) in store.credits.iter().enumerate() {
+            let mut last_v = None;
+            for &(v, u, c) in action {
+                if last_v != Some(v) {
+                    let r = row as usize;
+                    cast_slice_u32_mut(&mut bytes[layout.out_row_user.clone()]).unwrap()[r] = v;
+                    cast_slice_u32_mut(&mut bytes[layout.out_row_offsets.clone()]).unwrap()[r] =
+                        pos;
+                    row += 1;
+                    last_v = Some(v);
+                }
+                cast_slice_u32_mut(&mut bytes[layout.out_targets.clone()]).unwrap()[pos as usize] =
+                    u;
+                cast_slice_f64_mut(&mut bytes[layout.out_credits.clone()]).unwrap()[pos as usize] =
+                    c;
+                pos += 1;
+            }
+            cast_slice_u32_mut(&mut bytes[layout.out_act_rows.clone()]).unwrap()[a + 1] = row;
+        }
+        cast_slice_u32_mut(&mut bytes[layout.out_row_offsets.clone()]).unwrap()[counts.out_rows] =
+            pos;
+    }
+
+    // Inc direction: per action, entries regrouped by (u, v). Credits are
+    // not duplicated here; queries find them in `out_credits` by binary
+    // search over the source's sorted out run.
+    {
+        let bytes = buf.as_mut_slice();
+        let mut row = 0u32;
+        let mut at = 0u32;
+        {
+            let act_rows = cast_slice_u32_mut(&mut bytes[layout.inc_act_rows.clone()]).unwrap();
+            act_rows[0] = 0;
+        }
+        for (a, action) in store.credits.iter().enumerate() {
+            let mut by_target: Vec<(u32, u32)> = action.iter().map(|&(v, u, _)| (u, v)).collect();
+            by_target.sort_unstable_by_key(|&(u, v)| pair_key(u, v));
+            let mut last_u = None;
+            for &(u, v) in &by_target {
+                if last_u != Some(u) {
+                    let r = row as usize;
+                    cast_slice_u32_mut(&mut bytes[layout.inc_row_user.clone()]).unwrap()[r] = u;
+                    cast_slice_u32_mut(&mut bytes[layout.inc_row_offsets.clone()]).unwrap()[r] = at;
+                    row += 1;
+                    last_u = Some(u);
+                }
+                cast_slice_u32_mut(&mut bytes[layout.inc_sources.clone()]).unwrap()[at as usize] =
+                    v;
+                at += 1;
+            }
+            cast_slice_u32_mut(&mut bytes[layout.inc_act_rows.clone()]).unwrap()[a + 1] = row;
+        }
+        cast_slice_u32_mut(&mut bytes[layout.inc_row_offsets.clone()]).unwrap()[counts.inc_rows] =
+            at;
+    }
+
+    // Selector state.
+    {
+        let bytes = buf.as_mut_slice();
+        let keys = cast_slice_u64_mut(&mut bytes[layout.sc_keys.clone()]).unwrap();
+        for (i, &(a, u, _)) in dump.sc.iter().enumerate() {
+            keys[i] = pair_key(a, u);
+        }
+    }
+    {
+        let bytes = buf.as_mut_slice();
+        let vals = cast_slice_f64_mut(&mut bytes[layout.sc_vals.clone()]).unwrap();
+        for (i, &(_, _, c)) in dump.sc.iter().enumerate() {
+            vals[i] = c;
+        }
+    }
+    {
+        let bytes = buf.as_mut_slice();
+        let seeds = cast_slice_u32_mut(&mut bytes[layout.seeds.clone()]).unwrap();
+        seeds.copy_from_slice(&dump.seeds);
+    }
+
+    Arc::new(CompactData { buf: Arc::new(buf), base: 0, counts, layout, lambda: store.lambda })
+}
+
+// ------------------------------------------------------------- public types
+
+/// Read-only CSR-flat image of a [`CreditStore`].
+#[derive(Clone, Debug)]
+pub struct CompactCreditStore {
+    data: Arc<CompactData>,
+}
+
+impl CompactCreditStore {
+    /// Freezes a mutable store (entries sorted canonically, exactly like
+    /// [`CreditStore::dump`]).
+    pub fn freeze(store: &CreditStore) -> CompactCreditStore {
+        let dump = SelectorDump { store: store.dump(), sc: Vec::new(), seeds: Vec::new() };
+        CompactCreditStore { data: build(&dump) }
+    }
+
+    /// Reconstructs the mutable store — the path back for incremental
+    /// extend/retract, which stay on the hashmap representation. The
+    /// result is canonical: `store.dump() == freeze(store).thaw().dump()`.
+    pub fn thaw(&self) -> CreditStore {
+        CreditStore::from_dump(&self.store_dump())
+    }
+
+    fn store_dump(&self) -> CreditStoreDump {
+        store_dump(&self.data)
+    }
+
+    /// Users in the id space.
+    pub fn num_users(&self) -> usize {
+        self.data.counts.num_users
+    }
+
+    /// Actions scanned.
+    pub fn num_actions(&self) -> usize {
+        self.data.counts.num_actions
+    }
+
+    /// Truncation threshold λ the store was built with.
+    pub fn lambda(&self) -> f64 {
+        self.data.lambda
+    }
+
+    /// Live credit entries.
+    pub fn total_entries(&self) -> usize {
+        self.data.counts.entries
+    }
+
+    /// `1 / A_u` (0 for users with no actions).
+    pub fn inv_au(&self, u: u32) -> f64 {
+        self.data.inv_au_of(u)
+    }
+
+    /// Dense action ids user `u` performed.
+    pub fn actions_of_user(&self, u: u32) -> &[u32] {
+        self.data.ua_row(u)
+    }
+
+    /// Resident bytes of the arena (owned or mapped).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.memory_bytes()
+    }
+}
+
+impl HeapSize for CompactCreditStore {
+    fn heap_bytes(&self) -> usize {
+        self.data.memory_bytes()
+    }
+}
+
+fn store_dump(data: &CompactData) -> CreditStoreDump {
+    let counts = &data.counts;
+    let mut user_actions = Vec::with_capacity(counts.num_users);
+    for u in 0..counts.num_users as u32 {
+        user_actions.push(data.ua_row(u).to_vec());
+    }
+    let targets = data.out_targets();
+    let credits_arr = data.out_credits();
+    let row_user = data.out_row_user();
+    let mut credits = Vec::with_capacity(counts.num_actions);
+    for a in 0..counts.num_actions as u32 {
+        let mut entries = Vec::new();
+        for row in data.out_act_range(a) {
+            let v = row_user[row];
+            for pos in data.out_row_entries(row) {
+                entries.push((v, targets[pos], credits_arr[pos]));
+            }
+        }
+        credits.push(entries);
+    }
+    CreditStoreDump { lambda: data.lambda, user_actions, inv_au: data.inv_au().to_vec(), credits }
+}
+
+/// Read-only CSR-flat image of a full [`CdSelector`] (store + SC map +
+/// committed seeds). Queries run through [`CompactSelector::overlay`].
+#[derive(Clone, Debug)]
+pub struct CompactSelector {
+    data: Arc<CompactData>,
+}
+
+impl CompactSelector {
+    /// Freezes a mutable selector (canonical entry order, as
+    /// [`CdSelector::dump`] emits it).
+    pub fn freeze(selector: &CdSelector) -> CompactSelector {
+        Self::from_dump(&selector.dump())
+    }
+
+    /// Builds the arena from a canonical dump.
+    pub fn from_dump(dump: &SelectorDump) -> CompactSelector {
+        CompactSelector { data: build(dump) }
+    }
+
+    /// Exports the canonical dump (identical to the dump the selector was
+    /// frozen from).
+    pub fn to_dump(&self) -> SelectorDump {
+        let data = &self.data;
+        let sc = data
+            .sc_keys()
+            .iter()
+            .zip(data.sc_vals())
+            .map(|(&key, &c)| ((key >> 32) as u32, key as u32, c))
+            .collect();
+        SelectorDump { store: store_dump(data), sc, seeds: data.seeds().to_vec() }
+    }
+
+    /// Reconstructs the mutable selector (the extend/retract path).
+    pub fn thaw(&self) -> CdSelector {
+        CdSelector::from_dump(&self.to_dump())
+    }
+
+    /// Wraps a pre-built arena — the zero-copy snapshot load path. `base`
+    /// is the arena's byte offset inside `buf`; the slice
+    /// `buf[base..base + counts.arena_len()]` must hold a little-endian
+    /// arena laid out per the module docs. Every structural invariant
+    /// (offset monotonicity, id ranges, sorted runs, finite credits,
+    /// position bounds) is validated before any query can run, so a
+    /// corrupt arena yields `Err`, never a panic or out-of-bounds access.
+    pub fn from_arena(
+        buf: Arc<AlignedBuf>,
+        base: usize,
+        counts: CompactCounts,
+        lambda: f64,
+    ) -> Result<CompactSelector, String> {
+        counts.check_offsets_fit();
+        let layout = counts.layout();
+        if !base.is_multiple_of(8) || !(buf.as_ptr() as usize + base).is_multiple_of(8) {
+            return Err(format!("arena base {base} is not 8-byte-aligned"));
+        }
+        let end = base.checked_add(layout.total).ok_or("arena extent overflows")?;
+        if end > buf.len() {
+            return Err(format!(
+                "arena needs {} bytes at offset {base}, buffer holds {}",
+                layout.total,
+                buf.len()
+            ));
+        }
+        if lambda.is_nan() || lambda < 0.0 {
+            return Err(format!("invalid lambda {lambda}"));
+        }
+        let data = CompactData { buf, base, counts, layout, lambda };
+        validate(&data)?;
+        Ok(CompactSelector { data: Arc::new(data) })
+    }
+
+    /// The raw arena bytes (what the v2 snapshot stores verbatim).
+    pub fn arena(&self) -> &[u8] {
+        self.data.arena()
+    }
+
+    /// The element counts (what the v2 snapshot header records).
+    pub fn counts(&self) -> CompactCounts {
+        self.data.counts
+    }
+
+    /// The flat credit store view (shares the arena).
+    pub fn store(&self) -> CompactCreditStore {
+        CompactCreditStore { data: Arc::clone(&self.data) }
+    }
+
+    /// Committed seeds, in selection order.
+    pub fn seeds(&self) -> &[u32] {
+        self.data.seeds()
+    }
+
+    /// Users in the id space.
+    pub fn num_users(&self) -> usize {
+        self.data.counts.num_users
+    }
+
+    /// Actions scanned.
+    pub fn num_actions(&self) -> usize {
+        self.data.counts.num_actions
+    }
+
+    /// Truncation threshold λ.
+    pub fn lambda(&self) -> f64 {
+        self.data.lambda
+    }
+
+    /// Live credit entries.
+    pub fn total_entries(&self) -> usize {
+        self.data.counts.entries
+    }
+
+    /// Resident bytes of the arena (owned or mapped).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.memory_bytes()
+    }
+
+    /// Whether the arena is an `mmap`ed file (vs owned memory).
+    pub fn is_mapped(&self) -> bool {
+        self.data.buf.is_mapped()
+    }
+
+    /// Starts a query session: an [`OverlaySelector`] that can compute
+    /// marginal gains, commit seeds, and run CELF without mutating the
+    /// shared arena.
+    pub fn overlay(&self) -> OverlaySelector {
+        OverlaySelector {
+            data: Arc::clone(&self.data),
+            credits: self.data.out_credits().to_vec(),
+            sc: self
+                .data
+                .sc_keys()
+                .iter()
+                .zip(self.data.sc_vals())
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            seeds: self.data.seeds().to_vec(),
+        }
+    }
+}
+
+impl HeapSize for CompactSelector {
+    fn heap_bytes(&self) -> usize {
+        self.data.memory_bytes()
+    }
+}
+
+// -------------------------------------------------------------- validation
+
+/// Structural validation of an untrusted arena. Cheap linear scans — no
+/// hash maps, no allocation proportional to the data. The CRC trailer
+/// (checked by the snapshot layer) covers integrity; this pass guarantees
+/// that every later index access is in bounds and every traversal order
+/// assumption (sorted runs) holds.
+fn validate(data: &CompactData) -> Result<(), String> {
+    let c = &data.counts;
+    check_offsets("ua_offsets", data.ua_offsets(), c.num_users, c.ua_len)?;
+    if let Some(&a) = data.ua_data().iter().find(|&&a| a as usize >= c.num_actions) {
+        return Err(format!("user-action id {a} out of range ({} actions)", c.num_actions));
+    }
+    if let Some((u, &x)) =
+        data.inv_au().iter().enumerate().find(|(_, &x)| !(0.0..=1.0).contains(&x))
+    {
+        return Err(format!("user {u}: 1/A_u = {x} out of [0, 1]"));
+    }
+
+    // One fused pass per direction: offsets, strictly-sorted rows, id
+    // ranges, and an order-independent hash of the direction's (v, u)
+    // pair set per action, all in a single sweep (validation runs on
+    // every v2 snapshot load, so it must stay bandwidth-bound).
+    let out_sums = validate_direction(
+        Direction::Out,
+        c,
+        data.out_act_rows(),
+        data.out_row_user(),
+        data.out_row_offsets(),
+        data.out_targets(),
+        c.out_rows,
+        Some(data.out_credits()),
+    )?;
+    let inc_sums = validate_direction(
+        Direction::Inc,
+        c,
+        data.inc_act_rows(),
+        data.inc_row_user(),
+        data.inc_row_offsets(),
+        data.inc_sources(),
+        c.inc_rows,
+        None,
+    )?;
+    // Per action, the inc direction must hold exactly the out direction's
+    // (v, u) pairs. Both sides are duplicate-free (strictly sorted rows)
+    // and the same total size, so equal order-independent hashes prove
+    // they match — no binary search per entry. A mismatch slipping
+    // through needs a 64-bit hash-sum collision *and* a valid CRC
+    // trailer; queries degrade gracefully (skip the entry) even then.
+    if let Some(a) = (0..c.num_actions).find(|&a| out_sums[a] != inc_sums[a]) {
+        return Err(format!("action {a}: inc entries do not mirror the out entries"));
+    }
+
+    let keys = data.sc_keys();
+    if keys.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("SC keys not strictly sorted".to_string());
+    }
+    for &key in keys {
+        let (a, u) = ((key >> 32) as usize, (key as u32) as usize);
+        if a >= c.num_actions || u >= c.num_users {
+            return Err(format!("SC key ({a}, {u}) out of range"));
+        }
+    }
+    if let Some(&x) = data.sc_vals().iter().find(|&&x| !x.is_finite()) {
+        return Err(format!("non-finite SC credit {x}"));
+    }
+    let seeds = data.seeds();
+    for (i, &s) in seeds.iter().enumerate() {
+        if s as usize >= c.num_users {
+            return Err(format!("seed {s} out of range"));
+        }
+        if seeds[..i].contains(&s) {
+            return Err(format!("duplicate seed {s}"));
+        }
+    }
+    Ok(())
+}
+
+/// Offset-array sanity: starts at 0, ends at `last`, monotone.
+fn check_offsets(name: &str, offs: &[u32], len: usize, last: usize) -> Result<(), String> {
+    if offs[0] != 0 {
+        return Err(format!("{name}: first offset {} != 0", offs[0]));
+    }
+    if offs[len] as usize != last {
+        return Err(format!("{name}: final offset {} != {last}", offs[len]));
+    }
+    if offs.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format!("{name}: offsets not monotone"));
+    }
+    Ok(())
+}
+
+/// Which adjacency direction a CSR group encodes.
+#[derive(Clone, Copy)]
+enum Direction {
+    Out,
+    Inc,
+}
+
+/// SplitMix64 finalizer: enough diffusion that pair-hash sums of nearby
+/// keys don't cancel.
+fn mix64(key: u64) -> u64 {
+    let mut x = key;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fused structural sweep of one CSR direction group: offset arrays,
+/// strictly-sorted row users and entry runs, id ranges, and — in the
+/// same pass — the per-action order-independent hash of the direction's
+/// `(v, u)` pair set (keys are direction-normalized so out and inc sums
+/// are comparable). When `credits` is given (the out direction, whose
+/// entries carry the stored credits) the credits are checked finite in
+/// the same per-entry loop, so the whole arena is validated in exactly
+/// one sweep per direction.
+#[allow(clippy::too_many_arguments)]
+fn validate_direction(
+    dir: Direction,
+    c: &CompactCounts,
+    act_rows: &[u32],
+    row_user: &[u32],
+    row_offsets: &[u32],
+    ids: &[u32],
+    rows: usize,
+    credits: Option<&[f64]>,
+) -> Result<Vec<u64>, String> {
+    let name = match dir {
+        Direction::Out => "out",
+        Direction::Inc => "inc",
+    };
+    check_offsets(&format!("{name}_act_rows"), act_rows, c.num_actions, rows)?;
+    check_offsets(&format!("{name}_row_offsets"), row_offsets, rows, c.entries)?;
+    let mut sums = vec![0u64; c.num_actions];
+    for a in 0..c.num_actions {
+        let row_range = act_rows[a] as usize..act_rows[a + 1] as usize;
+        let users = &row_user[row_range.clone()];
+        if users.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("{name} rows of action {a} not strictly sorted"));
+        }
+        if let Some(&v) = users.iter().find(|&&v| v as usize >= c.num_users) {
+            return Err(format!("{name} row user {v} out of range"));
+        }
+        let mut sum = 0u64;
+        for row in row_range {
+            let owner = row_user[row];
+            let start = row_offsets[row] as usize;
+            let span = &ids[start..row_offsets[row + 1] as usize];
+            if span.is_empty() {
+                return Err(format!("{name} row {row} is empty"));
+            }
+            let mut prev = -1i64;
+            for (k, &id) in span.iter().enumerate() {
+                if id as usize >= c.num_users || id == owner {
+                    return Err(format!("{name} row {row}: invalid counterparty {id}"));
+                }
+                if i64::from(id) <= prev {
+                    return Err(format!("{name} row {row} entries not strictly sorted"));
+                }
+                prev = i64::from(id);
+                let key = match dir {
+                    Direction::Out => pair_key(owner, id),
+                    Direction::Inc => pair_key(id, owner),
+                };
+                sum = sum.wrapping_add(mix64(key));
+                if let Some(credits) = credits {
+                    if !credits[start + k].is_finite() {
+                        return Err(format!("non-finite credit {}", credits[start + k]));
+                    }
+                }
+            }
+        }
+        sums[a] = sum;
+    }
+    Ok(sums)
+}
+
+// ------------------------------------------------------------ query engine
+
+/// A per-query view over a [`CompactSelector`]: the immutable CSR arrays
+/// plus a mutable credit overlay (`NaN` marks entries retired or zeroed
+/// by Lemma 2), an SC hash map, and the growing seed list. Mirrors every
+/// f64 accumulation order of the canonical [`CdSelector`], so answers are
+/// bit-identical to the mutable engine restored from the same dump.
+#[derive(Clone, Debug)]
+pub struct OverlaySelector {
+    data: Arc<CompactData>,
+    /// Clone of `out_credits`; `NaN` = entry removed. Live stored credits
+    /// are finite by validation, so the sentinel is unambiguous.
+    credits: Vec<f64>,
+    sc: FxHashMap<u64, f64>,
+    seeds: Vec<u32>,
+}
+
+impl OverlaySelector {
+    /// Seeds committed so far (snapshot seeds plus this session's).
+    pub fn seeds(&self) -> &[u32] {
+        &self.seeds
+    }
+
+    /// Theorem-3 marginal gain of adding `x` to the current seed set
+    /// (bit-identical to [`CdSelector::compute_mg`] on canonical state).
+    pub fn compute_mg(&self, x: u32) -> f64 {
+        let data = &self.data;
+        let inv_ax = data.inv_au_of(x);
+        if inv_ax == 0.0 {
+            return 0.0;
+        }
+        let mut mg = 0.0;
+        let targets = data.out_targets();
+        for &a in data.ua_row(x) {
+            let sc_xa = self.sc.get(&pair_key(a, x)).copied().unwrap_or(0.0);
+            let factor = (1.0 - sc_xa).max(0.0);
+            if factor == 0.0 {
+                continue;
+            }
+            let mut mga = inv_ax;
+            if let Some(row) = data.out_row_of(a, x) {
+                for pos in data.out_row_entries(row) {
+                    let c = self.credits[pos];
+                    if !c.is_nan() {
+                        mga += c * data.inv_au_of(targets[pos]);
+                    }
+                }
+            }
+            mg += mga * factor;
+        }
+        mg
+    }
+
+    /// The literal Algorithm-4 gain (self term only for actions with
+    /// outgoing credit) — see [`CdSelector::compute_mg_pseudocode`].
+    pub fn compute_mg_pseudocode(&self, x: u32) -> f64 {
+        let data = &self.data;
+        let inv_ax = data.inv_au_of(x);
+        if inv_ax == 0.0 {
+            return 0.0;
+        }
+        let mut mg = 0.0;
+        let targets = data.out_targets();
+        for &a in data.ua_row(x) {
+            let mut mga = 0.0;
+            let mut any = false;
+            if let Some(row) = data.out_row_of(a, x) {
+                for pos in data.out_row_entries(row) {
+                    let c = self.credits[pos];
+                    if !c.is_nan() {
+                        any = true;
+                        mga += c * data.inv_au_of(targets[pos]);
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            mga += inv_ax;
+            let sc_xa = self.sc.get(&pair_key(a, x)).copied().unwrap_or(0.0);
+            mg += mga * (1.0 - sc_xa).max(0.0);
+        }
+        mg
+    }
+
+    /// Algorithm 5: commits `x` and applies the Lemma 2/3 updates to the
+    /// overlay (bit-identical to [`CdSelector::update`]).
+    pub fn update(&mut self, x: u32) {
+        let data = Arc::clone(&self.data);
+        for &a in data.ua_row(x) {
+            self.apply_seed_to_action(a, x);
+        }
+        self.seeds.push(x);
+    }
+
+    fn apply_seed_to_action(&mut self, a: u32, x: u32) {
+        let data = Arc::clone(&self.data);
+        let sc_xa = self.sc.get(&pair_key(a, x)).copied().unwrap_or(0.0);
+        let one_minus = (1.0 - sc_xa).max(0.0);
+
+        // Retire x from action a. Row runs are sorted, matching the
+        // canonical mutable store's adjacency order exactly.
+        let mut gout: Vec<(u32, f64)> = Vec::new();
+        if let Some(row) = data.out_row_of(a, x) {
+            let targets = data.out_targets();
+            for pos in data.out_row_entries(row) {
+                let c = self.credits[pos];
+                if !c.is_nan() {
+                    gout.push((targets[pos], c));
+                    self.credits[pos] = f64::NAN;
+                }
+            }
+        }
+        let mut gin: Vec<(u32, f64)> = Vec::new();
+        if let Some(row) = data.inc_row_of(a, x) {
+            let sources = data.inc_sources();
+            for i in data.inc_row_entries(row) {
+                let v = sources[i];
+                // Validation guarantees the matching out entry exists.
+                let Some(pos) = data.entry_pos(a, v, x) else { continue };
+                let c = self.credits[pos];
+                if !c.is_nan() {
+                    gin.push((v, c));
+                    self.credits[pos] = f64::NAN;
+                }
+            }
+        }
+
+        // Lemma 3: Γ_{S+x,u} = Γ_{S,u} + Γ^{V−S}_{x,u}·(1 − Γ_{S,x}).
+        for &(u, cxu) in &gout {
+            let e = self.sc.entry(pair_key(a, u)).or_insert(0.0);
+            *e = (*e + cxu * one_minus).min(1.0);
+        }
+        // Lemma 2: Γ^{W−x}_{v,u} = Γ^W_{v,u} − Γ^W_{v,x}·Γ^W_{x,u}.
+        for &(v, cvx) in &gin {
+            for &(u, cxu) in &gout {
+                self.subtract(a, v, u, cvx * cxu);
+            }
+        }
+    }
+
+    /// Lemma-2 subtraction with the same clamp-and-remove semantics as
+    /// `ActionCredits::subtract` (entries at ≤ 1e-15 become `NaN`).
+    fn subtract(&mut self, a: u32, v: u32, u: u32, amount: f64) {
+        let Some(pos) = self.data.entry_pos(a, v, u) else {
+            return;
+        };
+        let c = &mut self.credits[pos];
+        if c.is_nan() {
+            return;
+        }
+        *c -= amount;
+        if *c <= 1e-15 {
+            *c = f64::NAN;
+        }
+    }
+
+    fn has_influencer(&self, a: u32, x: u32) -> bool {
+        self.data.out_row_of(a, x).is_some_and(|row| {
+            self.data.out_row_entries(row).any(|pos| !self.credits[pos].is_nan())
+        })
+    }
+
+    /// Runs CELF until `k` seeds are chosen (continuing from any seeds
+    /// already committed), consuming the overlay.
+    pub fn select(self, k: usize) -> Selection {
+        self.select_with_mode(k, MgMode::Theorem3)
+    }
+
+    /// Like [`Self::select`] with an explicit marginal-gain mode.
+    pub fn select_with_mode(mut self, k: usize, mode: MgMode) -> Selection {
+        let (gains, evaluations) = run_celf(&mut self, k, mode);
+        Selection { seeds: self.seeds, marginal_gains: gains, evaluations }
+    }
+}
+
+impl CelfEngine for OverlaySelector {
+    fn num_users(&self) -> usize {
+        self.data.counts.num_users
+    }
+
+    fn seeds_len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    fn initial_credit_gains(&self) -> Vec<f64> {
+        let data = &self.data;
+        let mut initial = vec![0.0f64; data.counts.num_users];
+        let row_user = data.out_row_user();
+        let targets = data.out_targets();
+        let inv_au = data.inv_au();
+        for a in 0..data.counts.num_actions as u32 {
+            for row in data.out_act_range(a) {
+                let acc = &mut initial[row_user[row] as usize];
+                for pos in data.out_row_entries(row) {
+                    let c = self.credits[pos];
+                    if !c.is_nan() {
+                        *acc += c * inv_au[targets[pos] as usize];
+                    }
+                }
+            }
+        }
+        initial
+    }
+
+    fn inv_au_of(&self, x: u32) -> f64 {
+        self.data.inv_au_of(x)
+    }
+
+    fn self_term(&self, x: u32, mode: MgMode) -> f64 {
+        let inv_ax = self.data.inv_au_of(x);
+        match mode {
+            MgMode::Theorem3 => self.data.ua_row(x).iter().map(|_| inv_ax).sum::<f64>(),
+            MgMode::Pseudocode => self
+                .data
+                .ua_row(x)
+                .iter()
+                .filter(|&&a| self.has_influencer(a, x))
+                .map(|_| inv_ax)
+                .sum::<f64>(),
+        }
+    }
+
+    fn mg(&self, x: u32, mode: MgMode) -> f64 {
+        match mode {
+            MgMode::Theorem3 => self.compute_mg(x),
+            MgMode::Pseudocode => self.compute_mg_pseudocode(x),
+        }
+    }
+
+    fn commit(&mut self, x: u32) {
+        self.update(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CreditPolicy;
+    use crate::scan::scan;
+    use cdim_actionlog::{ActionLog, ActionLogBuilder};
+    use cdim_graph::{DirectedGraph, GraphBuilder};
+    use cdim_util::Rng;
+
+    fn figure1() -> (DirectedGraph, ActionLog) {
+        let graph = GraphBuilder::new(6)
+            .edges([(0, 2), (1, 2), (0, 3), (2, 4), (0, 5), (2, 5), (3, 5), (4, 5)])
+            .build();
+        let mut b = ActionLogBuilder::new(6);
+        for (u, t) in [(0u32, 0.0), (1, 0.5), (2, 1.0), (3, 1.5), (4, 2.0), (5, 2.5)] {
+            b.push(u, 0, t);
+        }
+        (graph, b.build())
+    }
+
+    /// Deterministic random instance: `n` users, `actions` actions.
+    fn random_instance(seed: u64, n: u32, actions: u32) -> (DirectedGraph, ActionLog) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for u in 0..n {
+                if v != u && rng.bool(0.12) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        let graph = GraphBuilder::new(n as usize).edges(edges).build();
+        let mut b = ActionLogBuilder::new(n as usize);
+        for a in 0..actions {
+            let mut t = 0.0;
+            for u in 0..n {
+                if rng.bool(0.4) {
+                    t += rng.range_f64(0.1, 1.0);
+                    b.push(u, a, t);
+                }
+            }
+        }
+        (graph, b.build())
+    }
+
+    fn trained_dump(seed: u64, committed: usize) -> SelectorDump {
+        let (graph, log) = random_instance(seed, 40, 12);
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
+        let mut sel = CdSelector::new(store);
+        let picked = sel.clone().select(committed).seeds;
+        for s in picked {
+            sel.update(s);
+        }
+        sel.dump()
+    }
+
+    #[test]
+    fn counts_and_arena_len_are_consistent() {
+        let dump = trained_dump(7, 2);
+        let counts = CompactCounts::of_dump(&dump);
+        assert_eq!(counts.num_users, 40);
+        assert_eq!(counts.num_actions, 12);
+        assert_eq!(counts.seeds_len, 2);
+        assert_eq!(counts.entries, dump.store.credits.iter().map(Vec::len).sum::<usize>());
+        let sel = CompactSelector::from_dump(&dump);
+        assert_eq!(sel.arena().len(), counts.arena_len());
+        assert_eq!(sel.counts(), counts);
+        assert_eq!(sel.arena().len() % 8, 0);
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips_the_dump() {
+        for (seed, committed) in [(1u64, 0usize), (2, 1), (3, 3)] {
+            let dump = trained_dump(seed, committed);
+            let compact = CompactSelector::from_dump(&dump);
+            assert_eq!(compact.to_dump(), dump, "to_dump (seed {seed})");
+            assert_eq!(compact.thaw().dump(), dump, "thaw (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn credit_store_freeze_thaw_round_trips() {
+        let (graph, log) = random_instance(11, 35, 9);
+        let store = scan(&graph, &log, &CreditPolicy::time_aware(&graph, &log), 0.001).unwrap();
+        let dump = store.dump();
+        let compact = CompactCreditStore::freeze(&store);
+        assert_eq!(compact.thaw().dump(), dump);
+        assert_eq!(compact.num_users(), 35);
+        assert_eq!(compact.total_entries(), dump.credits.iter().map(Vec::len).sum::<usize>());
+        for u in 0..35u32 {
+            assert_eq!(compact.inv_au(u).to_bits(), dump.inv_au[u as usize].to_bits());
+            assert_eq!(compact.actions_of_user(u), dump.user_actions[u as usize].as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_state_freezes_and_thaws() {
+        let dump = SelectorDump::default();
+        let compact = CompactSelector::from_dump(&dump);
+        assert_eq!(compact.to_dump(), dump);
+        assert_eq!(compact.total_entries(), 0);
+        let sel = compact.overlay().select(3);
+        assert!(sel.seeds.is_empty());
+    }
+
+    #[test]
+    fn overlay_gains_match_mutable_bitwise() {
+        let dump = trained_dump(21, 1);
+        let mutable = CdSelector::from_dump(&dump);
+        let compact = CompactSelector::from_dump(&dump);
+        let overlay = compact.overlay();
+        for x in 0..40u32 {
+            assert_eq!(
+                overlay.compute_mg(x).to_bits(),
+                mutable.compute_mg(x).to_bits(),
+                "theorem-3 mg of {x}"
+            );
+            assert_eq!(
+                overlay.compute_mg_pseudocode(x).to_bits(),
+                mutable.compute_mg_pseudocode(x).to_bits(),
+                "pseudocode mg of {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlay_gains_match_after_updates() {
+        let dump = trained_dump(33, 0);
+        let mut mutable = CdSelector::from_dump(&dump);
+        let mut overlay = CompactSelector::from_dump(&dump).overlay();
+        let order = mutable.clone().select(3).seeds;
+        for s in order {
+            mutable.update(s);
+            overlay.update(s);
+            assert_eq!(overlay.seeds(), mutable.seeds());
+            for x in 0..40u32 {
+                assert_eq!(
+                    overlay.compute_mg(x).to_bits(),
+                    mutable.compute_mg(x).to_bits(),
+                    "mg of {x} after committing {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_celf_selection_is_bit_identical() {
+        for seed in [5u64, 6, 7] {
+            for mode in [MgMode::Theorem3, MgMode::Pseudocode] {
+                let dump = trained_dump(seed, 0);
+                let want = CdSelector::from_dump(&dump).select_with_mode(5, mode);
+                let got = CompactSelector::from_dump(&dump).overlay().select_with_mode(5, mode);
+                assert_eq!(got.seeds, want.seeds, "seeds (seed {seed}, {mode:?})");
+                assert_eq!(got.evaluations, want.evaluations, "evals (seed {seed}, {mode:?})");
+                let want_bits: Vec<u64> = want.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                let got_bits: Vec<u64> = got.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "gains (seed {seed}, {mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_selection_continues_from_committed_seeds() {
+        let dump = trained_dump(44, 2);
+        let want = CdSelector::from_dump(&dump).select(4);
+        let got = CompactSelector::from_dump(&dump).overlay().select(4);
+        assert_eq!(got.seeds, want.seeds);
+        assert_eq!(got.seeds.len(), 4);
+        assert_eq!(&got.seeds[..2], &dump.seeds[..]);
+    }
+
+    #[test]
+    fn figure1_selection_matches() {
+        let (graph, log) = figure1();
+        let store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
+        let dump = CdSelector::new(store).dump();
+        let want = CdSelector::from_dump(&dump).select(2);
+        let got = CompactSelector::from_dump(&dump).overlay().select(2);
+        assert_eq!(got.seeds, want.seeds);
+    }
+
+    #[test]
+    fn from_arena_accepts_a_frozen_arena() {
+        let dump = trained_dump(55, 2);
+        let compact = CompactSelector::from_dump(&dump);
+        let buf = Arc::new(AlignedBuf::from_bytes(compact.arena()));
+        let reloaded =
+            CompactSelector::from_arena(buf, 0, compact.counts(), compact.lambda()).unwrap();
+        assert_eq!(reloaded.to_dump(), dump);
+        assert!(!reloaded.is_mapped());
+    }
+
+    #[test]
+    fn from_arena_rejects_structural_corruption() {
+        let dump = trained_dump(66, 1);
+        let compact = CompactSelector::from_dump(&dump);
+        let counts = compact.counts();
+        let lambda = compact.lambda();
+        let layout = counts.layout();
+        let pristine = compact.arena().to_vec();
+
+        let expect_err = |bytes: &[u8], what: &str| {
+            let buf = Arc::new(AlignedBuf::from_bytes(bytes));
+            assert!(
+                CompactSelector::from_arena(buf, 0, counts, lambda).is_err(),
+                "corruption not caught: {what}"
+            );
+        };
+
+        // Too short for the layout.
+        expect_err(&pristine[..pristine.len() - 8], "truncated arena");
+
+        // Break ua_offsets monotonicity / final offset.
+        let mut bad = pristine.clone();
+        bad[layout.ua_offsets.start..layout.ua_offsets.start + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        expect_err(&bad, "ua_offsets[0] != 0");
+
+        // Out-of-range action id in ua_data.
+        if counts.ua_len > 0 {
+            let mut bad = pristine.clone();
+            bad[layout.ua_data.start..layout.ua_data.start + 4]
+                .copy_from_slice(&(counts.num_actions as u32).to_le_bytes());
+            expect_err(&bad, "ua_data action out of range");
+        }
+
+        // Non-finite credit.
+        if counts.entries > 0 {
+            let mut bad = pristine.clone();
+            bad[layout.out_credits.start..layout.out_credits.start + 8]
+                .copy_from_slice(&f64::NAN.to_le_bytes());
+            expect_err(&bad, "NaN credit");
+        }
+
+        // Unsorted out row users: swap the first two rows of some action
+        // with two rows.
+        if let Some(a) = (0..counts.num_actions).find(|&a| {
+            let r = &compact.data.out_act_rows();
+            r[a + 1] - r[a] >= 2
+        }) {
+            let first = compact.data.out_act_rows()[a] as usize;
+            let mut bad = pristine.clone();
+            let at = layout.out_row_user.start + 4 * first;
+            let (x, y) = (bad[at..at + 4].to_vec(), bad[at + 4..at + 8].to_vec());
+            bad[at..at + 4].copy_from_slice(&y);
+            bad[at + 4..at + 8].copy_from_slice(&x);
+            expect_err(&bad, "unsorted out rows");
+        }
+
+        // Mispaired inc source: bump the first inc entry's source id.
+        // Whatever it lands on — out of range, the row's own user, a
+        // duplicate breaking strict sortedness, or a (v, u) pair absent
+        // from the out direction — some check must notice.
+        if counts.entries > 0 && counts.num_users >= 2 {
+            let mut bad = pristine.clone();
+            let v0 = u32::from_le_bytes(
+                bad[layout.inc_sources.start..layout.inc_sources.start + 4].try_into().unwrap(),
+            );
+            let bumped = if (v0 as usize) + 1 < counts.num_users { v0 + 1 } else { v0 - 1 };
+            bad[layout.inc_sources.start..layout.inc_sources.start + 4]
+                .copy_from_slice(&bumped.to_le_bytes());
+            expect_err(&bad, "mispaired inc entry");
+        }
+
+        // Duplicate seed.
+        if counts.seeds_len >= 2 {
+            let mut bad = pristine.clone();
+            let first = bad[layout.seeds.start..layout.seeds.start + 4].to_vec();
+            bad[layout.seeds.start + 4..layout.seeds.start + 8].copy_from_slice(&first);
+            expect_err(&bad, "duplicate seed");
+        }
+
+        // The pristine arena still loads (guards against over-strictness).
+        let buf = Arc::new(AlignedBuf::from_bytes(&pristine));
+        CompactSelector::from_arena(buf, 0, counts, lambda).unwrap();
+    }
+
+    #[test]
+    fn from_arena_rejects_misaligned_base() {
+        let dump = trained_dump(77, 0);
+        let compact = CompactSelector::from_dump(&dump);
+        let mut padded = vec![0u8; 4];
+        padded.extend_from_slice(compact.arena());
+        padded.resize((padded.len() + 7) & !7, 0);
+        let buf = Arc::new(AlignedBuf::from_bytes(&padded));
+        assert!(CompactSelector::from_arena(buf, 4, compact.counts(), compact.lambda()).is_err());
+    }
+
+    #[test]
+    fn memory_is_well_below_the_mutable_store() {
+        let (graph, log) = random_instance(88, 60, 16);
+        let mut store = scan(&graph, &log, &CreditPolicy::Uniform, 0.0).unwrap();
+        store.shrink_to_fit();
+        let mutable_bytes = store.memory_bytes();
+        let compact = CompactCreditStore::freeze(&store);
+        assert!(
+            compact.memory_bytes() * 2 <= mutable_bytes,
+            "compact {} vs mutable {}",
+            compact.memory_bytes(),
+            mutable_bytes
+        );
+    }
+}

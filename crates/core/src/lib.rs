@@ -29,6 +29,9 @@
 //!   scan of just the surviving window);
 //! * [`celf`] — Algorithms 3–5 (CELF selection, Theorem-3 marginal gains,
 //!   Lemma 2/3 incremental updates);
+//! * [`compact`] — CSR-flat, arena-backed read-only form of the trained
+//!   state (freeze/thaw, zero-copy v2 snapshot payload, overlay query
+//!   engine answering bit-identically to the mutable selector);
 //! * [`spread`] — exact σ_cd(S) evaluation for arbitrary seed sets (the
 //!   spread-prediction experiments) and a [`cdim_maxim::SpreadOracle`]
 //!   implementation;
@@ -40,6 +43,7 @@
 //!   per-action kernel, so instrumentation cannot affect model bytes).
 
 pub mod celf;
+pub mod compact;
 pub mod incremental;
 pub mod model;
 pub mod policy;
@@ -51,6 +55,7 @@ mod telemetry;
 
 pub use cdim_util::Parallelism;
 pub use celf::{select_seeds, CdSelector, MgMode, SelectorDump};
+pub use compact::{CompactCounts, CompactCreditStore, CompactSelector, OverlaySelector};
 pub use incremental::ExtendError;
 pub use model::{CdModel, CdModelConfig};
 pub use policy::CreditPolicy;

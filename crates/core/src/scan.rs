@@ -220,6 +220,10 @@ pub fn scan_with(
         actions.extend(shard);
     }
     store.actions = actions;
+    // The push-grown per-user and per-action Vecs can hold up to 2×
+    // their length in capacity; a freshly-scanned store is read far more
+    // than it is extended, so hand the slack back before returning.
+    store.shrink_to_fit();
 
     Ok(store)
 }

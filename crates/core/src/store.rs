@@ -99,10 +99,35 @@ impl ActionCredits {
     }
 
     /// Iterates every live credit entry as `(v, u, Γ_{v,u})`, in arbitrary
-    /// order. This is the cache-friendly bulk view the first CELF pass
-    /// uses (one sweep instead of one hash probe per entry).
+    /// order.
     pub fn entries(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
         self.credit.iter().map(|(&key, &c)| ((key >> 32) as u32, key as u32, c))
+    }
+
+    /// Iterates the out-adjacency rows as `(v, targets)`, rows in
+    /// arbitrary order but each row in its live traversal order (the
+    /// order [`Self::targets_of`] walks). Every id in a row is live —
+    /// pruning keeps adjacency and the credit map in lockstep — so
+    /// per-row credit sums are deterministic for a canonically restored
+    /// store even though the row *set* iterates in hash order.
+    pub(crate) fn out_rows(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.out.iter().map(|(&v, ts)| (v, ts.as_slice()))
+    }
+
+    /// Releases excess capacity in the credit map and every adjacency
+    /// row. Called when a store reaches a long-lived resting state (end
+    /// of a scan, restore from a dump) so reported memory reflects live
+    /// entries, not growth slack.
+    pub fn shrink_to_fit(&mut self) {
+        self.credit.shrink_to_fit();
+        for row in self.out.values_mut() {
+            row.shrink_to_fit();
+        }
+        for row in self.inc.values_mut() {
+            row.shrink_to_fit();
+        }
+        self.out.shrink_to_fit();
+        self.inc.shrink_to_fit();
     }
 
     /// Subtracts `amount` from `Γ_{v,u}` (Lemma 2), clamping at zero.
@@ -261,6 +286,17 @@ impl CreditStore {
     pub fn memory_bytes(&self) -> usize {
         self.heap_bytes()
     }
+
+    /// Releases excess capacity across all per-action structures and the
+    /// per-user indexes (see [`ActionCredits::shrink_to_fit`]).
+    pub fn shrink_to_fit(&mut self) {
+        for ac in &mut self.actions {
+            ac.shrink_to_fit();
+        }
+        for actions in &mut self.user_actions {
+            actions.shrink_to_fit();
+        }
+    }
 }
 
 impl HeapSize for CreditStore {
@@ -323,6 +359,9 @@ impl CreditStore {
                 ac.add(v, u, c);
             }
         }
+        // The dump named the final sizes; drop the growth slack so a
+        // restored store's memory accounting reflects live entries only.
+        store.shrink_to_fit();
         store
     }
 }

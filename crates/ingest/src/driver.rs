@@ -248,7 +248,7 @@ impl IngestDriver {
                     graph.num_nodes()
                 )));
             }
-            let trained_lambda = ckpt.snapshot.selector().store().lambda();
+            let trained_lambda = ckpt.snapshot.lambda();
             if let Some(lambda) = config.lambda {
                 if lambda != trained_lambda {
                     return Err(IngestError::Config(format!(
@@ -688,7 +688,7 @@ mod tests {
             FollowConfig::default(),
         )
         .unwrap();
-        assert_eq!(driver.snapshot().selector().store().lambda(), 0.001);
+        assert_eq!(driver.snapshot().lambda(), 0.001);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -45,4 +45,4 @@ pub use client::{ClientError, QueryClient};
 pub use protocol::{Request, Response, ServiceInfo, StatsReply};
 pub use server::{spawn, ServerHandle};
 pub use service::{Answer, InfluenceService, Query, QueryError, ServiceStats};
-pub use snapshot::{ModelSnapshot, SnapshotError};
+pub use snapshot::{ModelSnapshot, SnapshotError, SnapshotFormat};

@@ -170,7 +170,7 @@ fn handle(request: &Request, service: &InfluenceService) -> Response {
             return Response::Info(ServiceInfo {
                 num_users: snapshot.num_users() as u32,
                 num_actions: snapshot.num_actions() as u32,
-                committed_seeds: snapshot.selector().seeds().len() as u32,
+                committed_seeds: snapshot.committed_seeds() as u32,
                 cache_hits: stats.cache_hits,
                 cache_misses: stats.cache_misses,
             });

@@ -368,42 +368,23 @@ fn canonicalize(seeds: &[u32]) -> Vec<u32> {
 fn compute(key: &CacheKey, snapshot: &ModelSnapshot) -> Answer {
     match key {
         CacheKey::TopK(budget) => {
-            let selection = snapshot.selector().clone().select(*budget as usize);
+            let selection = snapshot.top_k(*budget as usize);
             Answer::TopKSeeds { seeds: selection.seeds, gains: selection.marginal_gains }
         }
         // Single-seed spread and empty-set marginal gain are pure reads:
         // σ_cd({s}) = mg(s), no Lemma-2/3 update ever runs, so skip the
-        // O(model-size) selector clone that the general walk needs.
+        // O(model-size) state clone that the general walk needs.
         CacheKey::Spread(seeds) if seeds.len() == 1 => {
-            Answer::Spread(snapshot.selector().compute_mg(seeds[0]))
+            Answer::Spread(snapshot.single_marginal_gain(seeds[0]))
         }
-        CacheKey::Spread(seeds) => Answer::Spread(telescoped_spread(snapshot, seeds)),
+        CacheKey::Spread(seeds) => Answer::Spread(snapshot.telescoped_spread(seeds)),
         CacheKey::Gain(seeds, candidate) if seeds.is_empty() => {
-            Answer::MarginalGain(snapshot.selector().compute_mg(*candidate))
+            Answer::MarginalGain(snapshot.single_marginal_gain(*candidate))
         }
         CacheKey::Gain(seeds, candidate) => {
-            let mut sel = snapshot.selector().clone();
-            for &s in seeds {
-                sel.update(s);
-            }
-            Answer::MarginalGain(sel.compute_mg(*candidate))
+            Answer::MarginalGain(snapshot.gain_over(seeds, *candidate))
         }
     }
-}
-
-/// σ_cd(S) via Theorem 3: walk the canonical seed order, accumulating each
-/// seed's marginal gain and applying the Lemma-2/3 update (skipped after
-/// the last seed — nothing reads the selector afterwards).
-fn telescoped_spread(snapshot: &ModelSnapshot, seeds: &[u32]) -> f64 {
-    let mut sel = snapshot.selector().clone();
-    let mut total = 0.0;
-    for (i, &s) in seeds.iter().enumerate() {
-        total += sel.compute_mg(s);
-        if i + 1 < seeds.len() {
-            sel.update(s);
-        }
-    }
-    total
 }
 
 #[cfg(test)]

@@ -1,0 +1,199 @@
+//! v2 (zero-copy) snapshot failure paths, mirroring `failure_paths.rs`
+//! for the version-1 format: corrupted, truncated, and resealed-garbage
+//! files must all fail with typed errors — and a healthy v2 file must
+//! answer every query bit-identically to its v1 twin.
+
+use cdim_core::{scan, CdSelector, CreditPolicy};
+use cdim_serve::{ModelSnapshot, SnapshotError, SnapshotFormat};
+use cdim_util::checksum::crc32c;
+
+/// A trained snapshot over the deterministic tiny preset, with one
+/// committed seed so the SC map and seed list are non-empty.
+fn snapshot() -> ModelSnapshot {
+    let ds = cdim_datagen::presets::tiny().generate();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let mut selector = CdSelector::new(scan(&ds.graph, &ds.log, &policy, 0.001).unwrap());
+    let seed = CdSelector::new(selector.store().clone()).select(1).seeds[0];
+    selector.update(seed);
+    ModelSnapshot::from_selector(selector)
+}
+
+/// Re-seals a mutated v2 body with a valid CRC-32C trailer, so the
+/// decoder exercises structural validation instead of the checksum.
+fn reseal(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let crc = crc32c(&bytes[..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn v2_round_trips_and_loads_zero_copy() {
+    let snap = snapshot();
+    let bytes = snap.to_bytes_v2();
+    let dir = std::env::temp_dir().join(format!("cdim_failv2_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.v2.snap");
+    snap.save_as(&path, SnapshotFormat::V2).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), bytes, "save_as must write to_bytes_v2 verbatim");
+
+    let loaded = ModelSnapshot::load(&path).unwrap();
+    assert!(loaded.is_compact(), "a v2 file must load into the compact representation");
+    assert_eq!(loaded.to_bytes_v2(), bytes, "v2 re-encoding must be canonical");
+    assert_eq!(loaded.to_bytes(), snap.to_bytes(), "v1 re-encoding must match the source");
+    assert!(loaded.resident_bytes() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_from_bytes_handles_arbitrary_alignment() {
+    // `from_bytes` receives a borrowed slice at whatever alignment the
+    // caller has; pad the front to force every misalignment 1..8.
+    let snap = snapshot();
+    let bytes = snap.to_bytes_v2();
+    let expected = snap.to_bytes();
+    for shift in 1..8 {
+        let mut padded = vec![0u8; shift];
+        padded.extend_from_slice(&bytes);
+        let loaded = ModelSnapshot::from_bytes(&padded[shift..]).unwrap();
+        assert_eq!(loaded.to_bytes(), expected, "misalignment {shift}");
+    }
+}
+
+#[test]
+fn v2_mid_stream_corruption_is_always_detected() {
+    let bytes = snapshot().to_bytes_v2();
+    // Flip one bit at every 97th offset — header, arena, and trailer
+    // alike — and demand a hard error every time.
+    for at in (8..bytes.len()).step_by(97) {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x01;
+        match ModelSnapshot::from_bytes(&bad) {
+            Err(SnapshotError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed, "offset {at}");
+            }
+            // The version word is read before the payload is trusted.
+            Err(SnapshotError::UnsupportedVersion(_)) if (8..12).contains(&at) => {}
+            other => panic!("corruption at {at} must fail loudly, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn v2_every_truncation_is_a_clean_error() {
+    let bytes = snapshot().to_bytes_v2();
+    for len in (0..bytes.len()).step_by(7) {
+        assert!(
+            ModelSnapshot::from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn v2_nonzero_reserved_word_is_rejected() {
+    let mut bytes = snapshot().to_bytes_v2();
+    bytes[12..16].copy_from_slice(&1u32.to_le_bytes());
+    reseal(&mut bytes);
+    assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::Malformed(_))));
+}
+
+#[test]
+fn v2_absurd_header_counts_fail_without_allocating() {
+    // num_users is the first u64 count, at offset 24. Claiming u32::MAX
+    // users with a valid CRC must be rejected structurally, not by a
+    // giant allocation or overflowing layout arithmetic.
+    let mut bytes = snapshot().to_bytes_v2();
+    bytes[24..32].copy_from_slice(&u64::from(u32::MAX).to_le_bytes());
+    reseal(&mut bytes);
+    assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::Malformed(_))));
+}
+
+#[test]
+fn v2_arena_length_mismatch_is_rejected() {
+    // The arena length word (offset 88) must agree with the counts.
+    let mut bytes = snapshot().to_bytes_v2();
+    let stored = u64::from_le_bytes(bytes[88..96].try_into().unwrap());
+    bytes[88..96].copy_from_slice(&(stored + 8).to_le_bytes());
+    reseal(&mut bytes);
+    assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::Malformed(_))));
+}
+
+#[test]
+fn v2_trailing_bytes_are_rejected() {
+    let mut bytes = snapshot().to_bytes_v2();
+    let at = bytes.len() - 4;
+    bytes.splice(at..at, [0u8; 8]); // 8 junk bytes between arena and CRC
+    reseal(&mut bytes);
+    assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::Malformed(_))));
+}
+
+#[test]
+fn v2_resealed_structural_garbage_is_rejected() {
+    // A validly-checksummed arena whose first ua_offsets entry is not 0:
+    // the CRC passes, structural validation must still reject it.
+    let mut bytes = snapshot().to_bytes_v2();
+    bytes[96..100].copy_from_slice(&1u32.to_le_bytes());
+    reseal(&mut bytes);
+    assert!(matches!(ModelSnapshot::from_bytes(&bytes), Err(SnapshotError::Malformed(_))));
+}
+
+#[test]
+fn v2_corrupt_file_on_disk_fails_cleanly() {
+    let snap = snapshot();
+    let dir = std::env::temp_dir().join(format!("cdim_failv2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.v2.snap");
+    snap.save_as(&path, SnapshotFormat::V2).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(ModelSnapshot::load(&path).is_err());
+
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x80;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(ModelSnapshot::load(&path), Err(SnapshotError::ChecksumMismatch { .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_and_v2_loads_answer_bit_identically() {
+    let snap = snapshot();
+    let dir = std::env::temp_dir().join(format!("cdim_failv2_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join("model.v1.snap");
+    let v2_path = dir.join("model.v2.snap");
+    snap.save_as(&v1_path, SnapshotFormat::V1).unwrap();
+    snap.save_as(&v2_path, SnapshotFormat::V2).unwrap();
+
+    let v1 = ModelSnapshot::load(&v1_path).unwrap();
+    let v2 = ModelSnapshot::load(&v2_path).unwrap();
+    assert!(!v1.is_compact() && v2.is_compact());
+    assert_eq!(v1.to_bytes(), v2.to_bytes());
+    assert_eq!(v1.lambda().to_bits(), v2.lambda().to_bits());
+    assert_eq!(v1.committed_seeds(), v2.committed_seeds());
+
+    let (s1, s2) = (v1.top_k(3), v2.top_k(3));
+    assert_eq!(s1.seeds, s2.seeds);
+    let bits = |gains: &[f64]| gains.iter().map(|g| g.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&s1.marginal_gains), bits(&s2.marginal_gains));
+
+    for x in 0..snap.num_users() as u32 {
+        assert_eq!(
+            v1.single_marginal_gain(x).to_bits(),
+            v2.single_marginal_gain(x).to_bits(),
+            "single_marginal_gain({x})"
+        );
+        assert_eq!(
+            v1.gain_over(&s1.seeds, x).to_bits(),
+            v2.gain_over(&s2.seeds, x).to_bits(),
+            "gain_over({x})"
+        );
+    }
+    assert_eq!(
+        v1.telescoped_spread(&s1.seeds).to_bits(),
+        v2.telescoped_spread(&s2.seeds).to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,25 +3,65 @@
 //! The snapshot format trailer carries a CRC over every preceding byte so
 //! that a truncated or bit-flipped file is rejected at load time instead of
 //! deserializing into a silently-wrong model. The reflected polynomial
-//! `0xEDB88320` is the one used by zlib/PNG/Ethernet, table-driven, one
-//! byte at a time — plenty fast for snapshot-sized inputs.
+//! `0xEDB88320` is the one used by zlib/PNG/Ethernet, table-driven with
+//! the slicing-by-16 variant (sixteen independent table lookups per
+//! 16-byte block instead of sixteen sequential per-byte steps) — with
+//! memory-mapped v2 snapshots the checksum pass *is* the load, so its
+//! throughput sets the serve start-up floor.
+//!
+//! Even sliced, a single CRC is bound by the serial dependency on the
+//! running 32-bit state, not by table bandwidth. Large inputs therefore
+//! take a *braided* path: each block is split into three equal streams
+//! checksummed independently (three dependency chains the CPU can
+//! overlap), and the per-stream CRCs are stitched back together with the
+//! same GF(2) length-shift operators that power [`crc32_combine`],
+//! precomputed at compile time for the fixed stream length.
 
-/// The reflected CRC-32 lookup table, built at compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// The reflected IEEE 802.3 polynomial (zlib, PNG, Ethernet).
+const POLY_IEEE: u32 = 0xEDB8_8320;
+
+/// The reflected Castagnoli polynomial (iSCSI; what the x86 `crc32`
+/// instruction implements).
+const POLY_C: u32 = 0x82F6_3B78;
+
+/// Builds slicing-by-16 lookup tables for a reflected polynomial at
+/// compile time. `[0]` is the classic Sarwate byte table; `[k][n]`
+/// advances the CRC of byte `n` through `k` additional zero bytes.
+const fn make_tables(poly: u32) -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut n = 0usize;
     while n < 256 {
         let mut c = n as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 { poly ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[n] = c;
+        tables[0][n] = c;
         n += 1;
     }
-    table
-};
+    let mut t = 1usize;
+    while t < 16 {
+        let mut n = 0usize;
+        while n < 256 {
+            let prev = tables[t - 1][n];
+            tables[t][n] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            n += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// Slicing-by-16 tables for CRC-32 (IEEE).
+const TABLES: [[u32; 256]; 16] = make_tables(POLY_IEEE);
+
+/// Slicing-by-16 tables for CRC-32C (Castagnoli), the software fallback
+/// when the hardware instruction is unavailable.
+const TABLES_C: [[u32; 256]; 16] = make_tables(POLY_C);
+
+/// The classic one-byte-at-a-time table (tail bytes, short inputs).
+const TABLE: [u32; 256] = TABLES[0];
 
 /// Streaming CRC-32 state.
 ///
@@ -45,8 +85,39 @@ impl Crc32 {
 
     /// Feeds `bytes` into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        if rest.len() >= 3 * STREAM {
+            // Braided fast path: three independent streams per block.
+            // Per-stream CRCs start fresh and are stitched onto the
+            // running total via the precomputed shift operators, so the
+            // result is bit-identical to the straight-line scan.
+            let mut total = self.state ^ 0xFFFF_FFFF;
+            while rest.len() >= 3 * STREAM {
+                let (block, tail) = rest.split_at(3 * STREAM);
+                rest = tail;
+                let (a, bc) = block.split_at(STREAM);
+                let (b, c) = bc.split_at(STREAM);
+                let mut ca = 0xFFFF_FFFFu32;
+                let mut cb = 0xFFFF_FFFFu32;
+                let mut cc = 0xFFFF_FFFFu32;
+                let lanes = a.chunks_exact(16).zip(b.chunks_exact(16)).zip(c.chunks_exact(16));
+                for ((ka, kb), kc) in lanes {
+                    ca = step16(&TABLES, ca, ka.try_into().unwrap());
+                    cb = step16(&TABLES, cb, kb.try_into().unwrap());
+                    cc = step16(&TABLES, cc, kc.try_into().unwrap());
+                }
+                let ab = gf2_matrix_times(&OP_STREAM, ca ^ 0xFFFF_FFFF) ^ (cb ^ 0xFFFF_FFFF);
+                let abc = gf2_matrix_times(&OP_STREAM, ab) ^ (cc ^ 0xFFFF_FFFF);
+                total = gf2_matrix_times(&OP_BLOCK, total) ^ abc;
+            }
+            self.state = total ^ 0xFFFF_FFFF;
+        }
         let mut c = self.state;
-        for &b in bytes {
+        let mut chunks = rest.chunks_exact(16);
+        for chunk in &mut chunks {
+            c = step16(&TABLES, c, chunk.try_into().unwrap());
+        }
+        for &b in chunks.remainder() {
             c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
         }
         self.state = c;
@@ -71,6 +142,261 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c.finish()
 }
 
+/// One slicing-by-16 step: folds a 16-byte chunk into the running CRC.
+#[inline(always)]
+fn step16(tables: &[[u32; 256]; 16], c: u32, chunk: &[u8; 16]) -> u32 {
+    let lo = c ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    tables[15][(lo & 0xFF) as usize]
+        ^ tables[14][((lo >> 8) & 0xFF) as usize]
+        ^ tables[13][((lo >> 16) & 0xFF) as usize]
+        ^ tables[12][(lo >> 24) as usize]
+        ^ tables[11][chunk[4] as usize]
+        ^ tables[10][chunk[5] as usize]
+        ^ tables[9][chunk[6] as usize]
+        ^ tables[8][chunk[7] as usize]
+        ^ tables[7][chunk[8] as usize]
+        ^ tables[6][chunk[9] as usize]
+        ^ tables[5][chunk[10] as usize]
+        ^ tables[4][chunk[11] as usize]
+        ^ tables[3][chunk[12] as usize]
+        ^ tables[2][chunk[13] as usize]
+        ^ tables[1][chunk[14] as usize]
+        ^ tables[0][chunk[15] as usize]
+}
+
+/// Bytes per independent stream in the braided fast path.
+const STREAM: usize = 8192;
+
+/// GF(2) operator advancing a CRC across one stream of zero bytes.
+const OP_STREAM: [u32; 32] = shift_operator(POLY_IEEE, STREAM as u64);
+
+/// GF(2) operator advancing a CRC across one whole braided block.
+const OP_BLOCK: [u32; 32] = shift_operator(POLY_IEEE, 3 * STREAM as u64);
+
+/// CRC-32C counterparts of [`OP_STREAM`]/[`OP_BLOCK`].
+const OP_STREAM_C: [u32; 32] = shift_operator(POLY_C, STREAM as u64);
+const OP_BLOCK_C: [u32; 32] = shift_operator(POLY_C, 3 * STREAM as u64);
+
+/// Multiplies the GF(2) matrix `mat` by the bit-vector `vec`.
+const fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0usize;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// Squares the GF(2) matrix `mat`.
+const fn gf2_matrix_square(mat: &[u32; 32]) -> [u32; 32] {
+    let mut square = [0u32; 32];
+    let mut n = 0usize;
+    while n < 32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+        n += 1;
+    }
+    square
+}
+
+/// Multiplies two GF(2) matrices (`a ∘ b`: apply `b`, then `a`).
+const fn gf2_matrix_mul(a: &[u32; 32], b: &[u32; 32]) -> [u32; 32] {
+    let mut out = [0u32; 32];
+    let mut n = 0usize;
+    while n < 32 {
+        out[n] = gf2_matrix_times(a, b[n]);
+        n += 1;
+    }
+    out
+}
+
+/// The GF(2) operator that advances a CRC (reflected polynomial `poly`)
+/// across `len` zero bytes — the matrix [`crc32_combine`] applies
+/// bit-by-bit, materialized whole by repeated squaring so it can be
+/// baked in at compile time.
+const fn shift_operator(poly: u32, mut len: u64) -> [u32; 32] {
+    let mut result = [0u32; 32];
+    let mut n = 0usize;
+    while n < 32 {
+        result[n] = 1u32 << n; // identity
+        n += 1;
+    }
+    if len == 0 {
+        return result;
+    }
+    let mut odd = [0u32; 32]; // operator for one zero *bit*
+    odd[0] = poly;
+    let mut row = 1u32;
+    let mut n = 1usize;
+    while n < 32 {
+        odd[n] = row;
+        row <<= 1;
+        n += 1;
+    }
+    let mut even = gf2_matrix_square(&odd); // two zero bits
+    odd = gf2_matrix_square(&even); // four → one zero byte after next square
+    loop {
+        even = gf2_matrix_square(&odd);
+        if len & 1 != 0 {
+            result = gf2_matrix_mul(&even, &result);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+        odd = gf2_matrix_square(&even);
+        if len & 1 != 0 {
+            result = gf2_matrix_mul(&odd, &result);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+    }
+    result
+}
+
+/// CRC-32 of the concatenation `A ‖ B` given `crc32(A)`, `crc32(B)` and
+/// `B`'s length — zlib's `crc32_combine`. Appending `len2` bytes to `A`
+/// advances its CRC by a linear operator over GF(2); this applies that
+/// operator (as a 32×32 bit matrix raised to the `len2`-th power by
+/// repeated squaring) to `crc1` and folds in `crc2`.
+pub fn crc32_combine(crc1: u32, crc2: u32, len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    gf2_matrix_times(&shift_operator(POLY_IEEE, len2), crc1) ^ crc2
+}
+
+/// Shards below this size are not worth a thread.
+const PARALLEL_CRC_SHARD: usize = 1 << 21;
+
+/// One-shot CRC-32 of `bytes`, sharded across up to
+/// [`crate::Parallelism::effective`] worker threads and stitched back together
+/// with [`crc32_combine`] — bit-identical to [`crc32`] at every input
+/// size and thread count. Inputs under a couple of MiB run inline.
+pub fn crc32_parallel(bytes: &[u8], parallelism: crate::Parallelism) -> u32 {
+    let want = bytes.len() / PARALLEL_CRC_SHARD;
+    if want <= 1 {
+        return crc32(bytes);
+    }
+    let shards = crate::pool::split_ranges(bytes.len(), want.min(parallelism.effective()));
+    let pieces = crate::pool::parallel_map_shards(parallelism, shards.len(), |_, idx| {
+        idx.map(|i| {
+            let range = shards[i].clone();
+            (crc32(&bytes[range.clone()]), range.len() as u64)
+        })
+        .collect::<Vec<_>>()
+    });
+    let mut combined: Option<u32> = None;
+    for (crc, len) in pieces.into_iter().flatten() {
+        combined = Some(match combined {
+            None => crc,
+            Some(acc) => crc32_combine(acc, crc, len),
+        });
+    }
+    combined.unwrap_or(0)
+}
+
+/// One-shot CRC-32C (Castagnoli) of `bytes` — the v2 snapshot trailer
+/// checksum (check value `0xE306_9283`). On x86-64 with SSE 4.2 the
+/// braided streams ride the hardware `crc32` instruction (three-cycle
+/// latency, single-cycle throughput — three independent chains run ~3×
+/// faster than one and an order of magnitude faster than tables);
+/// elsewhere the same braid runs on slicing-by-16 tables.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: the required CPU feature was just detected.
+        return unsafe { crc32c_hw(bytes) };
+    }
+    crc32c_sw(bytes)
+}
+
+/// Hardware CRC-32C. Same braid as [`Crc32::update`], with the
+/// per-stream loops on `_mm_crc32_u64` instead of table lookups.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_hw(bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut state = 0xFFFF_FFFFu32;
+    let mut rest = bytes;
+    if rest.len() >= 3 * STREAM {
+        let mut total = state ^ 0xFFFF_FFFF;
+        while rest.len() >= 3 * STREAM {
+            let (block, tail) = rest.split_at(3 * STREAM);
+            rest = tail;
+            let (a, bc) = block.split_at(STREAM);
+            let (b, c) = bc.split_at(STREAM);
+            let mut ca = 0xFFFF_FFFFu64;
+            let mut cb = 0xFFFF_FFFFu64;
+            let mut cc = 0xFFFF_FFFFu64;
+            let lanes = a.chunks_exact(8).zip(b.chunks_exact(8)).zip(c.chunks_exact(8));
+            for ((ka, kb), kc) in lanes {
+                ca = _mm_crc32_u64(ca, u64::from_le_bytes(ka.try_into().unwrap()));
+                cb = _mm_crc32_u64(cb, u64::from_le_bytes(kb.try_into().unwrap()));
+                cc = _mm_crc32_u64(cc, u64::from_le_bytes(kc.try_into().unwrap()));
+            }
+            let ab =
+                gf2_matrix_times(&OP_STREAM_C, ca as u32 ^ 0xFFFF_FFFF) ^ (cb as u32 ^ 0xFFFF_FFFF);
+            let abc = gf2_matrix_times(&OP_STREAM_C, ab) ^ (cc as u32 ^ 0xFFFF_FFFF);
+            total = gf2_matrix_times(&OP_BLOCK_C, total) ^ abc;
+        }
+        state = total ^ 0xFFFF_FFFF;
+    }
+    let mut c = u64::from(state);
+    let mut chunks = rest.chunks_exact(8);
+    for chunk in &mut chunks {
+        c = _mm_crc32_u64(c, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let mut c = c as u32;
+    for &b in chunks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Software CRC-32C: the table braid with the Castagnoli tables and
+/// operators. (Also the reference the hardware path is tested against.)
+fn crc32c_sw(bytes: &[u8]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    let mut rest = bytes;
+    if rest.len() >= 3 * STREAM {
+        let mut total = state ^ 0xFFFF_FFFF;
+        while rest.len() >= 3 * STREAM {
+            let (block, tail) = rest.split_at(3 * STREAM);
+            rest = tail;
+            let (a, bc) = block.split_at(STREAM);
+            let (b, c) = bc.split_at(STREAM);
+            let mut ca = 0xFFFF_FFFFu32;
+            let mut cb = 0xFFFF_FFFFu32;
+            let mut cc = 0xFFFF_FFFFu32;
+            let lanes = a.chunks_exact(16).zip(b.chunks_exact(16)).zip(c.chunks_exact(16));
+            for ((ka, kb), kc) in lanes {
+                ca = step16(&TABLES_C, ca, ka.try_into().unwrap());
+                cb = step16(&TABLES_C, cb, kb.try_into().unwrap());
+                cc = step16(&TABLES_C, cc, kc.try_into().unwrap());
+            }
+            let ab = gf2_matrix_times(&OP_STREAM_C, ca ^ 0xFFFF_FFFF) ^ (cb ^ 0xFFFF_FFFF);
+            let abc = gf2_matrix_times(&OP_STREAM_C, ab) ^ (cc ^ 0xFFFF_FFFF);
+            total = gf2_matrix_times(&OP_BLOCK_C, total) ^ abc;
+        }
+        state = total ^ 0xFFFF_FFFF;
+    }
+    let mut c = state;
+    let mut chunks = rest.chunks_exact(16);
+    for chunk in &mut chunks {
+        c = step16(&TABLES_C, c, chunk.try_into().unwrap());
+    }
+    for &b in chunks.remainder() {
+        c = TABLES_C[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +419,66 @@ mod tests {
             crc.update(chunk);
         }
         assert_eq!(crc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn braided_path_matches_bytewise_reference() {
+        // 100 KB crosses the braid threshold several times over; the
+        // reference is the classic one-byte-at-a-time recurrence.
+        let data: Vec<u8> = (0..100_000).map(|i| (i * 131 % 256) as u8).collect();
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in &data {
+            c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        assert_eq!(crc32(&data), c ^ 0xFFFF_FFFF);
+        // Streaming updates that start and stop mid-block must agree too.
+        for chunk_len in [1_000usize, 24_576, 30_000, 99_999] {
+            let mut s = Crc32::new();
+            for chunk in data.chunks(chunk_len) {
+                s.update(chunk);
+            }
+            assert_eq!(s.finish(), crc32(&data), "chunk len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn combine_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(70_001).collect();
+        for split in [0usize, 1, 9, 4096, 70_000, 70_001] {
+            let (a, b) = data.split_at(split);
+            let combined = crc32_combine(crc32(a), crc32(b), b.len() as u64);
+            assert_eq!(combined, crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_sizes() {
+        for len in [0usize, 100, PARALLEL_CRC_SHARD - 1, 3 * PARALLEL_CRC_SHARD + 17] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            for threads in [1usize, 2, 5] {
+                assert_eq!(
+                    crc32_parallel(&data, crate::Parallelism::fixed(threads)),
+                    crc32(&data),
+                    "len {len}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32c_matches_check_value() {
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_hardware_matches_software() {
+        // Lengths straddling the braid threshold and odd tails; on
+        // machines without SSE 4.2 this degenerates to sw == sw.
+        for len in [0usize, 1, 7, 15, 100, 3 * STREAM - 1, 3 * STREAM, 100_000, 6 * STREAM + 13] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            assert_eq!(crc32c(&data), crc32c_sw(&data), "len {len}");
+        }
     }
 
     #[test]

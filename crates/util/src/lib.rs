@@ -18,10 +18,14 @@
 //! * [`lru`] — an O(1) least-recently-used cache (the query service's
 //!   answer cache).
 //! * [`checksum`] — CRC-32 for the snapshot file trailer.
+//! * [`bytes`] — 8-byte-aligned buffers (owned or `mmap`-backed) and
+//!   checked byte-reinterpretation helpers, the substrate of the
+//!   zero-copy v2 snapshot format.
 //! * [`pool`] — the scoped worker pool: [`Parallelism`] plus
 //!   deterministic `parallel_map` primitives every parallel stage (credit
 //!   scan, Monte-Carlo estimation) is built on.
 
+pub mod bytes;
 pub mod checksum;
 pub mod hash;
 pub mod lru;
@@ -32,6 +36,7 @@ pub mod rng;
 pub mod timer;
 pub mod topk;
 
+pub use bytes::AlignedBuf;
 pub use checksum::{crc32, Crc32};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use lru::LruCache;

@@ -25,7 +25,7 @@ use cdim::ingest::{BatchConfig, FollowConfig, IngestDriver, WindowPolicy};
 use cdim::metrics::Table;
 use cdim::obs::{MetricsRegistry, MetricsServer};
 use cdim::prelude::*;
-use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient};
+use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient, SnapshotFormat};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -79,7 +79,7 @@ fn usage() {
          cdim predict  --graph <g.tsv> --log <l.tsv> --seeds a,b,c [--policy ...] [--mc ic|lt] [--sims N] [--threads N]\n  \
          cdim train    --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--window N]\n  \
          cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
-         cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N]\n  \
+         cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--format v1|v2]\n  \
          cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N] [--metrics-addr host:port]\n  \
          cdim follow   --graph <g.tsv> --log <live.tsv> --snapshot <m.ckpt> [--serve host:port]\n  \
                        [--batch-actions N] [--batch-ms T] [--checkpoint-every K] [--poll-ms T]\n  \
@@ -389,7 +389,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             "trained {} ({} actions, {} credit entries) in {:.2}s",
             out.display(),
             snapshot.num_actions(),
-            snapshot.selector().store().total_entries(),
+            snapshot.total_entries(),
             timer.secs()
         );
         return Ok(());
@@ -420,7 +420,8 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             graph.num_nodes()
         ));
     }
-    let base_lambda = base.selector().store().lambda();
+    // `base.lambda()` works for both mutable (v1) and compact (v2) bases.
+    let base_lambda = base.lambda();
     if flags.get("lambda").is_some() && config.lambda != base_lambda {
         return Err(format!(
             "--lambda {} conflicts with the base snapshot's lambda {base_lambda} \
@@ -455,7 +456,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         apply_secs,
         out.display(),
         snapshot.num_actions(),
-        snapshot.selector().store().total_entries(),
+        snapshot.total_entries(),
         timer.secs()
     );
     Ok(())
@@ -465,14 +466,19 @@ fn cmd_snapshot(flags: &Flags) -> Result<(), String> {
     let (graph, log) = load(flags)?;
     let config = policy_config(flags)?;
     let out: PathBuf = flags.require("out")?.into();
+    let format = snapshot_format(flags)?;
     let timer = cdim::util::Timer::start();
     let snapshot = ModelSnapshot::build(&graph, &log, config).map_err(|e| e.to_string())?;
-    let entries = snapshot.selector().store().total_entries();
-    snapshot.save(&out).map_err(|e| e.to_string())?;
+    let entries = snapshot.total_entries();
+    snapshot.save_as(&out, format).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&out).map_err(|e| e.to_string())?.len();
     println!(
-        "wrote {} ({}, {entries} credit entries, {} users, {} actions) in {:.2}s",
+        "wrote {} ({}, {}, {entries} credit entries, {} users, {} actions) in {:.2}s",
         out.display(),
+        match format {
+            SnapshotFormat::V1 => "v1",
+            SnapshotFormat::V2 => "v2",
+        },
         cdim::util::mem::fmt_bytes(bytes as usize),
         snapshot.num_users(),
         snapshot.num_actions(),
@@ -481,17 +487,34 @@ fn cmd_snapshot(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--format v1|v2` (default v1, the canonical dump format).
+fn snapshot_format(flags: &Flags) -> Result<SnapshotFormat, String> {
+    match flags.get("format").unwrap_or("v1") {
+        "v1" => Ok(SnapshotFormat::V1),
+        "v2" => Ok(SnapshotFormat::V2),
+        other => Err(format!("unknown snapshot format {other:?} (expected v1 or v2)")),
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let path: PathBuf = flags.require("snapshot")?.into();
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7171");
     let cache = flags.get_parsed("cache", 1024usize)?;
+    let load_timer = cdim::util::Timer::start();
     let snapshot = ModelSnapshot::load(&path).map_err(|e| e.to_string())?;
+    let load_secs = load_timer.secs();
+    let registry = MetricsRegistry::global();
+    registry.gauge("cdim_serve_snapshot_load_seconds").set(load_secs);
+    registry.gauge("cdim_serve_model_resident_bytes").set(snapshot.resident_bytes() as f64);
     eprintln!(
-        "loaded {} ({} users, {} actions, {} committed seeds)",
+        "loaded {} ({}, {} users, {} actions, {} committed seeds, {} resident) in {:.3}s",
         path.display(),
+        if snapshot.is_compact() { "v2 zero-copy" } else { "v1" },
         snapshot.num_users(),
         snapshot.num_actions(),
-        snapshot.selector().seeds().len()
+        snapshot.committed_seeds(),
+        cdim::util::mem::fmt_bytes(snapshot.resident_bytes()),
+        load_secs
     );
     // The global registry, so a scrape sees serve + scan series together.
     let service =
@@ -650,7 +673,7 @@ fn cmd_follow(flags: &Flags) -> Result<(), String> {
         println!(
             "exported {out} ({} actions, {} credit entries)",
             snapshot.num_actions(),
-            snapshot.selector().store().total_entries()
+            snapshot.total_entries()
         );
     }
     drop(server_handle);
