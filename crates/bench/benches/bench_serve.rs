@@ -5,6 +5,12 @@
 //! p50/p90/p99 over a large query stream — by default 10,000 cached and
 //! 10,000 uncached queries per scenario (`CDIM_BENCH_QUERIES` overrides),
 //! for both the in-process engine and the full TCP loopback path.
+//!
+//! It then sweeps concurrent connections (`CDIM_BENCH_CONNS`, default
+//! `64,1024,10000`) through the pipelined load generator against both
+//! frontends: the readiness-driven reactor and the thread-per-connection
+//! baseline (the latter up to `CDIM_BENCH_THREADED_CAP`, default 1024).
+//! Sizes past the in-process fd budget serve from a re-exec'd child.
 
 use cdim_core::{scan, CreditPolicy};
 use cdim_serve::{server, InfluenceService, ModelSnapshot, Query, QueryClient};
@@ -63,7 +69,20 @@ fn report(label: &str, mut samples: Vec<Duration>) {
     );
 }
 
+fn connection_sweep_sizes() -> Vec<usize> {
+    std::env::var("CDIM_BENCH_CONNS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&n| n > 0).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![64, 1024, 10_000])
+}
+
 fn main() {
+    // A re-exec'd serve child (sweep sizes past the fd budget) must not
+    // rerun the benchmark itself.
+    if cdim_bench::loadgen::maybe_run_server_child() {
+        return;
+    }
     let n = queries_per_scenario();
     let ds = cdim_datagen::presets::flixster_small().scaled_down(8).generate();
     let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
@@ -122,4 +141,24 @@ fn main() {
     }
     report("tcp spread (cached)", cached);
     handle.shutdown();
+
+    // Concurrent-connection sweep: thread-per-connection "before" vs
+    // reactor "after", pipelined clients, p50/p99 per cell.
+    let sizes = connection_sweep_sizes();
+    println!("\nconcurrent-connection sweep: {sizes:?} (CDIM_BENCH_CONNS to override)");
+    let cap =
+        std::env::var("CDIM_BENCH_THREADED_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(1024);
+    for row in cdim_bench::experiments::serve::sweep(&sizes, 8, 8, cap) {
+        println!(
+            "{:<9} conns={:<6} n={:<7} qps={:>8.0} p50={:>10.2?} p90={:>10.2?} p99={:>10.2?} max={:>10.2?}",
+            row.backend,
+            row.connections,
+            row.report.requests,
+            row.report.qps(),
+            row.report.p50,
+            row.report.p90,
+            row.report.p99,
+            row.report.max,
+        );
+    }
 }

@@ -10,6 +10,11 @@ use cdim_bench::experiments;
 use cdim_bench::ExperimentScale;
 
 fn main() {
+    // A re-exec'd serve child (bench-serve sweeps past the fd budget)
+    // must never fall through into argument parsing.
+    if cdim_bench::loadgen::maybe_run_server_child() {
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();

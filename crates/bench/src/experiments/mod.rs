@@ -13,6 +13,7 @@ pub mod incremental;
 pub mod ingest;
 pub mod memory;
 pub mod scan_scaling;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table4;
@@ -21,7 +22,7 @@ pub mod window;
 use crate::config::ExperimentScale;
 
 /// All experiment ids, in paper order (engineering artifacts last).
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "table1",
     "table2",
     "fig2",
@@ -41,6 +42,7 @@ pub const ALL_IDS: [&str; 20] = [
     "bench-ingest",
     "bench-window",
     "bench-memory",
+    "bench-serve",
     "all",
 ];
 
@@ -66,6 +68,7 @@ pub fn run(id: &str, scale: ExperimentScale) -> bool {
         "bench-ingest" => ingest::run(scale),
         "bench-window" => window::run(scale),
         "bench-memory" => memory::run(scale),
+        "bench-serve" => serve::run(scale),
         "all" => {
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
                 run(id, scale);

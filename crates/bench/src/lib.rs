@@ -20,6 +20,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod loadgen;
 pub mod methods;
 pub mod prediction;
 

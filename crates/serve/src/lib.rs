@@ -14,8 +14,16 @@
 //! * [`service`] — [`InfluenceService`], a thread-safe query engine
 //!   answering top-k-seed, spread and marginal-gain queries with an LRU
 //!   answer cache and atomic zero-downtime snapshot hot-swap;
-//! * [`protocol`] — the length-prefixed request/response wire format;
-//! * [`server`] — a `TcpListener` accept loop (thread per connection);
+//! * [`protocol`] — the length-prefixed request/response wire format,
+//!   including the incremental [`protocol::FrameDecoder`] for
+//!   nonblocking streams;
+//! * [`reactor`] — the readiness-driven event loop (epoll / `poll(2)`
+//!   via [`cdim_util::poll`]): one thread multiplexing every connection,
+//!   pipelined in-order responses, per-connection backpressure, and
+//!   per-tick query batching through a small worker pool;
+//! * [`server`] — the frontend facade: [`spawn`]/[`server::spawn_with`]
+//!   on the reactor, plus the fixed thread-per-connection baseline in
+//!   [`server::threaded`] for A/B benchmarking;
 //! * [`client`] — a blocking [`QueryClient`] for the protocol.
 //!
 //! ```no_run
@@ -37,12 +45,13 @@ mod codec;
 
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod snapshot;
 
 pub use client::{ClientError, QueryClient};
-pub use protocol::{Request, Response, ServiceInfo, StatsReply};
-pub use server::{spawn, ServerHandle};
+pub use protocol::{FrameDecoder, Request, Response, ServiceInfo, StatsReply};
+pub use server::{spawn, spawn_with, ServerConfig, ServerHandle};
 pub use service::{Answer, InfluenceService, Query, QueryError, ServiceStats};
 pub use snapshot::{ModelSnapshot, SnapshotError, SnapshotFormat};

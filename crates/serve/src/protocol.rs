@@ -24,7 +24,7 @@
 //! | 1      | TopKSeeds     | `n u32 · n × (seed u32 · gain f64)` |
 //! | 2      | Spread        | `sigma f64` |
 //! | 3      | MarginalGain  | `gain f64` |
-//! | 4      | Info          | `num_users u32 · num_actions u32 · seeds u32 · hits u64 · misses u64` |
+//! | 4      | Info          | `num_users u64 · num_actions u64 · seeds u64 · hits u64 · misses u64` |
 //! | 5      | Stats         | `queries u64 · hits u64 · misses u64 · publishes u64 · version u64` |
 //! | 6      | Metrics       | `nc u32 · nc × (str · u64) · ng u32 · ng × (str · f64) · nh u32 · nh × (str · count u64 · sum f64 · max f64 · p50 f64 · p90 f64 · p99 f64) · ni u32 · ni × (str · str · str)` |
 //! | 255    | Error         | `len u32 · len × utf-8 byte` |
@@ -84,14 +84,18 @@ pub enum Request {
 }
 
 /// Snapshot and cache facts returned by [`Request::Info`].
+///
+/// The dimension fields are `u64` on the wire: a billion-user action log
+/// overflows `u32` action counts, and the old `as u32` casts silently
+/// truncated (fixed in PR 9 by widening the op-4 payload).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceInfo {
     /// Users in the served snapshot.
-    pub num_users: u32,
+    pub num_users: u64,
     /// Actions in the served snapshot.
-    pub num_actions: u32,
+    pub num_actions: u64,
     /// Seeds already committed in the served snapshot.
-    pub committed_seeds: u32,
+    pub committed_seeds: u64,
     /// Answer-cache hits since the service started.
     pub cache_hits: u64,
     /// Answer-cache misses since the service started.
@@ -220,6 +224,80 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
     Ok(Some(payload))
 }
 
+/// Incremental frame decoder for nonblocking streams.
+///
+/// The reactor reads whatever bytes the socket has and feeds them in via
+/// [`FrameDecoder::extend`]; [`FrameDecoder::next_frame`] yields complete
+/// payloads as they become available and keeps partial frames buffered
+/// across reads — a slow peer that delivers a request one byte at a time
+/// loses nothing. Oversized length prefixes are rejected before any
+/// payload allocation, exactly like [`read_frame`].
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes before this offset belong to already-yielded frames; the
+    /// buffer is compacted lazily so pipelined bursts don't memmove per
+    /// frame.
+    consumed: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` when more bytes are
+    /// needed, or [`ProtocolError::FrameTooLarge`] on an absurd length
+    /// prefix (the connection is unrecoverable after that — framing is
+    /// lost).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(ProtocolError::FrameTooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[4..total].to_vec();
+        self.consumed += total;
+        Ok(Some(payload))
+    }
+
+    /// True when a partially delivered frame (or unparsed bytes) sit in
+    /// the buffer — the signal that a read timeout is a mid-frame stall
+    /// rather than idleness.
+    pub fn has_partial(&self) -> bool {
+        self.consumed < self.buf.len()
+    }
+
+    /// Bytes currently buffered (partial frames and not-yet-popped
+    /// complete frames).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Drops yielded-frame bytes once they dominate the buffer, keeping
+    /// amortized O(1) per byte.
+    fn compact(&mut self) {
+        if self.consumed > 0 && (self.consumed >= self.buf.len() || self.consumed >= 4096) {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+}
+
 // ---------------------------------------------------------------- encoding
 
 fn push_seeds(out: &mut Vec<u8>, seeds: &[u32]) {
@@ -310,9 +388,9 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         }
         Response::Info(info) => {
             out.push(OP_INFO);
-            push_u32(&mut out, info.num_users);
-            push_u32(&mut out, info.num_actions);
-            push_u32(&mut out, info.committed_seeds);
+            push_u64(&mut out, info.num_users);
+            push_u64(&mut out, info.num_actions);
+            push_u64(&mut out, info.committed_seeds);
             push_u64(&mut out, info.cache_hits);
             push_u64(&mut out, info.cache_misses);
         }
@@ -435,9 +513,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         OP_SPREAD => Response::Spread(r.f64()?),
         OP_GAIN => Response::MarginalGain(r.f64()?),
         OP_INFO => Response::Info(ServiceInfo {
-            num_users: r.u32()?,
-            num_actions: r.u32()?,
-            committed_seeds: r.u32()?,
+            num_users: r.u64()?,
+            num_actions: r.u64()?,
+            committed_seeds: r.u64()?,
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
         }),
@@ -608,6 +686,101 @@ mod tests {
         // Mid-length-prefix EOF is truncation, not a clean close.
         let wire = [1u8, 0];
         assert!(matches!(read_frame(&mut &wire[..]), Err(ProtocolError::Truncated)));
+    }
+
+    #[test]
+    fn info_dimensions_survive_beyond_u32() {
+        // Regression for the PR-2 `as u32` truncation: a snapshot bigger
+        // than 2^32 actions must round-trip exactly through op 4.
+        let info = ServiceInfo {
+            num_users: u64::from(u32::MAX) + 12,
+            num_actions: 1 << 40,
+            committed_seeds: u64::from(u32::MAX) + 1,
+            cache_hits: 3,
+            cache_misses: 4,
+        };
+        let payload = encode_response(&Response::Info(info));
+        match decode_response(&payload).unwrap() {
+            Response::Info(round) => assert_eq!(round, info),
+            other => panic!("expected Info, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_decoder_handles_byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::TopKSeeds { budget: 3 })).unwrap();
+        write_frame(&mut wire, &encode_request(&Request::Spread { seeds: vec![1, 2, 3] })).unwrap();
+
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &byte in &wire {
+            decoder.extend(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(decode_request(&frames[0]).unwrap(), Request::TopKSeeds { budget: 3 });
+        assert_eq!(decode_request(&frames[1]).unwrap(), Request::Spread { seeds: vec![1, 2, 3] });
+        assert!(!decoder.has_partial());
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_pops_a_pipelined_burst_from_one_read() {
+        let mut wire = Vec::new();
+        for budget in 0..50u32 {
+            write_frame(&mut wire, &encode_request(&Request::TopKSeeds { budget })).unwrap();
+        }
+        // One extra partial frame at the tail.
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(&[0, 1, 2]);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire);
+        let mut budgets = Vec::new();
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            match decode_request(&frame).unwrap() {
+                Request::TopKSeeds { budget } => budgets.push(budget),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(budgets, (0..50).collect::<Vec<_>>());
+        assert!(decoder.has_partial(), "tail bytes must stay buffered");
+        assert_eq!(decoder.buffered(), 7);
+
+        // Delivering the rest completes the final frame.
+        decoder.extend(&[3, 4, 5, 6, 7]);
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_prefix_before_payload_arrives() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(ProtocolError::FrameTooLarge(n)) if n == MAX_FRAME_LEN + 1
+        ));
+    }
+
+    #[test]
+    fn frame_decoder_compaction_preserves_the_stream() {
+        // Interleave extends and pops so `consumed` crosses the compaction
+        // threshold repeatedly; every frame must still come out intact.
+        let mut decoder = FrameDecoder::new();
+        let payload = vec![7u8; 1500];
+        for round in 0..20 {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &payload).unwrap();
+            let (a, b) = wire.split_at(wire.len() / 2);
+            decoder.extend(a);
+            assert!(decoder.next_frame().unwrap().is_none(), "round {round}");
+            decoder.extend(b);
+            assert_eq!(decoder.next_frame().unwrap().unwrap(), payload, "round {round}");
+        }
     }
 
     #[test]

@@ -322,6 +322,92 @@ impl InfluenceService {
         }
         Ok(answer)
     }
+
+    /// Answers a batch of queries against **one** consistent snapshot.
+    ///
+    /// This is the reactor's amortized path: every query decoded in one
+    /// event-loop tick lands here, so the whole batch pays a single
+    /// snapshot-lock acquisition, a single cache-lock probe pass, and a
+    /// single epoch-checked insert pass — and a concurrent
+    /// [`publish`](Self::publish) can never interleave *between* queries
+    /// of the batch (they all see the same epoch).
+    ///
+    /// Metrics are recorded per query, exactly as [`query`](Self::query)
+    /// would: `queries_total` and the latency histogram advance once per
+    /// element, and every element counts as either a hit or a miss
+    /// (duplicates within the batch are hits — the first occurrence's
+    /// computation serves the rest from memory).
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, QueryError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        self.metrics.queries.add(queries.len() as u64);
+        self.metrics.inflight.add(queries.len() as f64);
+        let timer = Timer::start();
+        let (epoch, snapshot) = self.snapshot_with_epoch();
+
+        let keys: Vec<Result<CacheKey, QueryError>> =
+            queries.iter().map(|q| canonical_key(q, &snapshot)).collect();
+
+        // One probe pass under one cache-lock hold.
+        let mut results: Vec<Option<Result<Answer, QueryError>>> = vec![None; queries.len()];
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            for (slot, key) in results.iter_mut().zip(&keys) {
+                match key {
+                    Err(e) => *slot = Some(Err(e.clone())),
+                    Ok(k) => {
+                        if let Some(answer) = cache.get(k) {
+                            self.metrics.hits.inc();
+                            *slot = Some(Ok(answer.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        let probe_secs = timer.secs();
+        let resolved = results.iter().filter(|s| s.is_some()).count();
+        for _ in 0..resolved {
+            self.metrics.query_seconds.observe(probe_secs);
+        }
+
+        // Compute the misses; duplicates within the batch compute once.
+        let mut computed: Vec<(CacheKey, Answer)> = Vec::new();
+        for (slot, key) in results.iter_mut().zip(&keys) {
+            if slot.is_some() {
+                continue;
+            }
+            let key = key.as_ref().expect("errors were resolved in the probe pass");
+            let answer = match computed.iter().find(|(k, _)| k == key) {
+                Some((_, answer)) => {
+                    self.metrics.hits.inc();
+                    answer.clone()
+                }
+                None => {
+                    let answer = compute(key, &snapshot);
+                    self.metrics.misses.inc();
+                    computed.push((key.clone(), answer.clone()));
+                    answer
+                }
+            };
+            self.metrics.query_seconds.observe(timer.secs());
+            *slot = Some(Ok(answer));
+        }
+
+        // One epoch-checked insert pass (same stale-answer discipline as
+        // the single-query path).
+        if !computed.is_empty() {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            if self.epoch() == epoch {
+                for (key, answer) in computed {
+                    cache.insert(key, answer);
+                }
+            }
+        }
+
+        self.metrics.inflight.add(-(queries.len() as f64));
+        results.into_iter().map(|slot| slot.expect("every slot was filled")).collect()
+    }
 }
 
 /// Validates the query against the snapshot and canonicalizes its seed set
@@ -626,6 +712,63 @@ mod tests {
         svc.publish(ModelSnapshot::from_store(store));
         assert_eq!(registry.counter("cdim_serve_publishes_total").get(), 1);
         assert_eq!(registry.histogram("cdim_serve_swap_seconds").count(), 1);
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries_and_counts_every_element() {
+        let mixed = vec![
+            Query::TopKSeeds { budget: 3 },
+            Query::Spread { seeds: vec![0, 1] },
+            Query::Spread { seeds: vec![1, 0, 0] }, // duplicate (canonical)
+            Query::MarginalGain { seeds: vec![0], candidate: 2 },
+            Query::Spread { seeds: vec![u32::MAX] }, // rejected
+            Query::TopKSeeds { budget: 3 },          // duplicate
+        ];
+
+        let sequential = service(64);
+        let expected: Vec<_> = mixed.iter().map(|q| sequential.query(q)).collect();
+
+        let batched = service(64);
+        let got = batched.query_batch(&mixed);
+        assert_eq!(got, expected);
+
+        // Per-query accounting identical to the sequential path: every
+        // element counted, every element measured, hit/miss partition
+        // exact (1 canonical-duplicate hit + 1 batch-duplicate hit).
+        let stats = batched.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 5, "rejects are neither hit nor miss");
+        assert_eq!(stats.cache_hits, 2);
+        let registry = batched.metrics_registry();
+        assert_eq!(registry.histogram("cdim_serve_query_seconds").count(), 6);
+        assert_eq!(registry.gauge("cdim_serve_inflight_queries").get(), 0.0);
+
+        // The batch populated the cache: a rerun is all hits.
+        let again = batched.query_batch(&mixed);
+        assert_eq!(again, expected);
+        assert_eq!(batched.stats().cache_misses, stats.cache_misses);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let svc = service(4);
+        assert!(svc.query_batch(&[]).is_empty());
+        assert_eq!(svc.stats().queries, 0);
+    }
+
+    #[test]
+    fn batch_sees_one_consistent_snapshot_across_a_publish() {
+        // A publish between query_batch calls invalidates the cache; the
+        // batch that straddled the old epoch must not poison it.
+        let svc = std::sync::Arc::new(service(64));
+        let q = vec![Query::Spread { seeds: vec![0] }, Query::Spread { seeds: vec![1] }];
+        svc.query_batch(&q);
+        let ds = cdim_datagen::presets::tiny().generate();
+        let store = scan(&ds.graph, &ds.log, &CreditPolicy::Uniform, 0.0).unwrap();
+        svc.publish(ModelSnapshot::from_store(store));
+        let misses_before = svc.stats().cache_misses;
+        svc.query_batch(&q);
+        assert_eq!(svc.stats().cache_misses, misses_before + 2, "publish cleared the cache");
     }
 
     #[test]

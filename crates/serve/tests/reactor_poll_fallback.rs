@@ -1,0 +1,70 @@
+//! The reactor over the portable `poll(2)` backend.
+//!
+//! `CDIM_POLL_BACKEND=poll` forces `cdim_util::poll::Poller` off epoll;
+//! this file (its own test process, so the env var leaks nowhere) reruns
+//! the core serving flows on that fallback path.
+
+use cdim_core::{scan, CreditPolicy};
+use cdim_serve::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use cdim_serve::{spawn, InfluenceService, ModelSnapshot};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn test_service() -> Arc<InfluenceService> {
+    std::env::set_var("CDIM_POLL_BACKEND", "poll");
+    let ds = cdim_datagen::presets::tiny().generate();
+    let policy = CreditPolicy::time_aware(&ds.graph, &ds.log);
+    let store = scan(&ds.graph, &ds.log, &policy, 0.001).unwrap();
+    Arc::new(InfluenceService::new(ModelSnapshot::from_store(store), 64))
+}
+
+#[test]
+fn pipelined_queries_work_on_the_poll_backend() {
+    let service = test_service();
+    let server = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    let mut burst = Vec::new();
+    for u in 0..6u32 {
+        write_frame(&mut burst, &encode_request(&Request::Spread { seeds: vec![u % 3] })).unwrap();
+    }
+    write_frame(&mut burst, &encode_request(&Request::Info)).unwrap();
+    stream.write_all(&burst).unwrap();
+
+    for _ in 0..6 {
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(decode_response(&payload).unwrap(), Response::Spread(_)));
+    }
+    let payload = read_frame(&mut stream).unwrap().unwrap();
+    match decode_response(&payload).unwrap() {
+        Response::Info(info) => {
+            assert_eq!(info.num_users as usize, service.snapshot().num_users())
+        }
+        other => panic!("expected Info, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn many_connections_work_on_the_poll_backend() {
+    let service = test_service();
+    let server = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut streams: Vec<TcpStream> =
+        (0..64).map(|_| TcpStream::connect(server.addr()).unwrap()).collect();
+    let frame = {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::Spread { seeds: vec![0] })).unwrap();
+        wire
+    };
+    for stream in &mut streams {
+        stream.write_all(&frame).unwrap();
+    }
+    for stream in &mut streams {
+        let payload = read_frame(stream).unwrap().unwrap();
+        assert!(matches!(decode_response(&payload).unwrap(), Response::Spread(_)));
+    }
+    server.shutdown();
+}

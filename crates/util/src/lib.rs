@@ -24,6 +24,9 @@
 //! * [`pool`] — the scoped worker pool: [`Parallelism`] plus
 //!   deterministic `parallel_map` primitives every parallel stage (credit
 //!   scan, Monte-Carlo estimation) is built on.
+//! * [`poll`] — readiness polling (raw `epoll` with a portable `poll(2)`
+//!   fallback) plus a self-pipe waker, the substrate of the serving
+//!   reactor.
 
 pub mod bytes;
 pub mod checksum;
@@ -31,6 +34,8 @@ pub mod hash;
 pub mod lru;
 pub mod mem;
 pub mod ord;
+#[cfg(unix)]
+pub mod poll;
 pub mod pool;
 pub mod rng;
 pub mod timer;

@@ -1,0 +1,718 @@
+//! Readiness polling over raw `epoll` with a portable `poll(2)` fallback.
+//!
+//! The serving reactor needs level-triggered readiness notification for
+//! thousands of sockets, and the workspace links no external crates, so
+//! this module binds the two POSIX interfaces directly (the same way
+//! [`crate::bytes`] binds `mmap`). [`Poller::new`] picks `epoll` on Linux
+//! and `poll(2)` everywhere else; setting `CDIM_POLL_BACKEND=poll` forces
+//! the fallback so tests exercise both code paths on one machine.
+//!
+//! The registration model is the minimal one the reactor needs:
+//!
+//! * every registered fd carries a caller-chosen `u64` token that comes
+//!   back verbatim in [`Event::token`];
+//! * interest is level-triggered [`Interest::READABLE`] and/or
+//!   [`Interest::WRITABLE`] — re-armed implicitly, never edge-triggered;
+//! * peer hangup and socket errors surface as `readable` (so one read
+//!   attempt observes the condition) plus the explicit [`Event::closed`]
+//!   flag.
+//!
+//! [`WakePipe`] is the standard self-pipe trick: a nonblocking pipe whose
+//! read end is registered with the poller, so another thread can interrupt
+//! a blocked [`Poller::wait`] deterministically (used for shutdown and for
+//! worker-completion notification).
+
+#![allow(clippy::upper_case_acronyms)]
+
+use std::io;
+use std::time::Duration;
+
+/// Which readiness conditions a registration wants reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Report when the fd has bytes to read (or the peer hung up).
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Report when the fd can accept writes without blocking.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Report both conditions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Report neither — the fd stays registered (hangup/error still
+    /// surface) but delivers no readiness, e.g. a fully backpressured
+    /// connection.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+
+    /// True when read readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.readable
+    }
+
+    /// True when write readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.writable
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (bytes buffered, pending accept, or EOF/error —
+    /// a read attempt will not block and will observe the condition).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the socket errored; the connection is done.
+    pub closed: bool,
+}
+
+/// Which kernel interface a [`Poller`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollBackend {
+    /// Linux `epoll(7)` — O(ready) wakeups, the default on Linux.
+    Epoll,
+    /// POSIX `poll(2)` — O(registered) per wait, portable everywhere.
+    Poll,
+}
+
+/// A level-triggered readiness poller (see the module docs).
+pub struct Poller {
+    imp: Imp,
+}
+
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: i32,
+        /// fd → token, so `deregister` only needs the fd and `wait` can
+        /// skip events for fds removed mid-batch.
+        registered: Vec<(i32, u64)>,
+    },
+    Poll {
+        /// fd → (token, interest); rebuilt into a `pollfd` array per wait.
+        entries: Vec<(i32, u64, Interest)>,
+        /// Scratch `pollfd` buffer reused across waits.
+        scratch: Vec<sys::PollFd>,
+    },
+}
+
+impl Poller {
+    /// Opens a poller on the platform-default backend (`epoll` on Linux,
+    /// `poll(2)` elsewhere). `CDIM_POLL_BACKEND=poll` forces the fallback.
+    pub fn new() -> io::Result<Poller> {
+        let force_poll = std::env::var("CDIM_POLL_BACKEND").is_ok_and(|v| v == "poll");
+        if force_poll {
+            Poller::with_backend(PollBackend::Poll)
+        } else {
+            Poller::with_backend(default_backend())
+        }
+    }
+
+    /// Opens a poller on an explicit backend. Requesting
+    /// [`PollBackend::Epoll`] off Linux yields `Unsupported`.
+    pub fn with_backend(backend: PollBackend) -> io::Result<Poller> {
+        match backend {
+            PollBackend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    // SAFETY: plain syscall, no pointers.
+                    let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+                    if epfd < 0 {
+                        return Err(io::Error::last_os_error());
+                    }
+                    Ok(Poller { imp: Imp::Epoll { epfd, registered: Vec::new() } })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll is Linux-only; use PollBackend::Poll",
+                    ))
+                }
+            }
+            PollBackend::Poll => {
+                Ok(Poller { imp: Imp::Poll { entries: Vec::new(), scratch: Vec::new() } })
+            }
+        }
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> PollBackend {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { .. } => PollBackend::Epoll,
+            Imp::Poll { .. } => PollBackend::Poll,
+        }
+    }
+
+    /// Number of currently registered fds.
+    pub fn registered(&self) -> usize {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { registered, .. } => registered.len(),
+            Imp::Poll { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Starts watching `fd` with `interest`; `token` comes back in every
+    /// event for this fd. Registering an already-registered fd is an error
+    /// on the epoll backend (use [`Poller::modify`]).
+    pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, registered } => {
+                let mut ev = sys::EpollEvent { events: epoll_mask(interest), data: token };
+                // SAFETY: `ev` outlives the call; the kernel copies it.
+                let rc = unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                registered.push((fd, token));
+                Ok(())
+            }
+            Imp::Poll { entries, .. } => {
+                if entries.iter().any(|&(f, _, _)| f == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                entries.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest set (and token) of a registered fd.
+    pub fn modify(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, registered } => {
+                let mut ev = sys::EpollEvent { events: epoll_mask(interest), data: token };
+                // SAFETY: `ev` outlives the call; the kernel copies it.
+                let rc = unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, &mut ev) };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                if let Some(slot) = registered.iter_mut().find(|(f, _)| *f == fd) {
+                    slot.1 = token;
+                }
+                Ok(())
+            }
+            Imp::Poll { entries, .. } => match entries.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    slot.1 = token;
+                    slot.2 = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            },
+        }
+    }
+
+    /// Stops watching `fd`. Must be called before the fd is closed.
+    pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, registered } => {
+                // A null event pointer is fine for DEL on kernels >= 2.6.9.
+                let rc = // SAFETY: plain syscall; DEL ignores the event arg.
+                    unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                registered.retain(|&(f, _)| f != fd);
+                Ok(())
+            }
+            Imp::Poll { entries, .. } => {
+                let before = entries.len();
+                entries.retain(|&(f, _, _)| f != fd);
+                if entries.len() == before {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// elapses (`None` = wait forever), appending to `events` (which is
+    /// cleared first). A signal interruption returns `Ok(0)` — callers
+    /// loop anyway. Returns the number of events delivered.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms = timeout_millis(timeout);
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, registered } => {
+                let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+                let rc = // SAFETY: `buf` is a valid writable array of len 256.
+                    unsafe { sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+                if rc < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(0);
+                    }
+                    return Err(err);
+                }
+                let _ = registered;
+                for ev in buf.iter().take(rc as usize) {
+                    let bits = ev.events;
+                    let closed = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+                    events.push(Event {
+                        token: ev.data,
+                        readable: bits & sys::EPOLLIN != 0 || closed,
+                        writable: bits & sys::EPOLLOUT != 0,
+                        closed,
+                    });
+                }
+                Ok(events.len())
+            }
+            Imp::Poll { entries, scratch } => {
+                scratch.clear();
+                for &(fd, _, interest) in entries.iter() {
+                    let mut mask: i16 = 0;
+                    if interest.is_readable() {
+                        mask |= sys::POLLIN;
+                    }
+                    if interest.is_writable() {
+                        mask |= sys::POLLOUT;
+                    }
+                    scratch.push(sys::PollFd { fd, events: mask, revents: 0 });
+                }
+                let rc = // SAFETY: `scratch` is a valid pollfd array of the stated length.
+                    unsafe { sys::poll(scratch.as_mut_ptr(), scratch.len() as sys::NfdsT, timeout_ms) };
+                if rc < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(0);
+                    }
+                    return Err(err);
+                }
+                for (pfd, &(_, token, _)) in scratch.iter().zip(entries.iter()) {
+                    let bits = pfd.revents;
+                    if bits == 0 {
+                        continue;
+                    }
+                    let closed = bits & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                    events.push(Event {
+                        token,
+                        readable: bits & sys::POLLIN != 0 || closed,
+                        writable: bits & sys::POLLOUT != 0,
+                        closed,
+                    });
+                }
+                Ok(events.len())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Imp::Epoll { epfd, .. } = self.imp {
+            // SAFETY: epfd was returned by epoll_create1 and is owned here.
+            unsafe { sys::close(epfd) };
+        }
+    }
+}
+
+fn default_backend() -> PollBackend {
+    #[cfg(target_os = "linux")]
+    {
+        PollBackend::Epoll
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        PollBackend::Poll
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = 0;
+    if interest.is_readable() {
+        mask |= sys::EPOLLIN | sys::EPOLLRDHUP;
+    }
+    if interest.is_writable() {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+/// `poll`/`epoll_wait` timeout convention: -1 = forever, else milliseconds
+/// (sub-millisecond nonzero waits round up so they don't spin).
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+/// A nonblocking self-pipe for waking a blocked [`Poller::wait`] from
+/// another thread. Register [`WakePipe::read_fd`] for readability; call
+/// [`WakePipe::wake`] from anywhere; call [`WakePipe::drain`] in the
+/// event handler to re-arm.
+pub struct WakePipe {
+    read_fd: i32,
+    write_fd: i32,
+}
+
+// The fds are only ever read/written with single-byte nonblocking I/O,
+// which is thread-safe at the kernel level.
+// SAFETY: see above — no shared mutable Rust state, just raw fds.
+unsafe impl Send for WakePipe {}
+// SAFETY: same argument as Send.
+unsafe impl Sync for WakePipe {}
+
+impl WakePipe {
+    /// Opens the pipe with both ends nonblocking and close-on-exec.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a valid 2-element array the kernel fills.
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe { read_fd: fds[0], write_fd: fds[1] })
+    }
+
+    /// The end to register with the poller ([`Interest::READABLE`]).
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// Makes the read end readable. A full pipe (`EAGAIN`) already
+    /// guarantees a pending wakeup, so that case is silently a success.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: valid 1-byte buffer; short/failed writes are fine.
+        unsafe { sys::write(self.write_fd, byte.as_ptr().cast(), 1) };
+    }
+
+    /// Consumes all pending wakeup bytes so level-triggered polling
+    /// re-arms. Returns how many bytes were drained.
+    pub fn drain(&self) -> usize {
+        let mut total = 0;
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: valid buffer of the stated length.
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return total;
+            }
+            total += n as usize;
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: both fds came from pipe2 and are owned by this struct.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// Raises the process `RLIMIT_NOFILE` soft limit toward `want` (clamped
+/// to the hard limit) and returns the resulting soft limit. A soft limit
+/// already at or above `want` is returned unchanged.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = sys::Rlimit { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: `lim` is a valid rlimit struct the kernel fills.
+    if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    let target = want.min(lim.rlim_max);
+    let new = sys::Rlimit { rlim_cur: target, rlim_max: lim.rlim_max };
+    // SAFETY: `new` is a valid rlimit struct; the kernel copies it.
+    if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &new) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(target)
+}
+
+/// Raw POSIX bindings (the workspace links no external crates; these
+/// constants match the Linux and BSD ABIs for the subset used here).
+mod sys {
+    use std::ffi::c_void;
+
+    pub const POLLIN: i16 = 0x1;
+    pub const POLLOUT: i16 = 0x4;
+    pub const POLLERR: i16 = 0x8;
+    pub const POLLHUP: i16 = 0x10;
+    pub const POLLNVAL: i16 = 0x20;
+
+    #[cfg(target_os = "linux")]
+    pub const EPOLLIN: u32 = 0x1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLOUT: u32 = 0x4;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLERR: u32 = 0x8;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLHUP: u32 = 0x10;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CLOEXEC: i32 = 0x80000;
+
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: i32 = 0x800;
+    #[cfg(target_os = "linux")]
+    pub const O_CLOEXEC: i32 = 0x80000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: i32 = 0x4;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_CLOEXEC: i32 = 0x1000000;
+
+    #[cfg(target_os = "linux")]
+    pub const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    pub const RLIMIT_NOFILE: i32 = 8;
+
+    /// `nfds_t`: unsigned long on every supported target.
+    pub type NfdsT = std::os::raw::c_ulong;
+
+    /// `struct pollfd` (identical layout on Linux and the BSDs).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    /// `struct epoll_event` — packed on x86-64, natural elsewhere.
+    #[cfg(target_os = "linux")]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// `struct rlimit` (u64 fields on all LP64 targets).
+    #[repr(C)]
+    pub struct Rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout_ms: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const c_void, count: usize) -> isize;
+        pub fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        pub fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+        #[cfg(target_os = "linux")]
+        pub fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: i32) -> i32;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: i32,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout_ms: i32,
+        ) -> i32;
+    }
+
+    /// Non-Linux fallback: `pipe` + `fcntl` to set the flags after the
+    /// fact (`pipe2` is not in POSIX).
+    #[cfg(not(target_os = "linux"))]
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    }
+
+    /// Emulates Linux `pipe2` on other Unixes.
+    ///
+    /// # Safety
+    /// `fds` must point to a writable 2-element array.
+    #[cfg(not(target_os = "linux"))]
+    pub unsafe fn pipe2(fds: *mut i32, flags: i32) -> i32 {
+        const F_SETFL: i32 = 4;
+        const F_SETFD: i32 = 2;
+        const FD_CLOEXEC: i32 = 1;
+        if pipe(fds) < 0 {
+            return -1;
+        }
+        for i in 0..2 {
+            let fd = *fds.add(i);
+            if flags & O_NONBLOCK != 0 {
+                fcntl(fd, F_SETFL, O_NONBLOCK);
+            }
+            if flags & O_CLOEXEC != 0 {
+                fcntl(fd, F_SETFD, FD_CLOEXEC);
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends() -> Vec<PollBackend> {
+        let mut v = vec![PollBackend::Poll];
+        if cfg!(target_os = "linux") {
+            v.push(PollBackend::Epoll);
+        }
+        v
+    }
+
+    #[test]
+    fn wake_pipe_reports_readable_on_every_backend() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let pipe = WakePipe::new().unwrap();
+            poller.register(pipe.read_fd(), 7, Interest::READABLE).unwrap();
+
+            let mut events = Vec::new();
+            // Nothing written yet: a short wait times out empty.
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert_eq!(n, 0, "{backend:?}");
+
+            pipe.wake();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+
+            // Level-triggered: still readable until drained.
+            let n = poller.wait(&mut events, Some(Duration::from_millis(100))).unwrap();
+            assert_eq!(n, 1, "{backend:?} should stay level-triggered");
+            assert!(pipe.drain() >= 1);
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert_eq!(n, 0, "{backend:?} drained pipe must be quiet");
+
+            poller.deregister(pipe.read_fd()).unwrap();
+            assert_eq!(poller.registered(), 0);
+        }
+    }
+
+    #[test]
+    fn cross_thread_wake_interrupts_a_long_wait() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let pipe = std::sync::Arc::new(WakePipe::new().unwrap());
+            poller.register(pipe.read_fd(), 1, Interest::READABLE).unwrap();
+
+            let waker = std::sync::Arc::clone(&pipe);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.wake();
+            });
+            let start = std::time::Instant::now();
+            let mut events = Vec::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert!(start.elapsed() < Duration::from_secs(10));
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_interest_fires_for_an_empty_pipe() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let pipe = WakePipe::new().unwrap();
+            // The write end of an empty pipe is immediately writable.
+            poller.register(pipe.write_fd, 9, Interest::WRITABLE).unwrap();
+            let mut events = Vec::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert!(events[0].writable);
+            assert!(!events[0].closed);
+
+            // Dropping read interest entirely: modify to readable-only on a
+            // write end never fires.
+            poller.modify(pipe.write_fd, 9, Interest::READABLE).unwrap();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert_eq!(n, 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn hangup_surfaces_as_closed_and_readable() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let pipe = WakePipe::new().unwrap();
+            poller.register(pipe.read_fd(), 3, Interest::READABLE).unwrap();
+            // SAFETY: closing the write end is exactly the hangup under test;
+            // Drop later closes it again harmlessly (the fd number may be
+            // reused, so neutralize it instead).
+            unsafe { sys::close(pipe.write_fd) };
+            let pipe = std::mem::ManuallyDrop::new(pipe);
+            let mut events = Vec::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert!(events[0].closed, "{backend:?}");
+            assert!(events[0].readable, "{backend:?}");
+            poller.deregister(pipe.read_fd()).unwrap();
+            // SAFETY: read end is still open and owned; close it once.
+            unsafe { sys::close(pipe.read_fd) };
+        }
+    }
+
+    #[test]
+    fn env_override_forces_the_poll_backend() {
+        // Can't mutate the environment safely in-process (other tests run
+        // concurrently), so just check the selection logic's two halves.
+        assert_eq!(Poller::with_backend(PollBackend::Poll).unwrap().backend(), PollBackend::Poll);
+        let default = Poller::new().unwrap().backend();
+        if std::env::var("CDIM_POLL_BACKEND").is_ok_and(|v| v == "poll") {
+            assert_eq!(default, PollBackend::Poll);
+        }
+    }
+
+    #[test]
+    fn raise_nofile_limit_is_monotone() {
+        let current = raise_nofile_limit(0).unwrap();
+        assert!(current > 0);
+        // Asking for what we already have is a no-op success.
+        assert_eq!(raise_nofile_limit(current).unwrap(), current);
+    }
+
+    #[test]
+    fn timeout_millis_convention() {
+        assert_eq!(timeout_millis(None), -1);
+        assert_eq!(timeout_millis(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(10))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_millis(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

@@ -80,7 +80,7 @@ fn usage() {
          cdim train    --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--window N]\n  \
          cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
          cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--format v1|v2]\n  \
-         cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N] [--metrics-addr host:port]\n  \
+         cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N] [--max-connections N] [--metrics-addr host:port]\n  \
          cdim follow   --graph <g.tsv> --log <live.tsv> --snapshot <m.ckpt> [--serve host:port]\n  \
                        [--batch-actions N] [--batch-ms T] [--checkpoint-every K] [--poll-ms T]\n  \
                        [--idle-exit-ms T] [--export-snapshot <m.snap>] [--policy uniform|time-aware]\n  \
@@ -521,7 +521,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         Arc::new(InfluenceService::with_registry(snapshot, cache, MetricsRegistry::global()));
     // Named binding: the scrape endpoint lives as long as the server.
     let _metrics_handle = spawn_metrics(flags)?;
-    let handle = server::spawn(service, addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let mut config = server::ServerConfig::default();
+    config.max_connections = flags.get_parsed("max-connections", config.max_connections)?;
+    let handle =
+        server::spawn_with(service, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
     // The exact address on its own stdout line, so scripts (and the CLI
     // test) can discover an ephemeral port.
     println!("listening on {}", handle.addr());
