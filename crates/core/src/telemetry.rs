@@ -17,8 +17,14 @@
 //! instrumented quantities are shard-level wall times, so the hot path of
 //! [`crate::scan_action`] is untouched and the model bytes cannot depend
 //! on whether anyone is scraping.
+//!
+//! The same shard times also feed the process-global span flight
+//! recorder ([`cdim_obs::Tracer::global`]): each scan becomes a derived
+//! `core.scan` root with one `core.scan_shard` child per worker,
+//! reconstructed *post-hoc* from the wall measurements — tracing shares
+//! the kernel-untouched guarantee with the metrics.
 
-use cdim_obs::{Gauge, Histogram, MetricsRegistry};
+use cdim_obs::{Gauge, Histogram, MetricsRegistry, Stage, Tracer};
 use std::sync::{Arc, OnceLock};
 
 /// Handles into the global registry, resolved once per process.
@@ -31,6 +37,12 @@ pub(crate) struct ScanTelemetry {
     pub pool_workers: Arc<Gauge>,
     /// Busy fraction of the most recent scan.
     pub pool_utilization: Arc<Gauge>,
+    /// The global flight recorder the derived scan trace lands in.
+    tracer: Arc<Tracer>,
+    /// `core.scan` — the whole parallel section.
+    scan_stage: Stage,
+    /// `core.scan_shard` — one worker's shard of it.
+    shard_stage: Stage,
 }
 
 impl ScanTelemetry {
@@ -39,11 +51,15 @@ impl ScanTelemetry {
         static TELEMETRY: OnceLock<ScanTelemetry> = OnceLock::new();
         TELEMETRY.get_or_init(|| {
             let registry = MetricsRegistry::global();
+            let tracer = Tracer::global();
             ScanTelemetry {
                 scan_seconds: registry.histogram("cdim_scan_seconds"),
                 shard_seconds: registry.histogram("cdim_scan_shard_seconds"),
                 pool_workers: registry.gauge("cdim_scan_pool_workers"),
                 pool_utilization: registry.gauge("cdim_scan_pool_utilization"),
+                scan_stage: tracer.stage("core.scan"),
+                shard_stage: tracer.stage("core.scan_shard"),
+                tracer,
             }
         })
     }
@@ -62,6 +78,21 @@ impl ScanTelemetry {
         if workers > 0 && wall_secs > 0.0 {
             self.pool_utilization.set((busy / (wall_secs * workers as f64)).min(1.0));
         }
+        // Derived trace: the section's interval is reconstructed as
+        // [now − wall, now]; each shard child starts with the section
+        // (workers launch together) and runs its own measured time,
+        // clamped into the root so the nesting invariant holds under
+        // floating-point jitter.
+        let now = self.tracer.now_ns();
+        let wall_ns = (wall_secs * 1e9) as u64;
+        let start = now.saturating_sub(wall_ns);
+        let ctx = self.tracer.begin_trace();
+        let root = self.tracer.open_at(ctx, self.scan_stage, start);
+        for &s in shard_secs {
+            let shard_ns = ((s * 1e9) as u64).min(wall_ns);
+            self.tracer.record(root.ctx(), self.shard_stage, start, start + shard_ns);
+        }
+        self.tracer.close_at(root, now);
     }
 }
 
@@ -89,5 +120,34 @@ mod tests {
         let t = ScanTelemetry::get();
         t.record_scan(0.0, &[]);
         assert!(t.pool_utilization.get().is_finite());
+    }
+
+    #[test]
+    fn record_scan_derives_a_nested_trace() {
+        // The global recorder samples 1-in-8 by default; this test needs
+        // its specific trace captured.
+        Tracer::global().set_sampling(1);
+        let t = ScanTelemetry::get();
+        // A distinctive shard count so this trace is findable in the
+        // shared global recorder.
+        t.record_scan(0.004, &[0.001, 0.002, 0.003]);
+        let spans = Tracer::global().recent();
+        let root = spans
+            .iter()
+            .filter(|s| s.stage == "core.scan" && s.parent_id == 0)
+            .find(|root| {
+                spans
+                    .iter()
+                    .filter(|s| s.trace_id == root.trace_id && s.stage == "core.scan_shard")
+                    .count()
+                    == 3
+            })
+            .expect("a 3-shard core.scan trace is in the recorder");
+        for shard in
+            spans.iter().filter(|s| s.trace_id == root.trace_id && s.span_id != root.span_id)
+        {
+            assert_eq!(shard.parent_id, root.span_id);
+            assert!(root.start_ns <= shard.start_ns && shard.end_ns <= root.end_ns);
+        }
     }
 }

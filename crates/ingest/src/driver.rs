@@ -32,7 +32,7 @@ use crate::metrics::{IngestMetrics, RateWindow, RATE_WINDOW};
 use cdim_actionlog::{ActionLogBuilder, ActionLogDelta, LogBuildError, StorageError};
 use cdim_core::{scan_with, CreditPolicy};
 use cdim_graph::DirectedGraph;
-use cdim_obs::MetricsRegistry;
+use cdim_obs::{MetricsRegistry, Stage, TraceCtx, Tracer};
 use cdim_serve::{InfluenceService, ModelSnapshot};
 use cdim_util::{Parallelism, Timer};
 use std::path::{Path, PathBuf};
@@ -176,6 +176,31 @@ impl std::fmt::Display for StepReport {
     }
 }
 
+/// Pre-resolved stage handles for the driver's spans in the
+/// process-global flight recorder (resolve once at open, record
+/// forever — the same discipline as [`IngestMetrics`]).
+struct IngestTrace {
+    tracer: Arc<Tracer>,
+    step: Stage,
+    poll: Stage,
+    publish: Stage,
+    checkpoint: Stage,
+    retract: Stage,
+}
+
+impl IngestTrace {
+    fn register(tracer: Arc<Tracer>) -> Self {
+        IngestTrace {
+            step: tracer.stage("ingest.step"),
+            poll: tracer.stage("ingest.poll"),
+            publish: tracer.stage("ingest.publish_delta"),
+            checkpoint: tracer.stage("ingest.checkpoint"),
+            retract: tracer.stage("ingest.retract"),
+            tracer,
+        }
+    }
+}
+
 /// The live-ingestion driver (see module docs).
 pub struct IngestDriver {
     graph: DirectedGraph,
@@ -199,6 +224,8 @@ pub struct IngestDriver {
     /// oldest first. Empty (and unmaintained) under
     /// [`WindowPolicy::Unbounded`].
     window: Vec<WindowEntry>,
+    /// Flight-recorder stage handles for the ingest spans.
+    trace: IngestTrace,
 }
 
 impl IngestDriver {
@@ -308,6 +335,7 @@ impl IngestDriver {
             rate: RateWindow::new(RATE_WINDOW),
             watermark_advanced_at: None,
             window,
+            trace: IngestTrace::register(Tracer::global()),
         })
     }
 
@@ -328,22 +356,38 @@ impl IngestDriver {
     }
 
     /// One poll → batch → publish cycle. Never blocks beyond file I/O.
+    ///
+    /// Productive steps (new records, or a batch coming due) are traced
+    /// as an `ingest.step` root with poll/publish/checkpoint children;
+    /// idle polls record nothing, so a quiet follow loop at 5 Hz never
+    /// pollutes the flight recorder.
     pub fn step(&mut self) -> Result<StepReport, IngestError> {
+        let t0 = self.trace.tracer.now_ns();
         let records = self.follower.poll()?;
+        let polled_ns = self.trace.tracer.now_ns();
         for r in &records {
             validate_record(r, self.graph.num_nodes())?;
         }
         for r in &records {
             self.batcher.push(*r);
         }
+        let due = self.batcher.due(&self.config.batch);
+        let ctx = if records.is_empty() && !due {
+            TraceCtx::unsampled()
+        } else {
+            self.trace.tracer.begin_trace()
+        };
+        let root = self.trace.tracer.open_at(ctx, self.trace.step, t0);
+        self.trace.tracer.record(root.ctx(), self.trace.poll, t0, polled_ns);
         let mut batches = Vec::new();
-        if self.batcher.due(&self.config.batch) {
-            if let Some(report) = self.apply_pending()? {
+        if due {
+            if let Some(report) = self.apply_pending(root.ctx())? {
                 batches.push(report);
             }
         }
         let dead_letters = self.batcher.drain_dead_letters();
         self.observe_step(records.len(), &dead_letters);
+        self.trace.tracer.close(root);
         Ok(StepReport {
             records: records.len(),
             batches,
@@ -386,9 +430,12 @@ impl IngestDriver {
             }
         }
         self.batcher.seal_open();
-        if let Some(batch) = self.apply_pending()? {
+        // The final flush is its own traced step (there was no poll).
+        let flush_root = self.trace.tracer.open(self.trace.tracer.begin_trace(), self.trace.step);
+        if let Some(batch) = self.apply_pending(flush_root.ctx())? {
             report.batches.push(batch);
         }
+        self.trace.tracer.close(flush_root);
         let dead_letters = self.batcher.drain_dead_letters();
         self.observe_step(0, &dead_letters);
         report.dead_letters.extend(dead_letters);
@@ -399,13 +446,18 @@ impl IngestDriver {
     }
 
     /// Cuts and applies whatever is sealed, regardless of thresholds.
-    fn apply_pending(&mut self) -> Result<Option<BatchReport>, IngestError> {
+    /// Publish and checkpoint work is recorded under `ctx` (spans opened
+    /// across an error `?` are abandoned, never recorded — an unclosed
+    /// `ActiveSpan` is plain data).
+    fn apply_pending(&mut self, ctx: TraceCtx) -> Result<Option<BatchReport>, IngestError> {
         let base = self.service.snapshot().num_actions();
         let Some((delta, meta)) = self.batcher.take_batch(base, self.graph.num_nodes()) else {
             return Ok(None);
         };
         let timer = Timer::start();
+        let publish_span = self.trace.tracer.open(ctx, self.trace.publish);
         self.service.publish_delta(&self.graph, &delta, &self.policy, self.config.parallelism)?;
+        self.trace.tracer.close(publish_span);
         let apply_secs = timer.secs();
         if self.config.window.is_windowed() {
             let additions = delta.additions();
@@ -432,7 +484,7 @@ impl IngestDriver {
         if self.config.checkpoint_every > 0
             && self.publishes_since_checkpoint >= self.config.checkpoint_every
         {
-            self.checkpoint()?;
+            self.checkpoint_traced(ctx)?;
         }
         Ok(Some(report))
     }
@@ -443,11 +495,12 @@ impl IngestDriver {
     /// buffer and watermark, so replaying it after a crash that lost the
     /// subsequent checkpoint reaches the same state. Retraction moves
     /// neither the log position nor the watermark.
-    fn enforce_window(&mut self) -> Result<(), IngestError> {
+    fn enforce_window(&mut self, ctx: TraceCtx) -> Result<(), IngestError> {
         let expired = self.config.window.expired_prefix(&self.window, self.applied_watermark);
         if expired == 0 {
             return Ok(());
         }
+        let retract_span = self.trace.tracer.open(ctx, self.trace.retract);
         let mut builder = ActionLogBuilder::new(self.graph.num_nodes());
         for entry in &self.window[..expired] {
             for (&u, &t) in entry.users.iter().zip(&entry.times) {
@@ -460,6 +513,7 @@ impl IngestDriver {
         // — `retract_delta`'s bitwise prefix check holds by construction.
         let delta = ActionLogDelta::new(0, builder.build());
         self.service.retract_delta(&self.graph, &delta, &self.policy, self.config.parallelism)?;
+        self.trace.tracer.close(retract_span);
         self.window.drain(..expired);
         Ok(())
     }
@@ -470,8 +524,17 @@ impl IngestDriver {
     /// offset, so a restart re-reads them). Windowed runs expire the
     /// out-of-window prefix first, so every checkpoint is window-clean.
     pub fn checkpoint(&mut self) -> Result<(), IngestError> {
+        let ctx = self.trace.tracer.begin_trace();
+        self.checkpoint_traced(ctx)
+    }
+
+    /// [`checkpoint`](Self::checkpoint) recorded under `ctx` (the
+    /// enclosing step's root when driven from [`apply_pending`], a fresh
+    /// root trace when called directly).
+    fn checkpoint_traced(&mut self, ctx: TraceCtx) -> Result<(), IngestError> {
         let timer = Timer::start();
-        self.enforce_window()?;
+        let span = self.trace.tracer.open(ctx, self.trace.checkpoint);
+        self.enforce_window(span.ctx())?;
         let (offset, lines) = self
             .batcher
             .durable_mark()
@@ -486,6 +549,7 @@ impl IngestDriver {
         ckpt.save(&self.checkpoint_path)?;
         self.publishes_since_checkpoint = 0;
         self.metrics.checkpoint_seconds.observe(timer.secs());
+        self.trace.tracer.close(span);
         Ok(())
     }
 

@@ -101,7 +101,15 @@ impl RateWindow {
         // Average over the full window span, not just the sampled span:
         // a single burst in an otherwise quiet window reads as a low
         // rate, and the rate decays to zero as samples age out.
-        total as f64 / self.window.as_secs_f64().max(f64::MIN_POSITIVE)
+        let base = total as f64 / self.window.as_secs_f64().max(f64::MIN_POSITIVE);
+        // Once the source goes idle, decay linearly with the time since
+        // the newest sample instead of holding the stale average until
+        // the whole window cliff-expires: the gauge reaches exactly 0 by
+        // the time the trailing window is empty.
+        let newest = self.samples.back().map(|&(at, _)| at).unwrap_or(now);
+        let idle = now.saturating_duration_since(newest).as_secs_f64();
+        let idle_factor = (1.0 - idle / self.window.as_secs_f64().max(f64::MIN_POSITIVE)).max(0.0);
+        base * idle_factor
     }
 
     fn expire(&mut self, now: Instant) {
@@ -130,6 +138,26 @@ mod tests {
         assert!((w.rate_at(t0 + Duration::from_secs(1)) - 50.0).abs() < 1e-9);
         // Everything aged out: back to zero.
         assert_eq!(w.rate_at(t0 + Duration::from_secs(30)), 0.0);
+    }
+
+    #[test]
+    fn rate_decays_monotonically_to_zero_after_idle() {
+        let mut w = RateWindow::new(Duration::from_secs(5));
+        let t0 = Instant::now();
+        w.record_at(500, t0);
+        // 500 events over a 5-second window, read at the moment of the burst.
+        assert!((w.rate_at(t0) - 100.0).abs() < 1e-9);
+        // Stale reads must fall monotonically, not hold the burst average…
+        let mut prev = f64::INFINITY;
+        for ms in (0..=5000).step_by(250) {
+            let r = w.rate_at(t0 + Duration::from_millis(ms));
+            assert!(r <= prev, "rate rose while idle: {r} after {prev} at +{ms}ms");
+            assert!(r <= 100.0);
+            prev = r;
+        }
+        // …hit exactly 0 once the trailing window is empty, and stay there.
+        assert_eq!(w.rate_at(t0 + Duration::from_secs(5)), 0.0);
+        assert_eq!(w.rate_at(t0 + Duration::from_secs(6)), 0.0);
     }
 
     #[test]

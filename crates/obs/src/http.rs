@@ -2,9 +2,11 @@
 //!
 //! [`MetricsServer::spawn`] binds a plain `TcpListener` and answers every
 //! `GET /metrics` (or `GET /`) with the current registry rendered via
-//! [`crate::render_prometheus`]. One short-lived thread per connection,
-//! `Connection: close` semantics — exactly enough HTTP for `curl` and a
-//! Prometheus scraper, nothing more.
+//! [`crate::render_prometheus`]. `HEAD` gets the same status line and
+//! headers (including the `Content-Length` the GET body would have) with
+//! no body; any other method gets `405` with an `Allow` header. One
+//! short-lived thread per connection, `Connection: close` semantics —
+//! exactly enough HTTP for `curl` and a Prometheus scraper, nothing more.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -114,24 +116,43 @@ fn serve_scrape(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resul
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     let mut writer = stream;
-    if method != "GET" {
-        return respond(&mut writer, "405 Method Not Allowed", "method not allowed\n");
-    }
     // Accept /metrics with or without a query string, and bare / for
     // convenience when poking with a browser.
-    if path == "/metrics" || path.starts_with("/metrics?") || path == "/" {
-        respond(&mut writer, "200 OK", &render_prometheus(&registry.dump()))
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") || path == "/" {
+        ("200 OK", render_prometheus(&registry.dump()))
     } else {
-        respond(&mut writer, "404 Not Found", "not found\n")
+        ("404 Not Found", "not found\n".to_string())
+    };
+    match method {
+        "GET" => respond(&mut writer, status, "", &body, true),
+        // HEAD mirrors the GET response byte-for-byte up to the body:
+        // same status, same Content-Length, no body bytes.
+        "HEAD" => respond(&mut writer, status, "", &body, false),
+        _ => respond(
+            &mut writer,
+            "405 Method Not Allowed",
+            "Allow: GET, HEAD\r\n",
+            "method not allowed\n",
+            true,
+        ),
     }
 }
 
-fn respond(writer: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+fn respond(
+    writer: &mut TcpStream,
+    status: &str,
+    extra_headers: &str,
+    body: &str,
+    include_body: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
         body.len()
     )?;
+    if include_body {
+        writer.write_all(body.as_bytes())?;
+    }
     writer.flush()
 }
 
@@ -168,6 +189,36 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
         let posted = scrape(server.addr(), "POST /metrics HTTP/1.1\r\n\r\n");
         assert!(posted.starts_with("HTTP/1.1 405"), "{posted}");
+        assert!(posted.contains("\r\nAllow: GET, HEAD\r\n"), "{posted}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_gets_headers_and_content_length_but_no_body() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("cdim_head_total").add(1);
+        let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+
+        let get = scrape(server.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        let head = scrape(server.addr(), "HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        // Identical headers (so identical Content-Length), empty body.
+        let get_head_section = get.split("\r\n\r\n").next().unwrap();
+        let (head_section, head_body) = head.split_once("\r\n\r\n").unwrap();
+        assert_eq!(head_section, get_head_section);
+        assert!(head_body.is_empty(), "HEAD must not carry a body: {head_body:?}");
+        let content_length: usize = head_section
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header present")
+            .parse()
+            .unwrap();
+        assert_eq!(content_length, get.split_once("\r\n\r\n").unwrap().1.len());
+        assert!(content_length > 0);
+
+        let head_missing = scrape(server.addr(), "HEAD /nope HTTP/1.1\r\n\r\n");
+        assert!(head_missing.starts_with("HTTP/1.1 404"), "{head_missing}");
+        assert!(head_missing.ends_with("\r\n\r\n"), "{head_missing}");
         server.shutdown();
     }
 

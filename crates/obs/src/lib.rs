@@ -5,7 +5,9 @@
 //! driver — reports into one [`MetricsRegistry`] of named metrics, and
 //! operators read it back through one of two surfaces: wire op 6
 //! (`Metrics`) on the query protocol, or the Prometheus text endpoint
-//! served by [`MetricsServer`]. The crate is std-only and dependency-free.
+//! served by [`MetricsServer`]. Per-request causality comes from the
+//! [`trace`] flight recorder, read by wire op 7 (`TraceDump`). The crate
+//! is std-only with zero external dependencies.
 //!
 //! * [`metric`] — [`Counter`] (relaxed atomic adds), [`Gauge`] (f64 bits
 //!   in an `AtomicU64`, with an RAII [`GaugeGuard`] for in-flight
@@ -20,6 +22,9 @@
 //!   [`MetricsRegistry::global`] instance).
 //! * [`expo`] — [`render_prometheus`], text exposition format 0.0.4.
 //! * [`http`] — [`MetricsServer`], a minimal std TCP scrape endpoint.
+//! * [`trace`] — [`Tracer`], the request-scoped span flight recorder
+//!   (lock-free sharded ring of recent spans + slow-query log), read out
+//!   as a [`TraceDump`] by wire op 7.
 //!
 //! # Span-guard usage
 //!
@@ -40,9 +45,11 @@ pub mod hist;
 pub mod http;
 pub mod metric;
 pub mod registry;
+pub mod trace;
 
 pub use expo::render_prometheus;
 pub use hist::{Histogram, HistogramSummary, SpanGuard};
 pub use http::MetricsServer;
 pub use metric::{Counter, Gauge, GaugeGuard, Info};
 pub use registry::{MetricsRegistry, RegistryDump};
+pub use trace::{ActiveSpan, SlowTraceDump, SpanDump, Stage, TraceCtx, TraceDump, Tracer};

@@ -1,0 +1,739 @@
+//! Request-scoped tracing: a lock-free span flight recorder.
+//!
+//! The metrics layer answers "how fast is the system on average"; this
+//! module answers "where did *this* request's time go". Subsystems record
+//! [`ActiveSpan`]s — (trace id, span id, parent, static stage name,
+//! monotonic start/end ns, up to two integer key/values) — into a
+//! fixed-capacity sharded ring buffer that overwrites the oldest entries
+//! (a **flight recorder**: the last N spans are always available, nothing
+//! is ever blocked on a reader). On top sits a **slow-query log**: when a
+//! root span completes over the configured threshold, its whole trace is
+//! captured into a small worst-N ring.
+//!
+//! Design constraints, in order:
+//!
+//! * **Zero allocation and no locks on the hot path.** A completed span
+//!   is eight relaxed atomic stores into a pre-allocated slot plus one
+//!   claim CAS; a sampled-out span is nothing at all. Stage names and
+//!   key names are interned once at subsystem construction into
+//!   [`Stage`] handles (a `u32`), mirroring how metrics handles are
+//!   resolved once and then used forever.
+//! * **Readers never stall writers.** Slots are seqlock-versioned: the
+//!   writer claims a slot by CAS-ing its sequence word to an odd value,
+//!   publishes with the next even value, and a reader discards any slot
+//!   whose sequence changed while it was being read. Everything is
+//!   `AtomicU64`; there is no `unsafe`.
+//! * **Bounded memory.** The default recorder is 16 shards × 1024 slots
+//!   × 64 bytes = 1 MiB, plus a 32-entry slow log.
+//!
+//! Sampling is a global "record every Nth trace" knob (`0` disables
+//! tracing entirely, `1` records every trace). Explicitly constructed
+//! tracers default to `1`; the [process-global recorder](Tracer::global)
+//! defaults to 1 in 8 traces, keeping always-on tracing under a percent
+//! of serving throughput (the dominant hot-path cost is monotonic clock
+//! reads, so the sampled-out path never touches the clock).
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use cdim_util::monotonic_ns;
+
+/// Number of ring shards in the process-global recorder.
+const DEFAULT_SHARDS: usize = 16;
+/// Slots per shard in the process-global recorder (power of two).
+const DEFAULT_SLOTS_PER_SHARD: usize = 1024;
+/// Worst-N capacity of the slow-query log.
+const SLOWLOG_CAP: usize = 32;
+/// Default slow-trace threshold: 10 ms end-to-end.
+const DEFAULT_SLOW_THRESHOLD_NS: u64 = 10_000_000;
+/// Maximum key/value pairs a span can carry.
+const MAX_KV: usize = 2;
+
+/// An interned static stage name, resolved once via [`Tracer::stage`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stage(u32);
+
+/// Propagated trace identity: which trace a new span belongs to and which
+/// span is its parent. `Copy` so it can ride through queues for free.
+///
+/// A context with trace id `0` is *unsampled*: every operation on it is a
+/// no-op, which is how the sampling knob keeps the disabled cost to a
+/// couple of atomic reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    trace_id: u64,
+    parent_span: u32,
+}
+
+impl TraceCtx {
+    /// The context that records nothing.
+    pub fn unsampled() -> TraceCtx {
+        TraceCtx { trace_id: 0, parent_span: 0 }
+    }
+
+    /// Whether spans opened under this context will be recorded.
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The trace id (`0` when unsampled).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+}
+
+/// An open span: identity plus start time, waiting for [`Tracer::close`].
+///
+/// `Copy`, 48 bytes, no heap — an `ActiveSpan` can be stashed in a
+/// pending-response slot or an outbound frame and closed when the bytes
+/// actually hit the wire.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveSpan {
+    trace_id: u64,
+    span_id: u32,
+    parent: u32,
+    stage: Stage,
+    start_ns: u64,
+    keys: [u16; MAX_KV],
+    vals: [u64; MAX_KV],
+    nkv: u8,
+}
+
+impl ActiveSpan {
+    fn inert() -> ActiveSpan {
+        ActiveSpan {
+            trace_id: 0,
+            span_id: 0,
+            parent: 0,
+            stage: Stage(0),
+            start_ns: 0,
+            keys: [0; MAX_KV],
+            vals: [0; MAX_KV],
+            nkv: 0,
+        }
+    }
+
+    /// Whether this span will actually be recorded on close.
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The context for children of this span.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx { trace_id: self.trace_id, parent_span: self.span_id }
+    }
+
+    /// The start timestamp this span was opened at (monotonic ns).
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Attaches an integer key/value to the span (at most two; extras are
+    /// silently dropped). Keys are interned [`Stage`] handles.
+    pub fn kv(&mut self, key: Stage, value: u64) {
+        let n = self.nkv as usize;
+        if self.trace_id != 0 && n < MAX_KV {
+            // Key 0 means "absent" in the packed slot word, so shift by 1.
+            self.keys[n] = (key.0 + 1).min(u16::MAX as u32) as u16;
+            self.vals[n] = value;
+            self.nkv += 1;
+        }
+    }
+}
+
+/// One completed span as read back out of the recorder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanDump {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span within the recorder.
+    pub span_id: u32,
+    /// Parent span id, `0` for a root span.
+    pub parent_id: u32,
+    /// Interned stage name (e.g. `serve.decode`).
+    pub stage: String,
+    /// Monotonic start, nanoseconds since process trace epoch.
+    pub start_ns: u64,
+    /// Monotonic end, nanoseconds since process trace epoch.
+    pub end_ns: u64,
+    /// Attached key/value payload.
+    pub kv: Vec<(String, u64)>,
+}
+
+impl SpanDump {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A complete slow trace captured by the slow-query log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlowTraceDump {
+    /// End-to-end duration of the root span, nanoseconds.
+    pub duration_ns: u64,
+    /// Every span of the trace, sorted by start time.
+    pub spans: Vec<SpanDump>,
+}
+
+/// Everything op 7 returns: recent spans plus the slow-query log.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceDump {
+    /// All complete spans currently in the flight recorder, sorted by
+    /// start time.
+    pub spans: Vec<SpanDump>,
+    /// Worst complete traces over the slow threshold, worst first.
+    pub slow: Vec<SlowTraceDump>,
+}
+
+/// One seqlock slot: sequence word + seven payload words.
+///
+/// Layout: `[seq, trace_id, span|parent<<32, stage|key0<<32|key1<<48,
+/// start_ns, end_ns, val0, val1]`. A sequence of `0` is "never written",
+/// odd is "write in progress", even is "slot holds generation (seq-2)/2".
+struct Slot {
+    words: [AtomicU64; 8],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { words: Default::default() }
+    }
+}
+
+/// One ring shard: a monotonically claimed cursor over a slot array.
+struct Shard {
+    cursor: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Shard {
+    fn new(slots: usize) -> Shard {
+        Shard { cursor: AtomicU64::new(0), slots: (0..slots).map(|_| Slot::new()).collect() }
+    }
+}
+
+/// The flight recorder. See the [module docs](self) for the design.
+pub struct Tracer {
+    shards: Vec<Shard>,
+    /// Interned stage / kv-key names, indexed by `Stage.0`.
+    stages: Mutex<Vec<&'static str>>,
+    /// Record every Nth trace; 0 disables tracing.
+    sampling: AtomicU32,
+    /// Root spans at least this long are captured into the slow log.
+    slow_threshold_ns: AtomicU64,
+    trace_counter: AtomicU64,
+    span_counter: AtomicU32,
+    slowlog: Mutex<Vec<SlowTraceDump>>,
+}
+
+impl Tracer {
+    /// A recorder with the default capacity (16 shards × 1024 slots).
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_SHARDS, DEFAULT_SLOTS_PER_SHARD)
+    }
+
+    /// A recorder with explicit geometry (shards × slots each); slot
+    /// counts are rounded up to a power of two.
+    pub fn with_capacity(shards: usize, slots_per_shard: usize) -> Tracer {
+        let slots = slots_per_shard.max(1).next_power_of_two();
+        Tracer {
+            shards: (0..shards.max(1)).map(|_| Shard::new(slots)).collect(),
+            stages: Mutex::new(Vec::new()),
+            sampling: AtomicU32::new(1),
+            slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
+            trace_counter: AtomicU64::new(0),
+            span_counter: AtomicU32::new(0),
+            slowlog: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide recorder every subsystem records into (mirrors
+    /// [`crate::MetricsRegistry::global`]).
+    ///
+    /// Unlike explicitly constructed tracers (which record every trace),
+    /// the global recorder starts at
+    /// [`DEFAULT_GLOBAL_SAMPLING`](Tracer::DEFAULT_GLOBAL_SAMPLING) —
+    /// 1 in 8 traces — so always-on production tracing costs a fraction
+    /// of a percent of serving throughput. `cdim serve --trace-sample 1`
+    /// (or [`Tracer::set_sampling`]) restores trace-everything.
+    pub fn global() -> Arc<Tracer> {
+        static GLOBAL: OnceLock<Arc<Tracer>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| {
+            let tracer = Tracer::new();
+            tracer.set_sampling(Tracer::DEFAULT_GLOBAL_SAMPLING);
+            Arc::new(tracer)
+        }))
+    }
+
+    /// Default sampling rate of the [global](Tracer::global) recorder:
+    /// record 1 in 8 traces.
+    pub const DEFAULT_GLOBAL_SAMPLING: u32 = 8;
+
+    /// Total slot capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Interns a static stage (or kv-key) name, returning the handle to
+    /// record with. Idempotent; call once at subsystem construction.
+    pub fn stage(&self, name: &'static str) -> Stage {
+        let mut stages = self.stages.lock().expect("stage table poisoned");
+        if let Some(idx) = stages.iter().position(|s| *s == name) {
+            return Stage(idx as u32);
+        }
+        stages.push(name);
+        Stage((stages.len() - 1) as u32)
+    }
+
+    /// Sets the sampling rate: record 1 in `every` traces (the trace
+    /// counter is hashed before the modulus, so periodic workloads
+    /// cannot phase-lock with the sampling pattern); 0 disables.
+    pub fn set_sampling(&self, every: u32) {
+        self.sampling.store(every, Ordering::Relaxed);
+    }
+
+    /// Current sampling rate.
+    pub fn sampling(&self) -> u32 {
+        self.sampling.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slow-query threshold (root spans at least this long are
+    /// captured whole into the slow log).
+    pub fn set_slow_threshold(&self, threshold: Duration) {
+        self.slow_threshold_ns.store(threshold.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds on the shared trace timebase.
+    pub fn now_ns(&self) -> u64 {
+        monotonic_ns()
+    }
+
+    /// Starts a new trace, or returns an unsampled context according to
+    /// the sampling rate. Cost when sampled out: two atomic ops.
+    pub fn begin_trace(&self) -> TraceCtx {
+        let every = self.sampling.load(Ordering::Relaxed);
+        if every == 0 {
+            return TraceCtx::unsampled();
+        }
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+        // Fibonacci-hash the counter before the modulus: a strictly
+        // periodic arrival pattern (e.g. the accept/request alternation
+        // of one-query-per-connection clients) would otherwise
+        // phase-lock against the sampling period and starve an entire
+        // trace kind. Hashing keeps the rate at 1-in-`every` while
+        // decorrelating it from the arrival order; trace 0 (hash 0) is
+        // always sampled, so a fresh server traces its first request.
+        let mixed = n.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        if !mixed.is_multiple_of(every as u64) {
+            return TraceCtx::unsampled();
+        }
+        TraceCtx { trace_id: n + 1, parent_span: 0 }
+    }
+
+    /// Opens a span starting now. Sampled-out contexts return an inert
+    /// span without touching the clock — on virtualized hosts a monotonic
+    /// read is the single most expensive step of recording a span, so the
+    /// unsampled path must not pay it.
+    pub fn open(&self, ctx: TraceCtx, stage: Stage) -> ActiveSpan {
+        if !ctx.is_sampled() {
+            return ActiveSpan::inert();
+        }
+        self.open_at(ctx, stage, monotonic_ns())
+    }
+
+    /// Opens a span with an explicit start timestamp (for spans whose
+    /// beginning was observed before the tracer was consulted).
+    pub fn open_at(&self, ctx: TraceCtx, stage: Stage, start_ns: u64) -> ActiveSpan {
+        if !ctx.is_sampled() {
+            return ActiveSpan::inert();
+        }
+        let raw = self.span_counter.fetch_add(1, Ordering::Relaxed);
+        ActiveSpan {
+            trace_id: ctx.trace_id,
+            // Span id 0 is reserved for "no parent"; ids restart at 1 on
+            // the (astronomically rare) u32 wrap.
+            span_id: raw.wrapping_add(1).max(1),
+            parent: ctx.parent_span,
+            stage,
+            start_ns,
+            keys: [0; MAX_KV],
+            vals: [0; MAX_KV],
+            nkv: 0,
+        }
+    }
+
+    /// Closes a span now, recording it into the ring. Inert spans return
+    /// before the clock is read (see [`Tracer::open`]).
+    pub fn close(&self, span: ActiveSpan) {
+        if span.trace_id == 0 {
+            return;
+        }
+        self.close_at(span, monotonic_ns());
+    }
+
+    /// Closes a span with an explicit end timestamp. Closing a *root*
+    /// span checks the slow threshold and, when crossed, captures the
+    /// whole trace into the slow log (off the hot path by construction —
+    /// slow traces are rare).
+    pub fn close_at(&self, span: ActiveSpan, end_ns: u64) {
+        if span.trace_id == 0 {
+            return;
+        }
+        self.write_slot(&span, end_ns);
+        if span.parent == 0 {
+            let duration = end_ns.saturating_sub(span.start_ns);
+            if duration >= self.slow_threshold_ns.load(Ordering::Relaxed) {
+                self.capture_slow(span.trace_id, duration);
+            }
+        }
+    }
+
+    /// Records a complete span post-hoc (both endpoints already known),
+    /// returning its span id (`0` when unsampled). Used for derived
+    /// spans such as per-shard scan times.
+    pub fn record(&self, ctx: TraceCtx, stage: Stage, start_ns: u64, end_ns: u64) -> u32 {
+        let span = self.open_at(ctx, stage, start_ns);
+        let id = span.span_id;
+        self.close_at(span, end_ns);
+        id
+    }
+
+    /// The shard the calling thread records into. Threads are assigned
+    /// round-robin by a process-wide ordinal, so up to `shards` recording
+    /// threads never contend on a cursor.
+    fn shard(&self) -> &Shard {
+        static NEXT_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static ORDINAL: usize = NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+        }
+        let ordinal = ORDINAL.with(|o| *o);
+        &self.shards[ordinal % self.shards.len()]
+    }
+
+    fn write_slot(&self, span: &ActiveSpan, end_ns: u64) {
+        let shard = self.shard();
+        let gen = shard.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &shard.slots[(gen as usize) & (shard.slots.len() - 1)];
+        let claimed = 2 * gen + 1;
+        let seq = &slot.words[0];
+        // Claim: advance seq to our odd value, but never regress it — if a
+        // wrap-around writer from a later generation got here first, drop
+        // this span (it is the oldest data in the ring by definition).
+        let mut cur = seq.load(Ordering::Relaxed);
+        loop {
+            if cur >= claimed {
+                return;
+            }
+            match seq.compare_exchange_weak(cur, claimed, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        let key0 = span.keys[0] as u64;
+        let key1 = span.keys[1] as u64;
+        slot.words[1].store(span.trace_id, Ordering::Relaxed);
+        slot.words[2].store(span.span_id as u64 | (span.parent as u64) << 32, Ordering::Relaxed);
+        slot.words[3].store(span.stage.0 as u64 | key0 << 32 | key1 << 48, Ordering::Relaxed);
+        slot.words[4].store(span.start_ns, Ordering::Relaxed);
+        slot.words[5].store(end_ns, Ordering::Relaxed);
+        slot.words[6].store(span.vals[0], Ordering::Relaxed);
+        slot.words[7].store(span.vals[1], Ordering::Relaxed);
+        // Publish; if the CAS fails a later generation claimed the slot
+        // mid-write and owns it now — abandon ours.
+        let _ = seq.compare_exchange(claimed, claimed + 1, Ordering::Release, Ordering::Relaxed);
+    }
+
+    /// Reads one slot under the seqlock protocol. Returns `None` for
+    /// empty slots and slots that changed while being read.
+    fn read_slot(&self, slot: &Slot, names: &[&'static str]) -> Option<SpanDump> {
+        let seq = &slot.words[0];
+        let before = seq.load(Ordering::Acquire);
+        if before == 0 || before % 2 == 1 {
+            return None;
+        }
+        let trace_id = slot.words[1].load(Ordering::Relaxed);
+        let ids = slot.words[2].load(Ordering::Relaxed);
+        let stage_word = slot.words[3].load(Ordering::Relaxed);
+        let start_ns = slot.words[4].load(Ordering::Relaxed);
+        let end_ns = slot.words[5].load(Ordering::Relaxed);
+        let vals = [slot.words[6].load(Ordering::Relaxed), slot.words[7].load(Ordering::Relaxed)];
+        fence(Ordering::Acquire);
+        if seq.load(Ordering::Relaxed) != before {
+            return None;
+        }
+        let stage_idx = (stage_word & 0xFFFF_FFFF) as usize;
+        // Semantic sanity: two wrap-around writers racing the same slot can
+        // in principle interleave; discard anything inconsistent.
+        if trace_id == 0 || stage_idx >= names.len() || end_ns < start_ns {
+            return None;
+        }
+        let mut kv = Vec::new();
+        for (i, &val) in vals.iter().enumerate() {
+            let key = (stage_word >> (32 + 16 * i)) & 0xFFFF;
+            if key != 0 {
+                if let Some(name) = names.get(key as usize - 1) {
+                    kv.push(((*name).to_string(), val));
+                }
+            }
+        }
+        Some(SpanDump {
+            trace_id,
+            span_id: (ids & 0xFFFF_FFFF) as u32,
+            parent_id: (ids >> 32) as u32,
+            stage: names[stage_idx].to_string(),
+            start_ns,
+            end_ns,
+            kv,
+        })
+    }
+
+    /// All complete spans currently held by the recorder, sorted by start
+    /// time (ties by span id).
+    pub fn recent(&self) -> Vec<SpanDump> {
+        let names = self.stage_names();
+        let mut spans: Vec<SpanDump> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.slots.iter())
+            .filter_map(|slot| self.read_slot(slot, &names))
+            .collect();
+        spans.sort_by_key(|s| (s.start_ns, s.span_id));
+        spans
+    }
+
+    /// The slow-query log, worst trace first.
+    pub fn slow(&self) -> Vec<SlowTraceDump> {
+        self.slowlog.lock().expect("slowlog poisoned").clone()
+    }
+
+    /// Recent spans plus the slow log — the op 7 payload.
+    pub fn dump(&self) -> TraceDump {
+        TraceDump { spans: self.recent(), slow: self.slow() }
+    }
+
+    fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.lock().expect("stage table poisoned").clone()
+    }
+
+    /// Captures every span of `trace_id` still in the ring into the slow
+    /// log, keeping the worst [`SLOWLOG_CAP`] traces by duration.
+    fn capture_slow(&self, trace_id: u64, duration_ns: u64) {
+        let names = self.stage_names();
+        let mut spans: Vec<SpanDump> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.slots.iter())
+            .filter_map(|slot| self.read_slot(slot, &names))
+            .filter(|s| s.trace_id == trace_id)
+            .collect();
+        if spans.is_empty() {
+            return;
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.span_id));
+        let mut slowlog = self.slowlog.lock().expect("slowlog poisoned");
+        slowlog.push(SlowTraceDump { duration_ns, spans });
+        slowlog.sort_by_key(|t| std::cmp::Reverse(t.duration_ns));
+        slowlog.truncate(SLOWLOG_CAP);
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("sampling", &self.sampling())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_round_trip_through_the_ring() {
+        let tracer = Tracer::with_capacity(1, 64);
+        let stage = tracer.stage("test.root");
+        let child_stage = tracer.stage("test.child");
+        let items = tracer.stage("items");
+
+        let ctx = tracer.begin_trace();
+        let root = tracer.open(ctx, stage);
+        let mut child = tracer.open(root.ctx(), child_stage);
+        child.kv(items, 7);
+        tracer.close(child);
+        tracer.close(root);
+
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 2);
+        let root_dump = spans.iter().find(|s| s.stage == "test.root").unwrap();
+        let child_dump = spans.iter().find(|s| s.stage == "test.child").unwrap();
+        assert_eq!(root_dump.parent_id, 0);
+        assert_eq!(child_dump.parent_id, root_dump.span_id);
+        assert_eq!(child_dump.trace_id, root_dump.trace_id);
+        assert_eq!(child_dump.kv, vec![("items".to_string(), 7)]);
+        assert!(root_dump.start_ns <= child_dump.start_ns);
+        assert!(child_dump.end_ns <= root_dump.end_ns);
+    }
+
+    #[test]
+    fn sampling_zero_records_nothing() {
+        let tracer = Tracer::with_capacity(1, 64);
+        let stage = tracer.stage("test.root");
+        tracer.set_sampling(0);
+        for _ in 0..32 {
+            let ctx = tracer.begin_trace();
+            assert!(!ctx.is_sampled());
+            let span = tracer.open(ctx, stage);
+            assert!(!span.is_sampled());
+            tracer.close(span);
+        }
+        assert!(tracer.recent().is_empty());
+        assert!(tracer.slow().is_empty());
+    }
+
+    #[test]
+    fn sampling_every_nth_traces_one_in_n() {
+        let tracer = Tracer::with_capacity(1, 256);
+        tracer.set_sampling(4);
+        // The counter hash keeps the long-run rate at 1-in-4 without
+        // being exactly periodic: allow ±20% over 4000 draws. The very
+        // first trace must always be sampled (hash of 0 is 0).
+        assert!(tracer.begin_trace().is_sampled());
+        let sampled = (0..4000).filter(|_| tracer.begin_trace().is_sampled()).count();
+        assert!((800..=1200).contains(&sampled), "sampled {sampled} of 4000 at 1-in-4");
+    }
+
+    #[test]
+    fn sampling_does_not_phase_lock_on_periodic_arrivals() {
+        // One-query-per-connection clients produce a strict
+        // accept/request alternation: with a plain `counter % every`
+        // rule and an even `every`, one parity class would never be
+        // sampled. The hashed counter must sample both.
+        let tracer = Tracer::with_capacity(1, 256);
+        tracer.set_sampling(8);
+        let mut even = 0usize;
+        let mut odd = 0usize;
+        for i in 0..512 {
+            if tracer.begin_trace().is_sampled() {
+                if i % 2 == 0 {
+                    even += 1;
+                } else {
+                    odd += 1;
+                }
+            }
+        }
+        assert!(even > 0 && odd > 0, "phase-locked: even={even} odd={odd}");
+    }
+
+    #[test]
+    fn concurrent_recording_up_to_capacity_loses_no_spans() {
+        // One shard, 64 slots, 4 threads × 16 spans = exactly capacity:
+        // every claim lands on a distinct slot, so nothing may be lost
+        // even though all threads contend on the same cursor.
+        let tracer = Arc::new(Tracer::with_capacity(1, 64));
+        let stage = tracer.stage("test.concurrent");
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let tracer = Arc::clone(&tracer);
+                std::thread::spawn(move || {
+                    for i in 0..16 {
+                        let ctx = tracer.begin_trace();
+                        let mut span = tracer.open(ctx, stage);
+                        span.kv(stage, (t * 16 + i) as u64);
+                        tracer.close(span);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 64);
+        let mut payloads: Vec<u64> = spans.iter().map(|s| s.kv[0].1).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn wraparound_keeps_only_the_newest_spans() {
+        let tracer = Tracer::with_capacity(1, 64);
+        let stage = tracer.stage("test.wrap");
+        let idx = tracer.stage("i");
+        for i in 0..200u64 {
+            let ctx = tracer.begin_trace();
+            let mut span = tracer.open(ctx, stage);
+            span.kv(idx, i);
+            tracer.close(span);
+        }
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 64);
+        let mut payloads: Vec<u64> = spans.iter().map(|s| s.kv[0].1).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (136..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn slowlog_captures_complete_traces_over_threshold() {
+        let tracer = Tracer::with_capacity(1, 64);
+        let root_stage = tracer.stage("test.root");
+        let child_stage = tracer.stage("test.child");
+        tracer.set_slow_threshold(Duration::from_nanos(1_000));
+
+        // Fast trace: under threshold, not captured.
+        let ctx = tracer.begin_trace();
+        let root = tracer.open_at(ctx, root_stage, 1_000);
+        tracer.close_at(root, 1_500);
+        assert!(tracer.slow().is_empty());
+
+        // Slow trace: captured with its child.
+        let ctx = tracer.begin_trace();
+        let root = tracer.open_at(ctx, root_stage, 10_000);
+        tracer.record(root.ctx(), child_stage, 10_100, 10_900);
+        tracer.close_at(root, 20_000);
+        let slow = tracer.slow();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].duration_ns, 10_000);
+        let stages: Vec<&str> = slow[0].spans.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(stages, vec!["test.root", "test.child"]);
+    }
+
+    #[test]
+    fn slowlog_keeps_the_worst_n() {
+        let tracer = Tracer::with_capacity(4, 1024);
+        let stage = tracer.stage("test.root");
+        tracer.set_slow_threshold(Duration::from_nanos(1));
+        for i in 0..(SLOWLOG_CAP as u64 + 10) {
+            let ctx = tracer.begin_trace();
+            let root = tracer.open_at(ctx, stage, 0);
+            tracer.close_at(root, 100 + i);
+        }
+        let slow = tracer.slow();
+        assert_eq!(slow.len(), SLOWLOG_CAP);
+        // Worst first, and the 10 shortest were evicted.
+        assert_eq!(slow[0].duration_ns, 100 + SLOWLOG_CAP as u64 + 9);
+        assert!(slow.iter().all(|t| t.duration_ns >= 110));
+        assert!(slow.windows(2).all(|w| w[0].duration_ns >= w[1].duration_ns));
+    }
+
+    #[test]
+    fn stage_interning_is_idempotent() {
+        let tracer = Tracer::new();
+        let a = tracer.stage("serve.decode");
+        let b = tracer.stage("serve.decode");
+        let c = tracer.stage("serve.eval");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the span flight recorder: on a single-threaded
+//! trace built with stack discipline, every child span's interval must
+//! nest inside its parent's, and the recorded tree must match the tree
+//! that was opened.
+
+use cdim_obs::trace::Tracer;
+use proptest::prelude::*;
+
+proptest! {
+    /// Drive a random open/close sequence (stack discipline, one thread)
+    /// and check the recorder hands back a properly nested tree: every
+    /// non-root span's parent exists, and `parent.start <= child.start
+    /// <= child.end <= parent.end`.
+    #[test]
+    fn parent_child_intervals_nest(ops in proptest::collection::vec(proptest::bool::ANY, 1..120)) {
+        let tracer = Tracer::with_capacity(1, 256);
+        let stage = tracer.stage("prop.span");
+
+        let ctx = tracer.begin_trace();
+        prop_assert!(ctx.is_sampled());
+        let mut stack = vec![tracer.open(ctx, stage)];
+        let mut opened = 1usize;
+        for &open in &ops {
+            if open && stack.len() < 32 && opened < 200 {
+                let parent_ctx = stack.last().unwrap().ctx();
+                stack.push(tracer.open(parent_ctx, stage));
+                opened += 1;
+            } else if stack.len() > 1 {
+                tracer.close(stack.pop().unwrap());
+            }
+        }
+        while let Some(span) = stack.pop() {
+            tracer.close(span);
+        }
+
+        let spans = tracer.recent();
+        prop_assert_eq!(spans.len(), opened);
+        let roots = spans.iter().filter(|s| s.parent_id == 0).count();
+        prop_assert_eq!(roots, 1);
+        for child in spans.iter().filter(|s| s.parent_id != 0) {
+            let parent = spans
+                .iter()
+                .find(|s| s.span_id == child.parent_id)
+                .expect("parent span must be in the dump");
+            prop_assert_eq!(parent.trace_id, child.trace_id);
+            prop_assert!(parent.start_ns <= child.start_ns);
+            prop_assert!(child.start_ns <= child.end_ns);
+            prop_assert!(child.end_ns <= parent.end_ns);
+        }
+    }
+}

@@ -8,7 +8,7 @@ use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
     ServiceInfo, StatsReply,
 };
-use cdim_obs::RegistryDump;
+use cdim_obs::{RegistryDump, TraceDump};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Client-side failures.
@@ -123,6 +123,17 @@ impl QueryClient {
     pub fn metrics(&mut self) -> Result<RegistryDump, ClientError> {
         match self.request(&Request::Metrics)? {
             Response::Metrics(dump) => Ok(dump),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// The server's span flight recorder and slow-query log (wire op 7).
+    /// Servers predating op 7 answer [`Response::Error`], surfaced here
+    /// as [`ClientError::Server`] on a still-usable connection.
+    pub fn trace_dump(&mut self) -> Result<TraceDump, ClientError> {
+        match self.request(&Request::TraceDump)? {
+            Response::TraceDump(dump) => Ok(dump),
             Response::Error(message) => Err(ClientError::Server(message)),
             _ => Err(ClientError::UnexpectedResponse),
         }

@@ -16,6 +16,7 @@
 //! | 4      | Info          | — |
 //! | 5      | Stats         | — |
 //! | 6      | Metrics       | — |
+//! | 7      | TraceDump     | — |
 //!
 //! ## Responses
 //!
@@ -27,18 +28,22 @@
 //! | 4      | Info          | `num_users u64 · num_actions u64 · seeds u64 · hits u64 · misses u64` |
 //! | 5      | Stats         | `queries u64 · hits u64 · misses u64 · publishes u64 · version u64` |
 //! | 6      | Metrics       | `nc u32 · nc × (str · u64) · ng u32 · ng × (str · f64) · nh u32 · nh × (str · count u64 · sum f64 · max f64 · p50 f64 · p90 f64 · p99 f64) · ni u32 · ni × (str · str · str)` |
+//! | 7      | TraceDump     | `ns u32 · ns × span · nt u32 · nt × (duration u64 · ns u32 · ns × span)` |
 //! | 255    | Error         | `len u32 · len × utf-8 byte` |
 //!
 //! where `str` is `len u32 · len × utf-8 byte`. The Metrics payload is a
 //! full [`cdim_obs::RegistryDump`]: counters, gauges, histogram summaries,
 //! then info metrics (name · label key · label value), each block sorted
-//! by metric name.
+//! by metric name. The TraceDump payload is a [`cdim_obs::TraceDump`]:
+//! the flight recorder's recent spans then the slow-query log, where
+//! `span` is `trace_id u64 · span_id u32 · parent u32 · stage str ·
+//! start_ns u64 · end_ns u64 · nkv u32 · nkv × (str · u64)`.
 //!
 //! Frames above [`MAX_FRAME_LEN`] are rejected before allocation, so a
 //! garbage length prefix cannot make the server reserve gigabytes.
 
 use crate::codec::{push_f64, push_u32, push_u64};
-use cdim_obs::{HistogramSummary, RegistryDump};
+use cdim_obs::{HistogramSummary, RegistryDump, SlowTraceDump, SpanDump, TraceDump};
 use std::io::{Read, Write};
 
 /// Upper bound on a single frame's payload (16 MiB — a 4-million-seed
@@ -51,6 +56,7 @@ const OP_GAIN: u8 = 3;
 const OP_INFO: u8 = 4;
 const OP_STATS: u8 = 5;
 const OP_METRICS: u8 = 6;
+const OP_TRACE: u8 = 7;
 const OP_ERROR: u8 = 255;
 
 /// A wire request.
@@ -81,6 +87,9 @@ pub enum Request {
     /// Full metrics-registry dump: every counter, gauge, latency-histogram
     /// summary, and info metric the process has registered.
     Metrics,
+    /// Flight-recorder dump: the recent spans in the process-wide trace
+    /// ring plus the slow-query log.
+    TraceDump,
 }
 
 /// Snapshot and cache facts returned by [`Request::Info`].
@@ -139,6 +148,8 @@ pub enum Response {
     Stats(StatsReply),
     /// Answer to [`Request::Metrics`].
     Metrics(RegistryDump),
+    /// Answer to [`Request::TraceDump`].
+    TraceDump(TraceDump),
     /// The request was rejected; the payload explains why.
     Error(String),
 }
@@ -312,6 +323,35 @@ fn push_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+fn push_span(out: &mut Vec<u8>, span: &SpanDump) {
+    push_u64(out, span.trace_id);
+    push_u32(out, span.span_id);
+    push_u32(out, span.parent_id);
+    push_str(out, &span.stage);
+    push_u64(out, span.start_ns);
+    push_u64(out, span.end_ns);
+    push_u32(out, span.kv.len() as u32);
+    for (key, value) in &span.kv {
+        push_str(out, key);
+        push_u64(out, *value);
+    }
+}
+
+fn push_trace_dump(out: &mut Vec<u8>, dump: &TraceDump) {
+    push_u32(out, dump.spans.len() as u32);
+    for span in &dump.spans {
+        push_span(out, span);
+    }
+    push_u32(out, dump.slow.len() as u32);
+    for trace in &dump.slow {
+        push_u64(out, trace.duration_ns);
+        push_u32(out, trace.spans.len() as u32);
+        for span in &trace.spans {
+            push_span(out, span);
+        }
+    }
+}
+
 fn push_dump(out: &mut Vec<u8>, dump: &RegistryDump) {
     push_u32(out, dump.counters.len() as u32);
     for (name, value) in &dump.counters {
@@ -361,6 +401,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Info => out.push(OP_INFO),
         Request::Stats => out.push(OP_STATS),
         Request::Metrics => out.push(OP_METRICS),
+        Request::TraceDump => out.push(OP_TRACE),
     }
     out
 }
@@ -405,6 +446,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         Response::Metrics(dump) => {
             out.push(OP_METRICS);
             push_dump(&mut out, dump);
+        }
+        Response::TraceDump(dump) => {
+            out.push(OP_TRACE);
+            push_trace_dump(&mut out, dump);
         }
         Response::Error(message) => {
             out.push(OP_ERROR);
@@ -487,10 +532,27 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         OP_INFO => Request::Info,
         OP_STATS => Request::Stats,
         OP_METRICS => Request::Metrics,
+        OP_TRACE => Request::TraceDump,
         op => return Err(ProtocolError::UnknownOpcode(op)),
     };
     r.done()?;
     Ok(request)
+}
+
+fn read_span(r: &mut Reader<'_>) -> Result<SpanDump, ProtocolError> {
+    let trace_id = r.u64()?;
+    let span_id = r.u32()?;
+    let parent_id = r.u32()?;
+    let stage = r.string()?;
+    let start_ns = r.u64()?;
+    let end_ns = r.u64()?;
+    let nkv = r.u32()? as usize;
+    let mut kv = Vec::new();
+    for _ in 0..nkv {
+        let key = r.string()?;
+        kv.push((key, r.u64()?));
+    }
+    Ok(SpanDump { trace_id, span_id, parent_id, stage, start_ns, end_ns, kv })
 }
 
 /// Parses a response payload.
@@ -567,6 +629,27 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             }
             Response::Metrics(RegistryDump { counters, gauges, histograms, infos })
         }
+        OP_TRACE => {
+            // Same bounded-count discipline as OP_METRICS: counts are never
+            // pre-reserved, so absurd values fail in `take` immediately.
+            let ns = r.u32()? as usize;
+            let mut spans = Vec::new();
+            for _ in 0..ns {
+                spans.push(read_span(&mut r)?);
+            }
+            let nt = r.u32()? as usize;
+            let mut slow = Vec::new();
+            for _ in 0..nt {
+                let duration_ns = r.u64()?;
+                let ns = r.u32()? as usize;
+                let mut trace_spans = Vec::new();
+                for _ in 0..ns {
+                    trace_spans.push(read_span(&mut r)?);
+                }
+                slow.push(SlowTraceDump { duration_ns, spans: trace_spans });
+            }
+            Response::TraceDump(TraceDump { spans, slow })
+        }
         OP_ERROR => {
             let len = r.u32()? as usize;
             let bytes = r.take(len)?;
@@ -594,6 +677,7 @@ mod tests {
             Request::Info,
             Request::Stats,
             Request::Metrics,
+            Request::TraceDump,
         ];
         for request in requests {
             let payload = encode_request(&request);
@@ -645,6 +729,41 @@ mod tests {
                     "reason".to_string(),
                     "stale action (frontier 17)".to_string(),
                 )],
+            }),
+            Response::TraceDump(TraceDump::default()),
+            Response::TraceDump(TraceDump {
+                spans: vec![
+                    SpanDump {
+                        trace_id: 3,
+                        span_id: 1,
+                        parent_id: 0,
+                        stage: "serve.request".to_string(),
+                        start_ns: 1_000,
+                        end_ns: 9_000,
+                        kv: vec![],
+                    },
+                    SpanDump {
+                        trace_id: 3,
+                        span_id: 2,
+                        parent_id: 1,
+                        stage: "serve.eval".to_string(),
+                        start_ns: 2_000,
+                        end_ns: 8_000,
+                        kv: vec![("batch".to_string(), 4), ("seeds".to_string(), 2)],
+                    },
+                ],
+                slow: vec![SlowTraceDump {
+                    duration_ns: 25_000_000,
+                    spans: vec![SpanDump {
+                        trace_id: 9,
+                        span_id: 7,
+                        parent_id: 0,
+                        stage: "ingest.step".to_string(),
+                        start_ns: 0,
+                        end_ns: 25_000_000,
+                        kv: vec![("records".to_string(), 123)],
+                    }],
+                }],
             }),
             Response::Error("user 9 out of range".to_string()),
         ];

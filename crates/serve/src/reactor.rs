@@ -17,7 +17,16 @@
 //! [`InfluenceService::query_batch`]: one snapshot acquisition for the
 //! whole batch, so a concurrent publish can never interleave between the
 //! batch's queries, and cache probes amortize to one lock hold.
-//! `Info`/`Stats`/`Metrics` are answered inline on the reactor thread.
+//! `Info`/`Stats`/`Metrics`/`TraceDump` are answered inline on the
+//! reactor thread.
+//!
+//! ## Tracing
+//!
+//! Every decoded query request opens a `serve.request` root span in the
+//! process-global flight recorder ([`cdim_obs::Tracer`]), closed when the
+//! response's last byte reaches the socket. Children record decode,
+//! batch wait, worker evaluation (under which the service's own spans
+//! nest), and write-out; wire op 7 dumps the recorder.
 //!
 //! ## Response ordering
 //!
@@ -40,7 +49,8 @@ use crate::protocol::{
     StatsReply,
 };
 use crate::service::{Answer, InfluenceService, Query, QueryError};
-use cdim_obs::{Counter, Gauge, Histogram};
+use cdim_obs::{ActiveSpan, Counter, Gauge, Histogram, Stage, TraceCtx, Tracer};
+use cdim_util::monotonic_ns;
 use cdim_util::poll::{Interest, Poller, WakePipe};
 use cdim_util::FxHashMap;
 use std::collections::VecDeque;
@@ -148,6 +158,7 @@ pub fn spawn_reactor(
     poller.register(wake.read_fd(), TOKEN_WAKE, Interest::READABLE)?;
 
     let stop = Arc::new(AtomicBool::new(false));
+    let trace = ReactorTrace::register(Tracer::global());
     let shared = Arc::new(WorkerShared {
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -155,6 +166,7 @@ pub fn spawn_reactor(
         completions: Mutex::new(Vec::new()),
         wake: Arc::clone(&wake),
         service: Arc::clone(&service),
+        trace: trace.clone(),
     });
     let workers: Vec<JoinHandle<()>> = (0..config.resolved_workers())
         .map(|i| {
@@ -182,6 +194,7 @@ pub fn spawn_reactor(
                 accept_paused_until: None,
                 consecutive_accept_errors: 0,
                 metrics,
+                trace,
             };
             reactor.run();
         })?;
@@ -193,10 +206,65 @@ const TOKEN_WAKE: u64 = 1;
 const FIRST_CONN_TOKEN: u64 = 2;
 const READ_CHUNK: usize = 16 * 1024;
 
-/// An unanswered request → worker completion, addressed by connection
-/// token (monotonic, never reused — a completion for a dead connection is
-/// dropped harmlessly) and per-connection sequence number.
-type Batch = Vec<(u64, u64, Query)>;
+/// One query request in flight from the reactor to the worker pool,
+/// addressed by connection token (monotonic, never reused — a completion
+/// for a dead connection is dropped harmlessly) and per-connection
+/// sequence number.
+struct BatchItem {
+    token: u64,
+    seq: u64,
+    /// The request's root-span context (unsampled when tracing skipped
+    /// this request), under which the worker opens `serve.eval`.
+    ctx: TraceCtx,
+    /// When decode finished — the start of the `serve.batch` wait span.
+    decoded_ns: u64,
+    query: Query,
+}
+
+/// Query requests decoded in one event-loop tick, dispatched together.
+type Batch = Vec<BatchItem>;
+
+/// Pre-resolved stage handles for the reactor's spans (mirrors
+/// [`ReactorMetrics`]: resolve once, record forever).
+#[derive(Clone)]
+struct ReactorTrace {
+    tracer: Arc<Tracer>,
+    accept: Stage,
+    request: Stage,
+    decode: Stage,
+    batch: Stage,
+    eval: Stage,
+    write: Stage,
+}
+
+impl ReactorTrace {
+    fn register(tracer: Arc<Tracer>) -> Self {
+        ReactorTrace {
+            accept: tracer.stage("serve.accept"),
+            request: tracer.stage("serve.request"),
+            decode: tracer.stage("serve.decode"),
+            batch: tracer.stage("serve.batch"),
+            eval: tracer.stage("serve.eval"),
+            write: tracer.stage("serve.write"),
+            tracer,
+        }
+    }
+}
+
+/// Records `serve.write` and closes the request roots for frames whose
+/// last byte just reached the socket. A free function over the trace
+/// handles (not a `Reactor` method) so callers holding a mutable borrow
+/// of the connection table can still invoke it.
+fn record_finished_writes(trace: &ReactorTrace, finished: &mut Vec<(ActiveSpan, u64)>) {
+    if finished.is_empty() {
+        return;
+    }
+    let now = trace.tracer.now_ns();
+    for (root, entered_ns) in finished.drain(..) {
+        trace.tracer.record(root.ctx(), trace.write, entered_ns, now);
+        trace.tracer.close_at(root, now);
+    }
+}
 
 struct WorkerShared {
     queue: Mutex<VecDeque<Batch>>,
@@ -207,9 +275,11 @@ struct WorkerShared {
     completions: Mutex<Vec<(u64, u64, Vec<u8>)>>,
     wake: Arc<WakePipe>,
     service: Arc<InfluenceService>,
+    trace: ReactorTrace,
 }
 
 fn worker_main(shared: &WorkerShared) {
+    let trace = &shared.trace;
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("worker queue poisoned");
@@ -223,11 +293,23 @@ fn worker_main(shared: &WorkerShared) {
                 queue = shared.available.wait(queue).expect("worker queue poisoned");
             }
         };
-        let queries: Vec<Query> = batch.iter().map(|(_, _, q)| q.clone()).collect();
-        let answers = shared.service.query_batch(&queries);
+        let queries: Vec<Query> = batch.iter().map(|item| item.query.clone()).collect();
+        // One `serve.eval` span per request covering the whole batch
+        // evaluation; the service's own spans (snapshot, probe, compute)
+        // nest under it via the eval contexts.
+        let evals: Vec<ActiveSpan> =
+            batch.iter().map(|item| trace.tracer.open(item.ctx, trace.eval)).collect();
+        let ctxs: Vec<TraceCtx> = evals.iter().map(ActiveSpan::ctx).collect();
+        let answers = shared.service.query_batch_traced(&queries, &ctxs);
+        let end = if evals.iter().any(ActiveSpan::is_sampled) { trace.tracer.now_ns() } else { 0 };
         let mut done = Vec::with_capacity(batch.len());
-        for ((token, seq, _), result) in batch.into_iter().zip(answers) {
-            done.push((token, seq, frame_bytes(&encode_response(&answer_response(result)))));
+        for ((item, result), eval) in batch.into_iter().zip(answers).zip(evals) {
+            trace.tracer.close_at(eval, end);
+            done.push((
+                item.token,
+                item.seq,
+                frame_bytes(&encode_response(&answer_response(result))),
+            ));
         }
         shared.completions.lock().expect("completions poisoned").extend(done);
         shared.wake.wake();
@@ -260,7 +342,7 @@ fn request_query(request: &Request) -> Option<Query> {
         Request::MarginalGain { seeds, candidate } => {
             Some(Query::MarginalGain { seeds: seeds.clone(), candidate: *candidate })
         }
-        Request::Info | Request::Stats | Request::Metrics => None,
+        Request::Info | Request::Stats | Request::Metrics | Request::TraceDump => None,
     }
 }
 
@@ -290,6 +372,7 @@ pub(crate) fn inline_response(request: &Request, service: &InfluenceService) -> 
             })
         }
         Request::Metrics => Response::Metrics(service.metrics_registry().dump()),
+        Request::TraceDump => Response::TraceDump(Tracer::global().dump()),
         _ => unreachable!("inline_response is only called for metadata ops"),
     }
 }
@@ -340,18 +423,29 @@ impl ReactorMetrics {
     }
 }
 
+/// A framed response waiting on the socket, carrying the request's root
+/// span (if traced) so `serve.write` can be recorded — and the root
+/// closed — when the last byte actually leaves.
+struct OutFrame {
+    bytes: Vec<u8>,
+    root: Option<ActiveSpan>,
+    /// When the frame entered the outbound queue (start of `serve.write`).
+    entered_ns: u64,
+}
+
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
     /// Framed responses awaiting the socket, plus the write cursor into
     /// the front frame.
-    outbound: VecDeque<Vec<u8>>,
+    outbound: VecDeque<OutFrame>,
     front_pos: usize,
     queued_bytes: usize,
     /// In-order response slots: index 0 is sequence `base_seq`. A decoded
-    /// request pushes `None`; its completion fills the slot; only the
-    /// filled head is moved to `outbound`.
-    pending: VecDeque<Option<Vec<u8>>>,
+    /// request pushes an unfilled slot (plus its root span, if traced);
+    /// its completion fills the slot; only the filled head is moved to
+    /// `outbound`.
+    pending: VecDeque<(Option<Vec<u8>>, Option<ActiveSpan>)>,
     base_seq: u64,
     next_seq: u64,
     last_activity: Instant,
@@ -384,11 +478,15 @@ impl Conn {
         }
     }
 
-    /// Allocates the next request's sequence number and pending slot.
-    fn push_request(&mut self) -> u64 {
+    /// Allocates the next request's sequence number and pending slot,
+    /// parking the request's root span (if traced) until its response is
+    /// ready to leave. A root parked on a connection that dies before its
+    /// response flushes is abandoned (never recorded) — the flight
+    /// recorder only holds complete spans.
+    fn push_request(&mut self, root: Option<ActiveSpan>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push_back(None);
+        self.pending.push_back((None, root));
         seq
     }
 
@@ -398,27 +496,35 @@ impl Conn {
     fn complete(&mut self, seq: u64, frame: Vec<u8>) {
         let Some(index) = seq.checked_sub(self.base_seq) else { return };
         let Some(slot) = self.pending.get_mut(index as usize) else { return };
-        *slot = Some(frame);
-        while let Some(Some(_)) = self.pending.front() {
-            let frame = self.pending.pop_front().flatten().expect("head slot is filled");
+        slot.0 = Some(frame);
+        while matches!(self.pending.front(), Some((Some(_), _))) {
+            let (frame, root) = self.pending.pop_front().expect("front was just matched");
+            let bytes = frame.expect("head slot is filled");
             self.base_seq += 1;
-            self.queued_bytes += frame.len();
-            self.outbound.push_back(frame);
+            self.queued_bytes += bytes.len();
+            let entered_ns =
+                if root.as_ref().is_some_and(ActiveSpan::is_sampled) { monotonic_ns() } else { 0 };
+            self.outbound.push_back(OutFrame { bytes, root, entered_ns });
         }
     }
 
-    /// Writes as much of the outbound queue as the socket accepts.
-    /// `Err(())` means the connection is dead.
-    fn flush(&mut self) -> Result<(), ()> {
+    /// Writes as much of the outbound queue as the socket accepts,
+    /// pushing `(root span, entered_ns)` onto `finished` for every traced
+    /// frame whose last byte was written. `Err(())` means the connection
+    /// is dead.
+    fn flush(&mut self, finished: &mut Vec<(ActiveSpan, u64)>) -> Result<(), ()> {
         while let Some(front) = self.outbound.front() {
-            match self.stream.write(&front[self.front_pos..]) {
+            match self.stream.write(&front.bytes[self.front_pos..]) {
                 Ok(0) => return Err(()),
                 Ok(n) => {
                     self.front_pos += n;
                     self.queued_bytes -= n;
-                    if self.front_pos == front.len() {
-                        self.outbound.pop_front();
+                    if self.front_pos == front.bytes.len() {
+                        let done = self.outbound.pop_front().expect("front exists");
                         self.front_pos = 0;
+                        if let Some(root) = done.root.filter(ActiveSpan::is_sampled) {
+                            finished.push((root, done.entered_ns));
+                        }
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -458,6 +564,7 @@ struct Reactor {
     accept_paused_until: Option<Instant>,
     consecutive_accept_errors: u32,
     metrics: ReactorMetrics,
+    trace: ReactorTrace,
 }
 
 impl Reactor {
@@ -512,6 +619,21 @@ impl Reactor {
             }
             if !tick_batch.is_empty() {
                 self.metrics.batch_size.observe(tick_batch.len() as f64);
+                // `serve.batch`: each request's wait from decode to
+                // dispatch (the cost of riding this tick's batch). The
+                // clock is read once per tick and only when some request
+                // in the batch is sampled.
+                if tick_batch.iter().any(|item| item.ctx.is_sampled()) {
+                    let dispatched_ns = self.trace.tracer.now_ns();
+                    for item in &tick_batch {
+                        self.trace.tracer.record(
+                            item.ctx,
+                            self.trace.batch,
+                            item.decoded_ns,
+                            dispatched_ns,
+                        );
+                    }
+                }
                 self.shared
                     .queue
                     .lock()
@@ -566,6 +688,7 @@ impl Reactor {
 
     fn accept_pending(&mut self, now: Instant) {
         loop {
+            let accept_ns = self.trace.tracer.now_ns();
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     self.consecutive_accept_errors = 0;
@@ -589,6 +712,17 @@ impl Reactor {
                     self.conns.insert(token, Conn::new(stream, now));
                     self.metrics.accepted.inc();
                     self.metrics.connections.add(1.0);
+                    // Each accepted connection gets a tiny single-span
+                    // trace covering the handshake + registration.
+                    let ctx = self.trace.tracer.begin_trace();
+                    if ctx.is_sampled() {
+                        self.trace.tracer.record(
+                            ctx,
+                            self.trace.accept,
+                            accept_ns,
+                            self.trace.tracer.now_ns(),
+                        );
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if accept_error_is_transient(e.kind()) => {
@@ -651,11 +785,40 @@ impl Reactor {
         while conn.pending.len() < self.config.max_pipeline && !conn.closing {
             match conn.decoder.next_frame() {
                 Ok(Some(payload)) => {
-                    let seq = conn.push_request();
+                    // The sampling decision is taken per frame, before
+                    // decoding: an unsampled request must never read the
+                    // clock (monotonic reads are the dominant tracing
+                    // cost, ~50 ns each on virtualized hosts).
+                    let ctx = self.trace.tracer.begin_trace();
+                    let frame_ns = if ctx.is_sampled() { self.trace.tracer.now_ns() } else { 0 };
                     match decode_request(&payload) {
                         Ok(request) => match request_query(&request) {
-                            Some(query) => tick_batch.push((token, seq, query)),
+                            Some(query) => {
+                                // A query request gets a trace root
+                                // (`serve.request`) opened at frame
+                                // availability and closed when its
+                                // response's last byte hits the wire.
+                                let root =
+                                    self.trace.tracer.open_at(ctx, self.trace.request, frame_ns);
+                                let decoded_ns =
+                                    if ctx.is_sampled() { self.trace.tracer.now_ns() } else { 0 };
+                                self.trace.tracer.record(
+                                    root.ctx(),
+                                    self.trace.decode,
+                                    frame_ns,
+                                    decoded_ns,
+                                );
+                                let seq = conn.push_request(Some(root));
+                                tick_batch.push(BatchItem {
+                                    token,
+                                    seq,
+                                    ctx: root.ctx(),
+                                    decoded_ns,
+                                    query,
+                                });
+                            }
                             None => {
+                                let seq = conn.push_request(None);
                                 let response = inline_response(&request, &self.service);
                                 conn.complete(seq, frame_bytes(&encode_response(&response)));
                             }
@@ -664,10 +827,12 @@ impl Reactor {
                             e @ (ProtocolError::UnknownOpcode(_) | ProtocolError::Malformed(_)),
                         ) => {
                             // Framing is intact: answer the error, go on.
+                            let seq = conn.push_request(None);
                             let response = Response::Error(format!("bad request: {e}"));
                             conn.complete(seq, frame_bytes(&encode_response(&response)));
                         }
                         Err(e) => {
+                            let seq = conn.push_request(None);
                             let response = Response::Error(format!("bad request: {e}"));
                             conn.complete(seq, frame_bytes(&encode_response(&response)));
                             conn.closing = true;
@@ -679,7 +844,7 @@ impl Reactor {
                     // Frame-level failure (oversized length prefix): the
                     // byte stream's framing is lost — answer and close.
                     let response = Response::Error(format!("protocol error: {e}"));
-                    let seq = conn.push_request();
+                    let seq = conn.push_request(None);
                     conn.complete(seq, frame_bytes(&encode_response(&response)));
                     conn.closing = true;
                 }
@@ -692,7 +857,10 @@ impl Reactor {
     /// readiness interest, and reaps it when done for.
     fn flush_conn(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else { return };
-        if conn.flush().is_err() {
+        let mut finished: Vec<(ActiveSpan, u64)> = Vec::new();
+        let flushed = conn.flush(&mut finished);
+        record_finished_writes(&self.trace, &mut finished);
+        if flushed.is_err() {
             self.drop_conn(token);
             return;
         }
@@ -744,7 +912,7 @@ impl Reactor {
                 let response = Response::Error(format!(
                     "request timed out mid-frame after {idle_timeout:?} without a byte"
                 ));
-                let seq = conn.push_request();
+                let seq = conn.push_request(None);
                 conn.complete(seq, frame_bytes(&encode_response(&response)));
                 conn.closing = true;
                 self.flush_conn(token);
@@ -812,16 +980,16 @@ mod tests {
         let _keep_alive = client;
 
         let mut conn = Conn::new(stream, Instant::now());
-        let s0 = conn.push_request();
-        let s1 = conn.push_request();
-        let s2 = conn.push_request();
+        let s0 = conn.push_request(None);
+        let s1 = conn.push_request(None);
+        let s2 = conn.push_request(None);
 
         conn.complete(s2, vec![2]);
         assert!(conn.outbound.is_empty(), "seq 2 must wait for 0 and 1");
         conn.complete(s0, vec![0]);
         assert_eq!(conn.outbound.len(), 1, "head release stops at the unfilled slot");
         conn.complete(s1, vec![1]);
-        let order: Vec<u8> = conn.outbound.iter().map(|f| f[0]).collect();
+        let order: Vec<u8> = conn.outbound.iter().map(|f| f.bytes[0]).collect();
         assert_eq!(order, vec![0, 1, 2]);
         assert_eq!(conn.queued_bytes, 3);
         assert!(conn.pending.is_empty());

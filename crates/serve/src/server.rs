@@ -266,7 +266,7 @@ pub mod threaded {
             Request::MarginalGain { seeds, candidate } => {
                 Query::MarginalGain { seeds: seeds.clone(), candidate: *candidate }
             }
-            Request::Info | Request::Stats | Request::Metrics => {
+            Request::Info | Request::Stats | Request::Metrics | Request::TraceDump => {
                 return inline_response(request, service);
             }
         };
@@ -403,6 +403,52 @@ mod tests {
             .expect("missing query histogram");
         assert_eq!(query_hist.count, 2);
         assert!(query_hist.p50 <= query_hist.p99 && query_hist.p99 <= query_hist.max);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_op_returns_nested_request_spans() {
+        // The global recorder samples 1-in-8 by default; this test needs
+        // its specific request traced.
+        cdim_obs::Tracer::global().set_sampling(1);
+        let service = test_service();
+        let server = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = QueryClient::connect(server.addr()).unwrap();
+
+        client.spread(&[0]).unwrap();
+        let dump = client.trace_dump().unwrap();
+
+        // The global recorder is shared across the whole test process, so
+        // look for *one trace* that carries the full request pipeline
+        // (the spread above is guaranteed to have produced one).
+        let full_trace = dump
+            .spans
+            .iter()
+            .filter(|s| s.stage == "serve.request")
+            .map(|root| {
+                let spans: Vec<_> =
+                    dump.spans.iter().filter(|s| s.trace_id == root.trace_id).collect();
+                (root, spans)
+            })
+            .find(|(_, spans)| {
+                ["serve.decode", "serve.batch", "serve.eval", "serve.write", "service.compute"]
+                    .iter()
+                    .all(|want| spans.iter().any(|s| s.stage == *want))
+            });
+        let (root, spans) = full_trace.expect("one trace holds the whole request pipeline");
+
+        // Parent/child wiring: every span of the trace sits under the
+        // root, and the service's spans nest under the worker's eval.
+        assert_eq!(root.parent_id, 0);
+        let eval = spans.iter().find(|s| s.stage == "serve.eval").unwrap();
+        assert_eq!(eval.parent_id, root.span_id);
+        let compute = spans.iter().find(|s| s.stage == "service.compute").unwrap();
+        assert_eq!(compute.parent_id, eval.span_id);
+        for span in &spans {
+            assert!(root.start_ns <= span.start_ns, "{} starts before its root", span.stage);
+            assert!(span.end_ns <= root.end_ns, "{} ends after its root", span.stage);
+        }
 
         server.shutdown();
     }

@@ -17,7 +17,7 @@
 //! keep the old snapshot alive until they finish — zero downtime.
 
 use crate::snapshot::ModelSnapshot;
-use cdim_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use cdim_obs::{Counter, Gauge, Histogram, MetricsRegistry, Stage, TraceCtx, Tracer};
 use cdim_util::{LruCache, Timer};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -151,6 +151,48 @@ impl ServeMetrics {
     }
 }
 
+/// The service's interned trace stages, resolved once at construction
+/// (the flight-recorder analogue of [`ServeMetrics`]). Spans record into
+/// the process-wide [`Tracer`] so one op-7 dump shows the whole request
+/// path across reactor, service and scan.
+struct ServeTrace {
+    tracer: Arc<Tracer>,
+    query: Stage,
+    snapshot: Stage,
+    probe: Stage,
+    compute: Stage,
+    dedup: Stage,
+    publish: Stage,
+    publish_delta: Stage,
+    retract_delta: Stage,
+    extend: Stage,
+    retract: Stage,
+    swap: Stage,
+    k_queries: Stage,
+    k_hits: Stage,
+}
+
+impl ServeTrace {
+    fn register(tracer: Arc<Tracer>) -> Self {
+        ServeTrace {
+            query: tracer.stage("service.query"),
+            snapshot: tracer.stage("service.snapshot"),
+            probe: tracer.stage("service.cache_probe"),
+            compute: tracer.stage("service.compute"),
+            dedup: tracer.stage("service.dedup"),
+            publish: tracer.stage("service.publish"),
+            publish_delta: tracer.stage("service.publish_delta"),
+            retract_delta: tracer.stage("service.retract_delta"),
+            extend: tracer.stage("service.extend"),
+            retract: tracer.stage("service.retract"),
+            swap: tracer.stage("service.swap"),
+            k_queries: tracer.stage("queries"),
+            k_hits: tracer.stage("hits"),
+            tracer,
+        }
+    }
+}
+
 /// Thread-safe influence-query service over an immutable model snapshot.
 pub struct InfluenceService {
     /// The served model plus its publish epoch. Reading them as a pair is
@@ -162,6 +204,7 @@ pub struct InfluenceService {
     /// same counters back, so there is exactly one source of truth.
     registry: Arc<MetricsRegistry>,
     metrics: ServeMetrics,
+    trace: ServeTrace,
 }
 
 impl InfluenceService {
@@ -186,6 +229,7 @@ impl InfluenceService {
             cache: Mutex::new(LruCache::new(cache_capacity)),
             registry,
             metrics,
+            trace: ServeTrace::register(Tracer::global()),
         }
     }
 
@@ -218,6 +262,15 @@ impl InfluenceService {
     /// new queries see the new one. No query is ever blocked for longer
     /// than the pointer swap + cache clear.
     pub fn publish(&self, snapshot: ModelSnapshot) {
+        let tracer = &self.trace.tracer;
+        let root = tracer.open(tracer.begin_trace(), self.trace.publish);
+        self.publish_traced(snapshot, root.ctx());
+        tracer.close(root);
+    }
+
+    /// The swap itself, recorded under `ctx` so a delta/retract publish
+    /// shows up as one trace rather than nested roots.
+    fn publish_traced(&self, snapshot: ModelSnapshot, ctx: TraceCtx) {
         let next = Arc::new(snapshot);
         // Bump the epoch together with the swap, *then* clear. A query
         // that computed against the old snapshot either sees the bumped
@@ -225,11 +278,13 @@ impl InfluenceService {
         // in which case the clear below removes the entry. Either way no
         // old-model answer survives the publish.
         let timer = Timer::start();
+        let swap_span = self.trace.tracer.open(ctx, self.trace.swap);
         {
             let mut slot = self.snapshot.write().expect("snapshot lock poisoned");
             *slot = (slot.0 + 1, next);
         }
         self.cache.lock().expect("cache lock poisoned").clear();
+        self.trace.tracer.close(swap_span);
         self.metrics.swap_seconds.observe(timer.secs());
         self.metrics.published.inc();
     }
@@ -253,8 +308,15 @@ impl InfluenceService {
         parallelism: cdim_util::Parallelism,
     ) -> Result<(), cdim_core::ExtendError> {
         let _span = self.metrics.publish_seconds.start_span();
+        let tracer = &self.trace.tracer;
+        let root = tracer.open(tracer.begin_trace(), self.trace.publish_delta);
+        let extend_span = tracer.open(root.ctx(), self.trace.extend);
+        // An error abandons the open spans: failed publishes are not
+        // recorded (an unclosed ActiveSpan is plain data, nothing leaks).
         let next = self.snapshot().extend(graph, delta, policy, parallelism)?;
-        self.publish(next);
+        tracer.close(extend_span);
+        self.publish_traced(next, root.ctx());
+        tracer.close(root);
         Ok(())
     }
 
@@ -275,8 +337,13 @@ impl InfluenceService {
         parallelism: cdim_util::Parallelism,
     ) -> Result<(), cdim_core::ExtendError> {
         let _span = self.metrics.retract_seconds.start_span();
+        let tracer = &self.trace.tracer;
+        let root = tracer.open(tracer.begin_trace(), self.trace.retract_delta);
+        let retract_span = tracer.open(root.ctx(), self.trace.retract);
         let next = self.snapshot().retract(graph, expired, policy, parallelism)?;
-        self.publish(next);
+        tracer.close(retract_span);
+        self.publish_traced(next, root.ctx());
+        tracer.close(root);
         Ok(())
     }
 
@@ -298,20 +365,39 @@ impl InfluenceService {
         }
     }
 
-    /// Answers one query, consulting the LRU cache first.
+    /// Answers one query, consulting the LRU cache first. Each call is
+    /// its own trace rooted at `service.query` (the threaded frontend's
+    /// per-request trace; the reactor instead threads its request traces
+    /// through [`Self::query_batch_traced`]).
     pub fn query(&self, query: &Query) -> Result<Answer, QueryError> {
+        let tracer = &self.trace.tracer;
+        let root = tracer.open(tracer.begin_trace(), self.trace.query);
+        let result = self.query_inner(query, root.ctx());
+        tracer.close(root);
+        result
+    }
+
+    fn query_inner(&self, query: &Query, ctx: TraceCtx) -> Result<Answer, QueryError> {
         self.metrics.queries.inc();
         let _inflight = self.metrics.inflight.inc_scoped();
         let _span = self.metrics.query_seconds.start_span();
+        let tracer = &self.trace.tracer;
+        let snapshot_span = tracer.open(ctx, self.trace.snapshot);
         let (epoch, snapshot) = self.snapshot_with_epoch();
+        tracer.close(snapshot_span);
         let key = canonical_key(query, &snapshot)?;
 
-        if let Some(answer) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+        let probe_span = tracer.open(ctx, self.trace.probe);
+        let cached = self.cache.lock().expect("cache lock poisoned").get(&key).cloned();
+        tracer.close(probe_span);
+        if let Some(answer) = cached {
             self.metrics.hits.inc();
-            return Ok(answer.clone());
+            return Ok(answer);
         }
 
+        let compute_span = tracer.open(ctx, self.trace.compute);
         let answer = compute(&key, &snapshot);
+        tracer.close(compute_span);
         self.metrics.misses.inc();
         // Cache only when no publish raced the computation (checked while
         // holding the cache lock, so a concurrent publish's clear either
@@ -338,19 +424,42 @@ impl InfluenceService {
     /// (duplicates within the batch are hits — the first occurrence's
     /// computation serves the rest from memory).
     pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, QueryError>> {
+        self.query_batch_traced(queries, &[])
+    }
+
+    /// [`Self::query_batch`] with per-query trace contexts: `ctxs[i]` is
+    /// the request trace query `i` belongs to (the reactor's per-request
+    /// roots), so batch-wide work — snapshot acquisition, the cache-probe
+    /// pass — is recorded once under the first sampled context, while
+    /// per-query work (compute, in-batch dedup) lands under its own
+    /// request. Pass an empty slice to trace nothing (`query_batch`
+    /// delegates that way). Tracing never changes the metrics accounting.
+    pub fn query_batch_traced(
+        &self,
+        queries: &[Query],
+        ctxs: &[TraceCtx],
+    ) -> Vec<Result<Answer, QueryError>> {
         if queries.is_empty() {
             return Vec::new();
         }
+        let tracer = &self.trace.tracer;
+        let ctx_of = |i: usize| ctxs.get(i).copied().unwrap_or_else(TraceCtx::unsampled);
+        let batch_ctx =
+            ctxs.iter().copied().find(TraceCtx::is_sampled).unwrap_or_else(TraceCtx::unsampled);
         self.metrics.queries.add(queries.len() as u64);
         self.metrics.inflight.add(queries.len() as f64);
         let timer = Timer::start();
+        let snapshot_span = tracer.open(batch_ctx, self.trace.snapshot);
         let (epoch, snapshot) = self.snapshot_with_epoch();
+        tracer.close(snapshot_span);
 
         let keys: Vec<Result<CacheKey, QueryError>> =
             queries.iter().map(|q| canonical_key(q, &snapshot)).collect();
 
         // One probe pass under one cache-lock hold.
+        let mut probe_span = tracer.open(batch_ctx, self.trace.probe);
         let mut results: Vec<Option<Result<Answer, QueryError>>> = vec![None; queries.len()];
+        let mut probe_hits = 0u64;
         {
             let mut cache = self.cache.lock().expect("cache lock poisoned");
             for (slot, key) in results.iter_mut().zip(&keys) {
@@ -359,12 +468,16 @@ impl InfluenceService {
                     Ok(k) => {
                         if let Some(answer) = cache.get(k) {
                             self.metrics.hits.inc();
+                            probe_hits += 1;
                             *slot = Some(Ok(answer.clone()));
                         }
                     }
                 }
             }
         }
+        probe_span.kv(self.trace.k_queries, queries.len() as u64);
+        probe_span.kv(self.trace.k_hits, probe_hits);
+        tracer.close(probe_span);
         let probe_secs = timer.secs();
         let resolved = results.iter().filter(|s| s.is_some()).count();
         for _ in 0..resolved {
@@ -373,18 +486,23 @@ impl InfluenceService {
 
         // Compute the misses; duplicates within the batch compute once.
         let mut computed: Vec<(CacheKey, Answer)> = Vec::new();
-        for (slot, key) in results.iter_mut().zip(&keys) {
+        for (i, (slot, key)) in results.iter_mut().zip(&keys).enumerate() {
             if slot.is_some() {
                 continue;
             }
             let key = key.as_ref().expect("errors were resolved in the probe pass");
             let answer = match computed.iter().find(|(k, _)| k == key) {
                 Some((_, answer)) => {
+                    let dedup_span = tracer.open(ctx_of(i), self.trace.dedup);
                     self.metrics.hits.inc();
-                    answer.clone()
+                    let answer = answer.clone();
+                    tracer.close(dedup_span);
+                    answer
                 }
                 None => {
+                    let compute_span = tracer.open(ctx_of(i), self.trace.compute);
                     let answer = compute(key, &snapshot);
+                    tracer.close(compute_span);
                     self.metrics.misses.inc();
                     computed.push((key.clone(), answer.clone()));
                     answer

@@ -49,4 +49,4 @@ pub use mem::HeapSize;
 pub use ord::OrdF64;
 pub use pool::{parallel_map_indexed, parallel_map_shards, Parallelism};
 pub use rng::Rng;
-pub use timer::Timer;
+pub use timer::{monotonic_ns, Timer};

@@ -23,9 +23,11 @@ use cdim::actionlog::{stats::log_stats, storage, ActionLogDelta};
 use cdim::graph::stats::graph_stats;
 use cdim::ingest::{BatchConfig, FollowConfig, IngestDriver, WindowPolicy};
 use cdim::metrics::Table;
-use cdim::obs::{MetricsRegistry, MetricsServer};
+use cdim::obs::{MetricsRegistry, MetricsServer, SpanDump, Tracer};
 use cdim::prelude::*;
-use cdim::serve::{server, InfluenceService, ModelSnapshot, QueryClient, SnapshotFormat};
+use cdim::serve::{
+    server, ClientError, InfluenceService, ModelSnapshot, QueryClient, SnapshotFormat,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -37,7 +39,14 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::from(2);
     };
-    let flags = match Flags::parse(&args[1..]) {
+    // `cdim trace` has boolean switches; expand them to the `--key value`
+    // shape the parser demands before it sees them.
+    let tail = if command == "trace" {
+        expand_switches(&args[1..], &["slow"])
+    } else {
+        args[1..].to_vec()
+    };
+    let flags = match Flags::parse(&tail) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -55,6 +64,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "follow" => cmd_follow(&flags),
         "query" => cmd_query(&flags),
+        "trace" => cmd_trace(&flags),
         "--help" | "help" => {
             usage();
             Ok(())
@@ -81,13 +91,16 @@ fn usage() {
          cdim train    --graph <g.tsv> --append <d.tsv> --base <m.snap> --out <m2.snap> --policy uniform|time-aware [--log <l.tsv>] [--threads N]\n  \
          cdim snapshot --graph <g.tsv> --log <l.tsv> --out <m.snap> [--policy ...] [--lambda F] [--threads N] [--format v1|v2]\n  \
          cdim serve    --snapshot <m.snap> [--addr host:port] [--cache N] [--max-connections N] [--metrics-addr host:port]\n  \
+                       [--trace-sample N] [--trace-slow-ms T]\n  \
          cdim follow   --graph <g.tsv> --log <live.tsv> --snapshot <m.ckpt> [--serve host:port]\n  \
                        [--batch-actions N] [--batch-ms T] [--checkpoint-every K] [--poll-ms T]\n  \
                        [--idle-exit-ms T] [--export-snapshot <m.snap>] [--policy uniform|time-aware]\n  \
                        [--policy-log <l.tsv>] [--lambda F] [--threads N] [--cache N]\n  \
                        [--window-actions N | --window-age A] [--metrics-addr host:port]\n  \
+                       [--trace-sample N] [--trace-slow-ms T]\n  \
          cdim query    --addr <host:port> --op topk|spread|gain|info [--k N] [--seeds a,b] [--candidate x]\n  \
-         cdim stats    --addr <host:port>"
+         cdim stats    --addr <host:port>\n  \
+         cdim trace    --addr <host:port> [--slow] [--chrome <out.json>]"
     );
 }
 
@@ -201,6 +214,17 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
         match client.metrics() {
             Ok(dump) => print_metrics_dump(&dump),
             Err(e) => eprintln!("(metrics op unavailable: {e})"),
+        }
+        // Op 7 probe: when the server carries the span flight recorder,
+        // point at the per-request view. A pre-op-7 server answers with
+        // an error on a still-usable connection — stay silent then.
+        if let Ok(dump) = client.trace_dump() {
+            println!(
+                "tracing: {} spans in the flight recorder, {} slow traces \
+                 (`cdim trace --addr {addr}` for per-request waterfalls)",
+                dump.spans.len(),
+                dump.slow.len()
+            );
         }
         return Ok(());
     }
@@ -516,6 +540,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cdim::util::mem::fmt_bytes(snapshot.resident_bytes()),
         load_secs
     );
+    configure_tracer(flags)?;
     // The global registry, so a scrape sees serve + scan series together.
     let service =
         Arc::new(InfluenceService::with_registry(snapshot, cache, MetricsRegistry::global()));
@@ -533,6 +558,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// Applies `--trace-sample` / `--trace-slow-ms` to the process-global
+/// span flight recorder (serve and follow share the same knobs): sample
+/// every Nth request trace (`1` traces everything, `0` disables; the
+/// recorder's own default is 1 in 8), and capture whole traces slower
+/// than T ms into the slow-query log (default 10 ms). Absent flags leave
+/// the recorder's defaults untouched.
+fn configure_tracer(flags: &Flags) -> Result<(), String> {
+    let tracer = Tracer::global();
+    if flags.get("trace-sample").is_some() {
+        tracer.set_sampling(flags.get_parsed("trace-sample", 1u32)?);
+    }
+    if flags.get("trace-slow-ms").is_some() {
+        tracer.set_slow_threshold(Duration::from_millis(flags.get_parsed("trace-slow-ms", 10u64)?));
+    }
+    Ok(())
 }
 
 /// Binds the Prometheus-text scrape endpoint when `--metrics-addr` is
@@ -623,6 +665,7 @@ fn cmd_follow(flags: &Flags) -> Result<(), String> {
         },
     };
 
+    configure_tracer(flags)?;
     let resuming = ckpt_path.exists();
     // The global registry, so a scrape sees ingest + serve + scan series
     // in one dump.
@@ -727,9 +770,186 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `cdim trace`: pull the server's span flight recorder (wire op 7) and
+/// render per-request waterfalls — one block per trace, children indented
+/// under their parent, each line showing the span's offset from the trace
+/// root and its duration.
+///
+/// `--slow` switches to the slow-query log (worst complete traces over
+/// the server's `--trace-slow-ms` threshold, worst first). `--chrome
+/// out.json` additionally writes the same spans as Chrome trace-event
+/// JSON for `chrome://tracing` / Perfetto.
+///
+/// A server predating op 7 answers with a protocol error on a healthy
+/// connection; that degrades to a notice on stderr, not a failure.
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let addr = flags.require("addr")?;
+    let slow = flags.get("slow").is_some_and(|v| v == "true" || v == "1");
+    let mut client =
+        QueryClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let dump = match client.trace_dump() {
+        Ok(dump) => dump,
+        Err(ClientError::Server(message)) => {
+            eprintln!("(trace op unavailable: {message})");
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    // --slow selects which span set both the waterfall and the Chrome
+    // export see: the flight recorder, or the slow-log traces flattened.
+    let spans: Vec<SpanDump> = if slow {
+        dump.slow.iter().flat_map(|t| t.spans.iter().cloned()).collect()
+    } else {
+        dump.spans.clone()
+    };
+    if let Some(out) = flags.get("chrome") {
+        std::fs::write(out, chrome_trace_json(&spans))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out} ({} spans)", spans.len());
+    }
+    if slow {
+        if dump.slow.is_empty() {
+            println!("slow-query log is empty (threshold not exceeded yet)");
+            return Ok(());
+        }
+        for (i, trace) in dump.slow.iter().enumerate() {
+            println!("slow #{} ({})", i + 1, fmt_secs(trace.duration_ns as f64 / 1e9));
+            print_waterfall(&trace.spans);
+        }
+        return Ok(());
+    }
+    if spans.is_empty() {
+        println!("flight recorder is empty (no sampled requests yet)");
+        return Ok(());
+    }
+    print_waterfall(&spans);
+    Ok(())
+}
+
+/// Renders one waterfall block per trace: root spans at the margin,
+/// children indented, offsets relative to the earliest span of the trace.
+fn print_waterfall(spans: &[SpanDump]) {
+    // Group by trace, preserving the dump's start-time order.
+    let mut traces: Vec<(u64, Vec<&SpanDump>)> = Vec::new();
+    for span in spans {
+        match traces.iter_mut().find(|(id, _)| *id == span.trace_id) {
+            Some((_, list)) => list.push(span),
+            None => traces.push((span.trace_id, vec![span])),
+        }
+    }
+    for (trace_id, list) in &traces {
+        println!("trace {trace_id:012x}");
+        let base = list.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        // A span whose parent was overwritten in the ring renders as a
+        // top-level line rather than vanishing.
+        let present: Vec<u32> = list.iter().map(|s| s.span_id).collect();
+        let mut top: Vec<&&SpanDump> =
+            list.iter().filter(|s| s.parent_id == 0 || !present.contains(&s.parent_id)).collect();
+        top.sort_by_key(|s| s.start_ns);
+        for span in top {
+            print_span_tree(list, span, 0, base);
+        }
+    }
+}
+
+/// One waterfall line (`stage  +offset  duration  kv…`) and, recursively,
+/// the span's children sorted by start time.
+fn print_span_tree(list: &[&SpanDump], span: &SpanDump, depth: usize, base: u64) {
+    let offset = span.start_ns.saturating_sub(base) as f64 / 1e9;
+    let mut line = format!(
+        "  {:indent$}{:<width$} +{:>9}  {:>9}",
+        "",
+        span.stage,
+        fmt_secs(offset),
+        fmt_secs(span.duration_ns() as f64 / 1e9),
+        indent = depth * 2,
+        width = 24usize.saturating_sub(depth * 2),
+    );
+    for (key, value) in &span.kv {
+        line.push_str(&format!("  {key}={value}"));
+    }
+    println!("{line}");
+    let mut children: Vec<&&SpanDump> =
+        list.iter().filter(|s| s.parent_id == span.span_id && s.span_id != span.span_id).collect();
+    children.sort_by_key(|s| s.start_ns);
+    for child in children {
+        print_span_tree(list, child, depth + 1, base);
+    }
+}
+
+/// Spans as Chrome trace-event JSON (the `chrome://tracing` / Perfetto
+/// format): complete (`"ph":"X"`) events, microsecond timestamps, one
+/// synthetic tid per trace so concurrent requests land on separate rows.
+fn chrome_trace_json(spans: &[SpanDump]) -> String {
+    let mut tids: Vec<u64> = Vec::new();
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        let tid = match tids.iter().position(|&t| t == span.trace_id) {
+            Some(at) => at + 1,
+            None => {
+                tids.push(span.trace_id);
+                tids.len()
+            }
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"cdim\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{tid},\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{}",
+            json_string(&span.stage),
+            span.start_ns as f64 / 1e3,
+            span.duration_ns() as f64 / 1e3,
+            span.trace_id,
+            span.span_id,
+            span.parent_id,
+        ));
+        for (key, value) in &span.kv {
+            out.push_str(&format!(",{}:{value}", json_string(key)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Minimal JSON string encoder for stage and kv-key names.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Expands bare boolean switches (`--slow`) into the `--key value` shape
+/// [`Flags::parse`] demands, so `cdim trace --addr A --slow` works without
+/// loosening the strict pair parser every other command relies on.
+fn expand_switches(args: &[String], switches: &[&str]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len() + 1);
+    let mut i = 0;
+    while i < args.len() {
+        out.push(args[i].clone());
+        if let Some(key) = args[i].strip_prefix("--") {
+            if switches.contains(&key) && args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                out.push("true".to_string());
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{parse_seeds, Flags};
+    use super::{chrome_trace_json, expand_switches, json_string, parse_seeds, Flags, SpanDump};
 
     #[test]
     fn parses_key_value_pairs() {
@@ -764,5 +984,58 @@ mod tests {
     fn parse_seeds_accepts_lists_and_rejects_garbage() {
         assert_eq!(parse_seeds("1, 2,3").unwrap(), vec![1, 2, 3]);
         assert!(parse_seeds("1,banana").is_err());
+    }
+
+    #[test]
+    fn expand_switches_inserts_true_for_bare_flags() {
+        let argv: Vec<String> = ["--addr", "x:1", "--slow"].iter().map(|s| s.to_string()).collect();
+        let expanded = expand_switches(&argv, &["slow"]);
+        let flags = Flags::parse(&expanded).unwrap();
+        assert_eq!(flags.get("slow"), Some("true"));
+        assert_eq!(flags.get("addr"), Some("x:1"));
+        // An explicit value and a trailing flag are both left alone.
+        let argv: Vec<String> =
+            ["--slow", "false", "--addr", "x:1"].iter().map(|s| s.to_string()).collect();
+        let flags = Flags::parse(&expand_switches(&argv, &["slow"])).unwrap();
+        assert_eq!(flags.get("slow"), Some("false"));
+    }
+
+    #[test]
+    fn json_string_escapes_quotes_backslashes_and_control_bytes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
+    }
+
+    #[test]
+    fn chrome_trace_json_emits_complete_events_with_per_trace_tids() {
+        let spans = vec![
+            SpanDump {
+                trace_id: 7,
+                span_id: 1,
+                parent_id: 0,
+                stage: "serve.request".to_string(),
+                start_ns: 1_000,
+                end_ns: 5_000,
+                kv: vec![("batch".to_string(), 3)],
+            },
+            SpanDump {
+                trace_id: 9,
+                span_id: 2,
+                parent_id: 0,
+                stage: "serve.accept".to_string(),
+                start_ns: 2_000,
+                end_ns: 2_500,
+                kv: vec![],
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"serve.request\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"batch\":3"));
+        assert!(json.trim_end().ends_with("]}"));
     }
 }
